@@ -1,0 +1,58 @@
+// Distributed-memory extension (the paper's conclusion): sweeps the
+// network latency and compares the asynchronous and bulk-synchronous
+// disciplines of distributed additive multigrid on (a) simulated makespan
+// for the same correction budget and (b) achieved residual. As latency
+// grows, the synchronous discipline pays a barrier + round-trip per cycle
+// while the asynchronous one keeps computing against (increasingly stale)
+// residuals -- the trade the paper's Section VI anticipates.
+
+#include <iostream>
+
+#include "async/distributed.hpp"
+#include "bench_common.hpp"
+
+using namespace asyncmg;
+using namespace asyncmg::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const Index n = static_cast<Index>(cli.get_int("n", 12));
+  const int t_max = static_cast<int>(cli.get_int("cycles", 30));
+  const auto latencies =
+      cli.get_double_list("latencies", {0.0, 1e-6, 1e-5, 1e-4, 1e-3});
+  const std::string csv = cli.get("csv", "");
+
+  Problem prob = make_problem(TestSet::kFD27pt, n);
+  const MgSetup setup(std::move(prob.a),
+                      paper_mg_options(SmootherType::kWeightedJacobi, 0.9, 1));
+  AdditiveOptions ao;
+  ao.kind = AdditiveKind::kMultadd;
+  const AdditiveCorrector corr(setup, ao);
+  const std::size_t rows = static_cast<std::size_t>(setup.a(0).rows());
+
+  std::cout << "Distributed simulation: 27pt " << n << "^3, Multadd, "
+            << t_max << " corrections per grid, one process group per grid\n\n";
+
+  Table table({"latency", "async-time", "sync-time", "speedup",
+               "async-relres", "sync-relres"});
+
+  for (double lat : latencies) {
+    DistributedOptions o;
+    o.t_max = t_max;
+    o.latency = lat;
+    const Vector b = paper_rhs(rows, 0);
+    Vector xa(rows, 0.0), xs(rows, 0.0);
+    const DistributedResult ra = simulate_distributed_async(corr, b, xa, o);
+    const DistributedResult rs = simulate_distributed_sync(corr, b, xs, o);
+    table.add_row({Table::fmt(lat, 2), Table::fmt(ra.makespan, 4),
+                   Table::fmt(rs.makespan, 4),
+                   Table::fmt(rs.makespan / ra.makespan, 3),
+                   Table::fmt(ra.final_rel_res, 3),
+                   Table::fmt(rs.final_rel_res, 3)});
+  }
+  table.emit(csv);
+  std::cout << "\nReading: the async discipline's makespan advantage grows "
+               "with latency; its achieved residual degrades gracefully as "
+               "reads go stale\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// google-benchmark microbenchmarks for the sparse/smoothing kernels that
+// dominate the solvers' inner loops.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "amg/hierarchy.hpp"
+#include "mesh/problems.hpp"
+#include "smoothers/smoother.hpp"
+#include "sparse/spgemm.hpp"
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace asyncmg {
+namespace {
+
+const CsrMatrix& matrix27(int n) {
+  static std::map<int, CsrMatrix> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, make_laplace_27pt(n).a).first;
+  }
+  return it->second;
+}
+
+void BM_Spmv(benchmark::State& state) {
+  const CsrMatrix& a = matrix27(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  const Vector x = random_vector(static_cast<std::size_t>(a.cols()), rng);
+  Vector y(static_cast<std::size_t>(a.rows()));
+  for (auto _ : state) {
+    a.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Spmv)->Arg(10)->Arg(16)->Arg(24);
+
+void BM_SpmvTranspose(benchmark::State& state) {
+  const CsrMatrix& a = matrix27(static_cast<int>(state.range(0)));
+  Rng rng(2);
+  const Vector x = random_vector(static_cast<std::size_t>(a.rows()), rng);
+  Vector y;
+  for (auto _ : state) {
+    a.spmv_transpose(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpmvTranspose)->Arg(10)->Arg(16);
+
+void BM_Residual(benchmark::State& state) {
+  const CsrMatrix& a = matrix27(static_cast<int>(state.range(0)));
+  Rng rng(3);
+  const Vector x = random_vector(static_cast<std::size_t>(a.cols()), rng);
+  const Vector b = random_vector(static_cast<std::size_t>(a.rows()), rng);
+  Vector r(b.size());
+  for (auto _ : state) {
+    a.residual(b, x, r);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Residual)->Arg(10)->Arg(16);
+
+void BM_SmootherSweep(benchmark::State& state) {
+  const CsrMatrix& a = matrix27(12);
+  SmootherOptions so;
+  so.type = static_cast<SmootherType>(state.range(0));
+  so.num_blocks = 8;
+  const Smoother sm(a, so);
+  Rng rng(4);
+  const Vector b = random_vector(static_cast<std::size_t>(a.rows()), rng);
+  Vector x(b.size(), 0.0);
+  for (auto _ : state) {
+    sm.sweep(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SmootherSweep)
+    ->Arg(static_cast<int>(SmootherType::kWeightedJacobi))
+    ->Arg(static_cast<int>(SmootherType::kL1Jacobi))
+    ->Arg(static_cast<int>(SmootherType::kHybridJGS))
+    ->Arg(static_cast<int>(SmootherType::kAsyncGS));
+
+void BM_SpGemmGalerkin(benchmark::State& state) {
+  Problem prob = make_laplace_27pt(static_cast<Index>(state.range(0)));
+  AmgOptions opts;
+  const CsrMatrix& a = prob.a;
+  const CsrMatrix s = strength_matrix(a, 0.25);
+  Rng rng(5);
+  const Splitting split = coarsen_hmis(s, rng);
+  const CsrMatrix p = interp_classical_modified(a, s, split);
+  for (auto _ : state) {
+    CsrMatrix rap = galerkin_product(a, p);
+    benchmark::DoNotOptimize(rap.nnz());
+  }
+}
+BENCHMARK(BM_SpGemmGalerkin)->Arg(8)->Arg(12);
+
+void BM_HierarchySetup(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Problem prob = make_laplace_27pt(static_cast<Index>(state.range(0)));
+    state.ResumeTiming();
+    Hierarchy h = Hierarchy::build(std::move(prob.a), {});
+    benchmark::DoNotOptimize(h.num_levels());
+  }
+}
+BENCHMARK(BM_HierarchySetup)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace asyncmg
+
+BENCHMARK_MAIN();

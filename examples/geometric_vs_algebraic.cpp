@@ -1,0 +1,76 @@
+// Geometric vs algebraic setup on the same Poisson problem: builds both
+// hierarchies for the 7pt Laplacian, compares setup cost, hierarchy
+// complexity, and V-cycle counts, then runs asynchronous Multadd on each —
+// the solvers are agnostic to where the hierarchy came from.
+
+#include <cstdio>
+
+#include "async/runtime.hpp"
+#include "gmg/gmg.hpp"
+#include "mesh/problems.hpp"
+#include "multigrid/additive.hpp"
+#include "multigrid/mult.hpp"
+#include "sparse/vec.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace asyncmg;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  Index n = static_cast<Index>(cli.get_int("n", 15));
+  if (n % 2 == 0) ++n;  // geometric coarsening needs odd sizes
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 8));
+
+  MgOptions mo;
+  mo.smoother.type = SmootherType::kWeightedJacobi;
+  mo.smoother.omega = 0.9;
+
+  std::printf("7pt Poisson on a %d^3 grid (%d unknowns)\n\n", n, n * n * n);
+
+  // Geometric: trilinear interpolation on the structured grid.
+  Timer t_geo;
+  Problem p1 = make_laplace_7pt(n);
+  Hierarchy geo = build_geometric_hierarchy(std::move(p1.a), n);
+  const MgSetup setup_geo(std::move(geo), mo);
+  const double geo_setup = t_geo.seconds();
+
+  // Algebraic: HMIS + classical modified interpolation.
+  Timer t_amg;
+  Problem p2 = make_laplace_7pt(n);
+  const MgSetup setup_amg(std::move(p2.a), mo);
+  const double amg_setup = t_amg.seconds();
+
+  Rng rng(5);
+  const Vector b =
+      random_vector(static_cast<std::size_t>(setup_geo.a(0).rows()), rng);
+
+  auto report = [&](const char* name, const MgSetup& s, double setup_secs) {
+    Vector x(b.size(), 0.0);
+    MultiplicativeMg mg(s);
+    const SolveStats st = mg.solve(b, x, 100, 1e-9);
+
+    AdditiveOptions ao;
+    ao.kind = AdditiveKind::kMultadd;
+    const AdditiveCorrector corr(s, ao);
+    RuntimeOptions ro;
+    ro.t_max = st.cycles;
+    ro.num_threads = threads;
+    Vector xa(b.size(), 0.0);
+    const RuntimeResult rr = run_shared_memory(corr, b, xa, ro);
+
+    std::printf("%-10s levels=%zu op-cx=%.2f setup=%.3fs | Mult: %d cycles "
+                "to 1e-9 | async Multadd: rel res %.1e after %d corrections\n",
+                name, s.num_levels(), s.hierarchy().operator_complexity(),
+                setup_secs, st.cycles, rr.final_rel_res, st.cycles);
+  };
+
+  report("geometric", setup_geo, geo_setup);
+  report("algebraic", setup_amg, amg_setup);
+
+  std::printf("\nBoth hierarchies drive the identical solver stack; the "
+              "asynchronous runtime never needs to know which setup "
+              "produced the grids.\n");
+  return 0;
+}

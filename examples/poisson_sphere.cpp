@@ -1,0 +1,65 @@
+// Poisson on a sphere: the paper's "MFEM Laplace" scenario. Assembles a
+// trilinear hexahedral FEM discretization of the Laplacian on a
+// sphere-masked grid, builds the AMG hierarchy WITHOUT aggressive
+// coarsening (as in the paper's Figure 5), and compares the smoothers on
+// asynchronous Multadd.
+
+#include <cstdio>
+
+#include "async/runtime.hpp"
+#include "mesh/problems.hpp"
+#include "multigrid/additive.hpp"
+#include "sparse/vec.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace asyncmg;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const Index n = static_cast<Index>(cli.get_int("n", 14));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 8));
+  const int cycles = static_cast<int>(cli.get_int("cycles", 40));
+
+  Problem problem = make_fem_laplace_sphere(n);
+  std::printf("FEM Laplace on a sphere: %s (bounding grid %d^3)\n\n",
+              problem.a.summary().c_str(), n);
+
+  for (SmootherType st :
+       {SmootherType::kWeightedJacobi, SmootherType::kL1Jacobi,
+        SmootherType::kHybridJGS, SmootherType::kAsyncGS,
+        SmootherType::kL1HybridJGS}) {
+    // Rebuild per smoother: Multadd's smoothed interpolants depend on it.
+    Problem p = make_fem_laplace_sphere(n);
+    MgOptions options;
+    options.amg.coarsening = CoarsenAlgo::kHMIS;
+    options.amg.interpolation = InterpAlgo::kClassicalModified;
+    options.amg.num_aggressive_levels = 0;  // Figure 5: no aggressive
+    options.smoother.type = st;
+    options.smoother.omega = 0.5;  // the paper's choice for the MFEM sets
+    const MgSetup setup(std::move(p.a), options);
+
+    Rng rng(7);
+    const Vector b =
+        random_vector(static_cast<std::size_t>(setup.a(0).rows()), rng);
+
+    AdditiveOptions additive;
+    additive.kind = AdditiveKind::kMultadd;
+    const AdditiveCorrector corrector(setup, additive);
+
+    RuntimeOptions run;
+    run.rescomp = ResComp::kLocal;
+    run.write = WritePolicy::kLockWrite;
+    run.t_max = cycles;
+    run.num_threads = threads;
+    Vector x(b.size(), 0.0);
+    const RuntimeResult rr = run_shared_memory(corrector, b, x, run);
+    std::printf("  %-12s async Multadd: rel res %.3e after ~%d corrections"
+                " per grid (%.3f s)\n",
+                smoother_name(st).c_str(), rr.final_rel_res, cycles,
+                rr.seconds);
+  }
+  std::printf("\nAsync GS should reach the lowest residual for the same "
+              "correction budget (paper Table I / Figure 5).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: solve a 3D Poisson problem with asynchronous Multadd in a
+// few lines of the public API.
+//
+//   1. Generate (or load) a sparse SPD system.
+//   2. Run the AMG setup phase (MgSetup) with the smoother of your choice.
+//   3. Wrap an additive method (AdditiveCorrector) around the setup.
+//   4. Solve: sequentially (AdditiveMg), or asynchronously on a thread
+//      pool (run_shared_memory).
+
+#include <cstdio>
+
+#include "async/runtime.hpp"
+#include "mesh/problems.hpp"
+#include "multigrid/additive.hpp"
+#include "multigrid/mult.hpp"
+#include "sparse/vec.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace asyncmg;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const Index n = static_cast<Index>(cli.get_int("n", 16));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 8));
+
+  // 1. A 7-point Laplacian on an n^3 grid with a random right-hand side.
+  Problem problem = make_laplace_7pt(n);
+  std::printf("system: %s, %s\n", problem.name.c_str(),
+              problem.a.summary().c_str());
+  Rng rng(42);
+  const Vector b =
+      random_vector(static_cast<std::size_t>(problem.a.rows()), rng);
+
+  // 2. AMG setup: HMIS coarsening + classical modified interpolation (the
+  //    paper's BoomerAMG configuration), weighted-Jacobi smoothing.
+  MgOptions options;
+  options.amg.coarsening = CoarsenAlgo::kHMIS;
+  options.amg.interpolation = InterpAlgo::kClassicalModified;
+  options.amg.num_aggressive_levels = 1;
+  options.smoother.type = SmootherType::kWeightedJacobi;
+  options.smoother.omega = 0.9;
+  const MgSetup setup(std::move(problem.a), options);
+  std::printf("%s", setup.hierarchy().summary().c_str());
+
+  // 3. Classical multiplicative V(1,1) as the baseline.
+  Vector x_mult(b.size(), 0.0);
+  MultiplicativeMg mult(setup);
+  const SolveStats mult_stats = mult.solve(b, x_mult, 100, 1e-9);
+  std::printf("sync Mult          : %3d V-cycles, rel res %.2e\n",
+              mult_stats.cycles, mult_stats.final_rel_res());
+
+  // 4. Asynchronous Multadd on a shared-memory thread pool: threads are
+  //    partitioned into per-grid teams that never synchronize globally.
+  AdditiveOptions additive;
+  additive.kind = AdditiveKind::kMultadd;
+  const AdditiveCorrector corrector(setup, additive);
+
+  RuntimeOptions run;
+  run.mode = ExecMode::kAsynchronous;
+  run.rescomp = ResComp::kLocal;        // each team recomputes its residual
+  run.write = WritePolicy::kLockWrite;  // semi-async semantics
+  run.t_max = mult_stats.cycles;        // same correction budget
+  run.num_threads = threads;
+  Vector x_async(b.size(), 0.0);
+  const RuntimeResult rr = run_shared_memory(corrector, b, x_async, run);
+  std::printf("async Multadd      : %.1f corrects/grid, rel res %.2e "
+              "(%zu threads, no global synchronization)\n",
+              rr.mean_corrections(), rr.final_rel_res, threads);
+  return 0;
+}

@@ -1,0 +1,276 @@
+#include "amg/coarsen.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "amg/strength.hpp"
+
+namespace asyncmg {
+
+namespace {
+
+enum : std::int8_t { kUndecided = -1, kF = 0, kC = 1 };
+
+/// Neighbor iteration over a CSR pattern row.
+template <typename Fn>
+void for_row(const CsrMatrix& s, Index i, Fn&& fn) {
+  const auto rp = s.row_ptr();
+  const auto ci = s.col_idx();
+  for (Index k = rp[i]; k < rp[i + 1]; ++k) fn(ci[static_cast<std::size_t>(k)]);
+}
+
+}  // namespace
+
+Splitting coarsen_rs_first_pass(const CsrMatrix& s) {
+  const Index n = s.rows();
+  const CsrMatrix st = s.transpose();
+
+  std::vector<std::int8_t> state(static_cast<std::size_t>(n), kUndecided);
+  std::vector<Index> measure(static_cast<std::size_t>(n), 0);
+  for (Index i = 0; i < n; ++i) {
+    measure[static_cast<std::size_t>(i)] = st.row_ptr()[i + 1] - st.row_ptr()[i];
+  }
+
+  // Lazy max-heap of (measure, node); stale entries are skipped on pop.
+  using Entry = std::pair<Index, Index>;
+  std::priority_queue<Entry> heap;
+  Index undecided = 0;
+  for (Index i = 0; i < n; ++i) {
+    const bool isolated =
+        measure[static_cast<std::size_t>(i)] == 0 &&
+        s.row_ptr()[i + 1] == s.row_ptr()[i];
+    if (isolated) {
+      state[static_cast<std::size_t>(i)] = kF;  // no strong couplings at all
+    } else {
+      heap.push({measure[static_cast<std::size_t>(i)], i});
+      ++undecided;
+    }
+  }
+
+  auto bump = [&](Index i) {
+    heap.push({measure[static_cast<std::size_t>(i)], i});
+  };
+
+  while (undecided > 0) {
+    // Pop the highest-measure undecided point.
+    Index i = -1;
+    while (!heap.empty()) {
+      const auto [m, node] = heap.top();
+      heap.pop();
+      if (state[static_cast<std::size_t>(node)] == kUndecided &&
+          m == measure[static_cast<std::size_t>(node)]) {
+        i = node;
+        break;
+      }
+    }
+    if (i < 0) {
+      // All remaining undecided points have stale heap entries only; they
+      // have measure 0 and influence nobody: make them F.
+      for (Index j = 0; j < n; ++j) {
+        if (state[static_cast<std::size_t>(j)] == kUndecided) {
+          state[static_cast<std::size_t>(j)] = kF;
+          --undecided;
+        }
+      }
+      break;
+    }
+
+    state[static_cast<std::size_t>(i)] = kC;
+    --undecided;
+    // Points that strongly depend on the new C point become F; their other
+    // strong influences gain importance.
+    for_row(st, i, [&](Index j) {
+      if (state[static_cast<std::size_t>(j)] != kUndecided) return;
+      state[static_cast<std::size_t>(j)] = kF;
+      --undecided;
+      for_row(s, j, [&](Index k) {
+        if (state[static_cast<std::size_t>(k)] == kUndecided) {
+          ++measure[static_cast<std::size_t>(k)];
+          bump(k);
+        }
+      });
+    });
+    // Strong influences of the new C point become slightly less urgent.
+    for_row(s, i, [&](Index j) {
+      if (state[static_cast<std::size_t>(j)] == kUndecided) {
+        if (measure[static_cast<std::size_t>(j)] > 0) {
+          --measure[static_cast<std::size_t>(j)];
+        }
+        bump(j);
+      }
+    });
+  }
+
+  Splitting split(static_cast<std::size_t>(n), PointType::kFine);
+  for (Index i = 0; i < n; ++i) {
+    if (state[static_cast<std::size_t>(i)] == kC) {
+      split[static_cast<std::size_t>(i)] = PointType::kCoarse;
+    }
+  }
+  return split;
+}
+
+Splitting coarsen_pmis(const CsrMatrix& s, Rng& rng, const Splitting& init) {
+  const Index n = s.rows();
+  const CsrMatrix st = s.transpose();
+
+  std::vector<std::int8_t> state(static_cast<std::size_t>(n), kUndecided);
+  std::vector<double> measure(static_cast<std::size_t>(n), 0.0);
+  for (Index i = 0; i < n; ++i) {
+    const Index infl = st.row_ptr()[i + 1] - st.row_ptr()[i];
+    measure[static_cast<std::size_t>(i)] =
+        static_cast<double>(infl) + rng.next_double();
+  }
+
+  Index undecided = n;
+  auto decide = [&](Index i, std::int8_t what) {
+    state[static_cast<std::size_t>(i)] = what;
+    --undecided;
+  };
+
+  // Seed points forced coarse (HMIS).
+  if (!init.empty()) {
+    if (init.size() != static_cast<std::size_t>(n)) {
+      throw std::invalid_argument("coarsen_pmis: init size mismatch");
+    }
+    for (Index i = 0; i < n; ++i) {
+      if (init[static_cast<std::size_t>(i)] == PointType::kCoarse) {
+        decide(i, kC);
+      }
+    }
+    for (Index i = 0; i < n; ++i) {
+      if (state[static_cast<std::size_t>(i)] != kUndecided) continue;
+      bool dep_on_c = false;
+      for_row(s, i, [&](Index j) {
+        if (state[static_cast<std::size_t>(j)] == kC) dep_on_c = true;
+      });
+      if (dep_on_c) decide(i, kF);
+    }
+  }
+
+  // Isolated points (no strong couplings either way) are F.
+  for (Index i = 0; i < n; ++i) {
+    if (state[static_cast<std::size_t>(i)] != kUndecided) continue;
+    const bool no_dep = s.row_ptr()[i + 1] == s.row_ptr()[i];
+    const bool no_infl = st.row_ptr()[i + 1] == st.row_ptr()[i];
+    if (no_dep && no_infl) decide(i, kF);
+  }
+
+  std::vector<Index> new_c;
+  while (undecided > 0) {
+    new_c.clear();
+    // Local maxima of the measure over undecided symmetrized neighborhoods.
+    for (Index i = 0; i < n; ++i) {
+      if (state[static_cast<std::size_t>(i)] != kUndecided) continue;
+      bool is_max = true;
+      auto check = [&](Index j) {
+        if (!is_max || state[static_cast<std::size_t>(j)] != kUndecided) return;
+        const double mi = measure[static_cast<std::size_t>(i)];
+        const double mj = measure[static_cast<std::size_t>(j)];
+        if (mj > mi || (mj == mi && j < i)) is_max = false;
+      };
+      for_row(s, i, check);
+      for_row(st, i, check);
+      if (is_max) new_c.push_back(i);
+    }
+    if (new_c.empty()) {
+      throw std::runtime_error("coarsen_pmis: stalled (no local maxima)");
+    }
+    for (Index i : new_c) decide(i, kC);
+    // Undecided points strongly depending on a new C point become F.
+    for (Index i : new_c) {
+      for_row(st, i, [&](Index j) {
+        if (state[static_cast<std::size_t>(j)] == kUndecided) decide(j, kF);
+      });
+    }
+  }
+
+  Splitting split(static_cast<std::size_t>(n), PointType::kFine);
+  for (Index i = 0; i < n; ++i) {
+    if (state[static_cast<std::size_t>(i)] == kC) {
+      split[static_cast<std::size_t>(i)] = PointType::kCoarse;
+    }
+  }
+  return split;
+}
+
+Splitting coarsen_hmis(const CsrMatrix& s, Rng& rng) {
+  const Splitting rs = coarsen_rs_first_pass(s);
+  return coarsen_pmis(s, rng, rs);
+}
+
+Splitting coarsen(CoarsenAlgo algo, const CsrMatrix& s, Rng& rng) {
+  switch (algo) {
+    case CoarsenAlgo::kRS:
+      return coarsen_rs_first_pass(s);
+    case CoarsenAlgo::kPMIS:
+      return coarsen_pmis(s, rng);
+    case CoarsenAlgo::kHMIS:
+      return coarsen_hmis(s, rng);
+  }
+  throw std::invalid_argument("unknown coarsening algorithm");
+}
+
+Splitting coarsen_aggressive(CoarsenAlgo algo, const CsrMatrix& s,
+                             const Splitting& first, Rng& rng) {
+  const Index n = s.rows();
+  // Compress the first-stage C points and build their distance-2 strength
+  // subgraph.
+  std::vector<Index> cnum = coarse_numbering(first);
+  const Index nc = count_coarse(first);
+  if (nc == 0) return first;
+  std::vector<Index> cinv(static_cast<std::size_t>(nc));
+  for (Index i = 0; i < n; ++i) {
+    if (cnum[static_cast<std::size_t>(i)] >= 0) {
+      cinv[static_cast<std::size_t>(cnum[static_cast<std::size_t>(i)])] = i;
+    }
+  }
+
+  const CsrMatrix s2 = strength_distance2(s);
+  std::vector<Index> row_ptr(static_cast<std::size_t>(nc) + 1, 0);
+  std::vector<Index> col_idx;
+  std::vector<double> values;
+  for (Index ic = 0; ic < nc; ++ic) {
+    const Index i = cinv[static_cast<std::size_t>(ic)];
+    for_row(s2, i, [&](Index j) {
+      const Index jc = cnum[static_cast<std::size_t>(j)];
+      if (jc >= 0 && jc != ic) {
+        col_idx.push_back(jc);
+        values.push_back(1.0);
+      }
+    });
+    row_ptr[static_cast<std::size_t>(ic) + 1] =
+        static_cast<Index>(col_idx.size());
+  }
+  const CsrMatrix sub = CsrMatrix::from_csr(
+      nc, nc, std::move(row_ptr), std::move(col_idx), std::move(values));
+
+  const Splitting sub_split = coarsen(algo, sub, rng);
+
+  Splitting out(static_cast<std::size_t>(n), PointType::kFine);
+  for (Index ic = 0; ic < nc; ++ic) {
+    if (sub_split[static_cast<std::size_t>(ic)] == PointType::kCoarse) {
+      out[static_cast<std::size_t>(cinv[static_cast<std::size_t>(ic)])] =
+          PointType::kCoarse;
+    }
+  }
+  return out;
+}
+
+Index count_coarse(const Splitting& split) {
+  Index c = 0;
+  for (PointType p : split) c += (p == PointType::kCoarse) ? 1 : 0;
+  return c;
+}
+
+std::vector<Index> coarse_numbering(const Splitting& split) {
+  std::vector<Index> num(split.size(), -1);
+  Index next = 0;
+  for (std::size_t i = 0; i < split.size(); ++i) {
+    if (split[i] == PointType::kCoarse) num[i] = next++;
+  }
+  return num;
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,48 @@
+#pragma once
+// Coarse/fine splitting algorithms: classical Ruge-Stuben first pass, PMIS,
+// and HMIS (RS first pass feeding PMIS), plus a distance-2 "aggressive"
+// second stage. These mirror the BoomerAMG options the paper selects
+// ("HMIS coarsening with one/two aggressive levels").
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+
+namespace asyncmg {
+
+enum class PointType : std::int8_t { kFine = 0, kCoarse = 1 };
+using Splitting = std::vector<PointType>;
+
+enum class CoarsenAlgo { kRS, kPMIS, kHMIS };
+
+/// Classical Ruge-Stuben first pass. Measures are the number of points each
+/// point strongly influences; deterministic given the matrix.
+Splitting coarsen_rs_first_pass(const CsrMatrix& s);
+
+/// PMIS: parallel maximal independent set with randomized tie-breaking.
+/// `init` optionally seeds points as already-coarse (used by HMIS); pass an
+/// empty vector otherwise.
+Splitting coarsen_pmis(const CsrMatrix& s, Rng& rng,
+                       const Splitting& init = {});
+
+/// HMIS: RS first pass, whose C points seed PMIS.
+Splitting coarsen_hmis(const CsrMatrix& s, Rng& rng);
+
+/// Dispatch on the algorithm enum.
+Splitting coarsen(CoarsenAlgo algo, const CsrMatrix& s, Rng& rng);
+
+/// Aggressive coarsening stage: re-coarsens the C points of `first` using
+/// distance-2 strength, demoting most of them to F. Returns the combined
+/// splitting (C set is a subset of first's C set).
+Splitting coarsen_aggressive(CoarsenAlgo algo, const CsrMatrix& s,
+                             const Splitting& first, Rng& rng);
+
+/// Number of coarse points.
+Index count_coarse(const Splitting& split);
+
+/// Coarse-point numbering: result[i] = index of i among C points, or -1.
+std::vector<Index> coarse_numbering(const Splitting& split);
+
+}  // namespace asyncmg

@@ -1,0 +1,124 @@
+#include "amg/hierarchy.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sparse/spgemm.hpp"
+
+namespace asyncmg {
+
+Hierarchy Hierarchy::build(CsrMatrix a_fine, const AmgOptions& opts) {
+  Hierarchy h;
+  Rng rng(opts.seed);
+  h.levels_.push_back(AmgLevel{std::move(a_fine), {}, {}});
+
+  // Per-dof function map for unknown-based AMG; carried to coarse levels
+  // (a C point keeps its fine-level component).
+  std::vector<int> funcs;
+  if (opts.num_functions > 1) {
+    funcs.resize(static_cast<std::size_t>(h.levels_.back().a.rows()));
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+      funcs[i] =
+          static_cast<int>(i % static_cast<std::size_t>(opts.num_functions));
+    }
+  }
+
+  for (Index lvl = 0; lvl + 1 < opts.max_levels; ++lvl) {
+    const CsrMatrix& a = h.levels_.back().a;
+    const Index n = a.rows();
+    if (n <= opts.coarse_size) break;
+
+    const CsrMatrix s = strength_matrix_mapped(a, opts.strength_theta,
+                                               opts.strength_norm, funcs);
+    Splitting split = coarsen(opts.coarsening, s, rng);
+    const bool aggressive = lvl < static_cast<Index>(opts.num_aggressive_levels);
+    if (aggressive) split = coarsen_aggressive(opts.coarsening, s, split, rng);
+
+    const Index nc = count_coarse(split);
+    if (nc == 0 || nc >= n ||
+        static_cast<double>(nc) >
+            opts.max_coarsen_ratio * static_cast<double>(n)) {
+      break;  // coarsening stalled; keep current coarsest level
+    }
+
+    // Aggressive coarsening leaves F points without strong C neighbors, so
+    // it always pairs with multipass interpolation (as in BoomerAMG).
+    const InterpAlgo interp_algo =
+        aggressive ? InterpAlgo::kMultipass : opts.interpolation;
+    CsrMatrix p = build_interpolation(interp_algo, a, s, split);
+    p = truncate_interpolation(p, opts.trunc_factor);
+
+    CsrMatrix ac = galerkin_product(a, p);
+
+    if (!funcs.empty()) {
+      std::vector<int> coarse_funcs;
+      coarse_funcs.reserve(static_cast<std::size_t>(nc));
+      for (std::size_t i = 0; i < split.size(); ++i) {
+        if (split[i] == PointType::kCoarse) coarse_funcs.push_back(funcs[i]);
+      }
+      funcs = std::move(coarse_funcs);
+    }
+
+    h.levels_.back().p = std::move(p);
+    h.levels_.back().split = std::move(split);
+    h.levels_.push_back(AmgLevel{std::move(ac), {}, {}});
+  }
+  return h;
+}
+
+Hierarchy Hierarchy::from_levels(std::vector<AmgLevel> levels) {
+  if (levels.empty()) {
+    throw std::invalid_argument("from_levels: need at least one level");
+  }
+  for (std::size_t k = 0; k < levels.size(); ++k) {
+    const bool coarsest = k + 1 == levels.size();
+    if (levels[k].a.rows() != levels[k].a.cols()) {
+      throw std::invalid_argument("from_levels: non-square operator");
+    }
+    if (coarsest) {
+      if (levels[k].p.rows() != 0) {
+        throw std::invalid_argument(
+            "from_levels: coarsest level must have no interpolation");
+      }
+    } else {
+      if (levels[k].p.rows() != levels[k].a.rows() ||
+          levels[k].p.cols() != levels[k + 1].a.rows()) {
+        throw std::invalid_argument(
+            "from_levels: interpolation shape mismatch at level " +
+            std::to_string(k));
+      }
+    }
+  }
+  Hierarchy h;
+  h.levels_ = std::move(levels);
+  return h;
+}
+
+double Hierarchy::operator_complexity() const {
+  double total = 0.0;
+  for (const auto& l : levels_) total += static_cast<double>(l.a.nnz());
+  return total / static_cast<double>(levels_.front().a.nnz());
+}
+
+double Hierarchy::grid_complexity() const {
+  double total = 0.0;
+  for (const auto& l : levels_) total += static_cast<double>(l.a.rows());
+  return total / static_cast<double>(levels_.front().a.rows());
+}
+
+std::string Hierarchy::summary() const {
+  std::ostringstream os;
+  os << "AMG hierarchy: " << levels_.size() << " levels\n";
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    os << "  level " << k << ": " << levels_[k].a.summary();
+    if (levels_[k].p.rows() > 0) {
+      os << "  (P: " << levels_[k].p.summary() << ")";
+    }
+    os << '\n';
+  }
+  os << "  operator complexity " << operator_complexity()
+     << ", grid complexity " << grid_complexity() << '\n';
+  return os.str();
+}
+
+}  // namespace asyncmg

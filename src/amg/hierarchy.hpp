@@ -1,0 +1,78 @@
+#pragma once
+// AMG setup phase: builds the grid hierarchy (A_k, P_{k+1}^k) from a fine
+// matrix, mirroring the BoomerAMG options the paper uses (HMIS coarsening,
+// aggressive coarsening on the finest level(s), classical modified
+// interpolation, Galerkin coarse operators).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "amg/coarsen.hpp"
+#include "amg/interp.hpp"
+#include "amg/strength.hpp"
+#include "sparse/csr.hpp"
+
+namespace asyncmg {
+
+struct AmgOptions {
+  double strength_theta = 0.25;
+  StrengthNorm strength_norm = StrengthNorm::kNegative;
+  /// Unknown-based AMG for interleaved PDE systems (BoomerAMG's
+  /// num_functions): strength ignores couplings between different
+  /// components. Applied on the finest level only (coarse dofs lose the
+  /// component structure under C-point renumbering).
+  int num_functions = 1;
+  CoarsenAlgo coarsening = CoarsenAlgo::kHMIS;
+  InterpAlgo interpolation = InterpAlgo::kClassicalModified;
+  /// Aggressive (distance-2) coarsening is applied on this many of the
+  /// finest levels, with multipass interpolation (as in BoomerAMG).
+  int num_aggressive_levels = 0;
+  /// Interpolation truncation threshold (relative to the row max).
+  double trunc_factor = 0.2;
+  Index max_levels = 25;
+  /// Stop coarsening when a grid has at most this many rows.
+  Index coarse_size = 64;
+  /// Stop when coarsening stalls (nc/n above this ratio).
+  double max_coarsen_ratio = 0.9;
+  std::uint64_t seed = 42;
+};
+
+/// One level of the hierarchy. `p` interpolates from level k+1 to level k
+/// and is absent (empty) on the coarsest level.
+struct AmgLevel {
+  CsrMatrix a;
+  CsrMatrix p;
+  Splitting split;
+};
+
+class Hierarchy {
+ public:
+  /// Runs the full setup phase.
+  static Hierarchy build(CsrMatrix a_fine, const AmgOptions& opts = {});
+
+  /// Assembles a hierarchy from explicit levels (geometric builders,
+  /// deserialization). Validates the chain: level k's interpolation must
+  /// map level k+1's rows to level k's, and the coarsest level must have
+  /// no interpolation.
+  static Hierarchy from_levels(std::vector<AmgLevel> levels);
+
+  std::size_t num_levels() const { return levels_.size(); }
+  const AmgLevel& level(std::size_t k) const { return levels_[k]; }
+  AmgLevel& level(std::size_t k) { return levels_[k]; }
+  const CsrMatrix& matrix(std::size_t k) const { return levels_[k].a; }
+  const CsrMatrix& interpolation(std::size_t k) const { return levels_[k].p; }
+
+  /// Sum of nnz(A_k) over all levels divided by nnz(A_0).
+  double operator_complexity() const;
+  /// Sum of rows(A_k) over all levels divided by rows(A_0).
+  double grid_complexity() const;
+
+  /// Multi-line human-readable summary of the hierarchy.
+  std::string summary() const;
+
+ private:
+  std::vector<AmgLevel> levels_;
+};
+
+}  // namespace asyncmg

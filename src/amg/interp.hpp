@@ -1,0 +1,41 @@
+#pragma once
+// Interpolation (prolongation) operators for classical AMG: direct,
+// classical "modified" (Ruge-Stuben with lumping of strong F-F connections
+// lacking a common C point), and multipass (for aggressive coarsening).
+// These mirror the BoomerAMG interpolation options used in the paper.
+
+#include "amg/coarsen.hpp"
+#include "sparse/csr.hpp"
+
+namespace asyncmg {
+
+enum class InterpAlgo { kDirect, kClassicalModified, kMultipass };
+
+/// Direct interpolation: F-point rows distribute the full row sum over the
+/// strong C neighbors, with positive/negative parts treated separately
+/// (hypre's scheme). C-point rows are identity.
+CsrMatrix interp_direct(const CsrMatrix& a, const CsrMatrix& s,
+                        const Splitting& split);
+
+/// Classical modified interpolation: strong F-F connections are distributed
+/// through common strong C points; when an F neighbor shares no C point with
+/// the row, its coefficient is lumped into the diagonal ("modified").
+CsrMatrix interp_classical_modified(const CsrMatrix& a, const CsrMatrix& s,
+                                    const Splitting& split);
+
+/// Multipass interpolation: C points first, then F points with strong C
+/// neighbors (direct), then remaining F points through already-interpolated
+/// strong neighbors, pass by pass. Required after aggressive coarsening,
+/// where many F points have no direct strong C neighbor.
+CsrMatrix interp_multipass(const CsrMatrix& a, const CsrMatrix& s,
+                           const Splitting& split);
+
+CsrMatrix build_interpolation(InterpAlgo algo, const CsrMatrix& a,
+                              const CsrMatrix& s, const Splitting& split);
+
+/// Truncates interpolation rows: drops entries below `trunc * max|row|` and
+/// rescales the survivors to preserve the row sum (positive and negative
+/// parts rescaled separately). trunc <= 0 is a no-op.
+CsrMatrix truncate_interpolation(const CsrMatrix& p, double trunc);
+
+}  // namespace asyncmg

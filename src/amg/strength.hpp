@@ -1,0 +1,40 @@
+#pragma once
+// Classical strength-of-connection for algebraic multigrid.
+//
+// Point i *strongly depends* on j (j strongly influences i) when
+//   -a_ij >= theta * max_{k != i} (-a_ik)            (kNegative), or
+//   |a_ij| >= theta * max_{k != i} |a_ik|            (kAbsolute).
+// The negative variant is the classical Ruge-Stuben choice for M-matrices;
+// the absolute variant is more robust for FEM systems with positive
+// off-diagonals (our elasticity set).
+
+#include "sparse/csr.hpp"
+
+namespace asyncmg {
+
+enum class StrengthNorm { kNegative, kAbsolute };
+
+/// Strength matrix S: S(i,j) = 1 iff i strongly depends on j (j != i).
+/// Shape of A; values are all 1.0, pattern only.
+///
+/// `num_functions` enables unknown-based AMG for systems of PDEs with
+/// interleaved components (dof = num_functions*node + component): only
+/// couplings between same-component dofs are considered, which is how
+/// BoomerAMG treats elasticity (num_functions = 3).
+CsrMatrix strength_matrix(const CsrMatrix& a, double theta,
+                          StrengthNorm norm = StrengthNorm::kNegative,
+                          int num_functions = 1);
+
+/// Variant with an explicit per-dof function map (used on coarse levels,
+/// where C-point renumbering destroys the interleaving). Empty map means
+/// scalar behaviour.
+CsrMatrix strength_matrix_mapped(const CsrMatrix& a, double theta,
+                                 StrengthNorm norm,
+                                 const std::vector<int>& function_map);
+
+/// Distance-2 strength pattern S2 = pattern(S + S*S) with zero diagonal;
+/// used by aggressive coarsening (a point is distance-2 strongly connected
+/// to another if a strong path of length <= 2 joins them).
+CsrMatrix strength_distance2(const CsrMatrix& s);
+
+}  // namespace asyncmg

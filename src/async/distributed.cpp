@@ -1,0 +1,177 @@
+#include "async/distributed.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace asyncmg {
+
+double DistributedResult::mean_corrections() const {
+  if (corrections.empty()) return 0.0;
+  double s = 0.0;
+  for (int c : corrections) s += c;
+  return s / static_cast<double>(corrections.size());
+}
+
+namespace {
+
+/// A committed correction whose residual effect (A c) is still in flight
+/// to some grids.
+struct InFlight {
+  Vector a_c;                       // A * correction, fine grid
+  std::vector<double> visible_at;   // per destination grid
+};
+
+/// Per-grid compute cost of one correction (same accounting as the
+/// perfmodel): chain transport + smoothing + fine-grid write.
+std::vector<double> correction_flops(const AdditiveCorrector& corr) {
+  return corr.work();
+}
+
+double sample_latency(Rng& rng, double mean) {
+  return mean * rng.uniform(0.5, 1.5);
+}
+
+}  // namespace
+
+DistributedResult simulate_distributed_async(const AdditiveCorrector& corr,
+                                             const Vector& b, Vector& x,
+                                             const DistributedOptions& opts) {
+  if (opts.t_max < 1) throw std::invalid_argument("t_max must be >= 1");
+  const MgSetup& s = corr.setup();
+  const CsrMatrix& a = s.a(0);
+  const std::size_t grids = corr.num_grids();
+  const std::size_t n = b.size();
+  Rng rng(opts.seed);
+
+  // Process speeds (one process group per grid).
+  std::vector<double> speed(grids);
+  for (double& v : speed) v = 1.0 - opts.heterogeneity * rng.next_double();
+  const std::vector<double> flops = correction_flops(corr);
+
+  // True residual, kept exact under commits.
+  Vector r_true;
+  a.residual(b, x, r_true);
+
+  std::vector<InFlight> in_flight;
+
+  DistributedResult result;
+  result.corrections.assign(grids, 0);
+
+  // Event queue: (completion time, grid). Every grid starts a correction
+  // at t = 0 from the initial residual.
+  using Ev = std::pair<double, std::size_t>;
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> events;
+
+  // Pending correction payloads: the correction vector each grid is
+  // currently computing (captured from its residual view at start time).
+  std::vector<Vector> pending(grids);
+  Vector view(n);
+
+  auto grid_view = [&](std::size_t k, double now, Vector& out) {
+    // out = r_true + sum of in-flight A*c not yet visible to grid k
+    // (those corrections are already subtracted from r_true but grid k
+    // has not heard about them).
+    out = r_true;
+    for (const InFlight& f : in_flight) {
+      if (f.visible_at[k] > now) axpy(1.0, f.a_c, out);
+    }
+  };
+
+  auto start_correction = [&](std::size_t k, double now) {
+    grid_view(k, now, view);
+    corr.correction(k, view, pending[k]);
+    const double jitter = 1.0 - opts.jitter * rng.next_double();
+    const double dur =
+        flops[k] / (opts.flops_per_second * speed[k] * jitter);
+    events.push({now + dur, k});
+  };
+
+  for (std::size_t k = 0; k < grids; ++k) start_correction(k, 0.0);
+
+  double makespan = 0.0;
+  std::size_t done = 0;
+  while (!events.empty()) {
+    const auto [now, k] = events.top();
+    events.pop();
+    makespan = std::max(makespan, now);
+
+    // Commit: x += c globally; residual effect propagates with latency.
+    axpy(1.0, pending[k], x);
+    InFlight f;
+    a.spmv(pending[k], f.a_c);
+    axpy(-1.0, f.a_c, r_true);
+    f.visible_at.assign(grids, now);
+    for (std::size_t j = 0; j < grids; ++j) {
+      if (j != k) f.visible_at[j] = now + sample_latency(rng, opts.latency);
+    }
+    in_flight.push_back(std::move(f));
+
+    // Garbage-collect corrections visible everywhere.
+    std::erase_if(in_flight, [&](const InFlight& g) {
+      return std::all_of(g.visible_at.begin(), g.visible_at.end(),
+                         [&](double t) { return t <= now; });
+    });
+
+    if (++result.corrections[k] < opts.t_max) {
+      start_correction(k, now);
+    } else {
+      ++done;
+    }
+  }
+  (void)done;
+
+  result.makespan = makespan;
+  Vector r;
+  a.residual(b, x, r);
+  const double bnorm = norm2(b);
+  result.final_rel_res = norm2(r) * (bnorm > 0.0 ? 1.0 / bnorm : 1.0);
+  return result;
+}
+
+DistributedResult simulate_distributed_sync(const AdditiveCorrector& corr,
+                                            const Vector& b, Vector& x,
+                                            const DistributedOptions& opts) {
+  if (opts.t_max < 1) throw std::invalid_argument("t_max must be >= 1");
+  const MgSetup& s = corr.setup();
+  const CsrMatrix& a = s.a(0);
+  const std::size_t grids = corr.num_grids();
+  Rng rng(opts.seed);
+
+  std::vector<double> speed(grids);
+  for (double& v : speed) v = 1.0 - opts.heterogeneity * rng.next_double();
+  const std::vector<double> flops = correction_flops(corr);
+
+  DistributedResult result;
+  result.corrections.assign(grids, opts.t_max);
+
+  Vector r, c;
+  double clock = 0.0;
+  for (int t = 0; t < opts.t_max; ++t) {
+    // All grids read the same residual (computed after the barrier).
+    a.residual(b, x, r);
+    double slowest = 0.0;
+    for (std::size_t k = 0; k < grids; ++k) {
+      corr.correction(k, r, c);
+      axpy(1.0, c, x);
+      const double jitter = 1.0 - opts.jitter * rng.next_double();
+      slowest = std::max(
+          slowest, flops[k] / (opts.flops_per_second * speed[k] * jitter));
+    }
+    // The cycle ends when the slowest grid finishes, plus an all-reduce
+    // style barrier whose cost includes one message round trip.
+    clock += slowest + opts.barrier_cost +
+             2.0 * sample_latency(rng, opts.latency);
+  }
+
+  result.makespan = clock;
+  a.residual(b, x, r);
+  const double bnorm = norm2(b);
+  result.final_rel_res = norm2(r) * (bnorm > 0.0 ? 1.0 / bnorm : 1.0);
+  return result;
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,177 @@
+#include "async/model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace asyncmg {
+
+std::string async_model_name(AsyncModelKind k) {
+  switch (k) {
+    case AsyncModelKind::kSemiAsync:
+      return "semi-async";
+    case AsyncModelKind::kFullAsyncSolution:
+      return "full-async-solution";
+    case AsyncModelKind::kFullAsyncResidual:
+      return "full-async-residual";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Ring buffer of the last (delta+1) state snapshots, indexed by absolute
+/// time instant.
+class History {
+ public:
+  History(int depth, const Vector& initial) : depth_(depth) {
+    snapshots_.assign(static_cast<std::size_t>(depth), initial);
+  }
+
+  /// Snapshot of instant `t` (caller guarantees t is within the window).
+  const Vector& at(int t) const {
+    return snapshots_[static_cast<std::size_t>(t % depth_)];
+  }
+
+  /// Record the state of instant `t`.
+  void push(int t, const Vector& state) {
+    snapshots_[static_cast<std::size_t>(t % depth_)] = state;
+  }
+
+ private:
+  int depth_;
+  std::vector<Vector> snapshots_;
+};
+
+/// Uniform integer sample from [lo, t] (collapses to t when lo >= t).
+/// The inclusive lower bound realizes the paper's definition of delta as
+/// the *maximum* of t - z_k(t): with lo = max(z_old, t - delta) a read can
+/// be delta instants old, and re-reading the last-read instant is allowed.
+int sample_instant(Rng& rng, int lo, int t) {
+  if (lo >= t) return t;
+  return static_cast<int>(rng.uniform_int(lo, t));
+}
+
+}  // namespace
+
+AsyncModelResult run_async_model(const AdditiveCorrector& corrector,
+                                 const Vector& b, Vector& x,
+                                 const AsyncModelOptions& opts) {
+  if (opts.alpha <= 0.0 || opts.alpha > 1.0) {
+    throw std::invalid_argument("alpha must be in (0, 1]");
+  }
+  if (opts.max_delay < 0) throw std::invalid_argument("max_delay must be >= 0");
+
+  const MgSetup& s = corrector.setup();
+  const CsrMatrix& a = s.a(0);
+  const std::size_t n = b.size();
+  const std::size_t grids = corrector.num_grids();
+  const int delta = opts.max_delay;
+  const bool residual_based = opts.kind == AsyncModelKind::kFullAsyncResidual;
+  const bool per_component = opts.kind != AsyncModelKind::kSemiAsync;
+
+  Rng rng(opts.seed);
+
+  AsyncModelResult result;
+  result.probabilities.resize(grids);
+  for (double& p : result.probabilities) p = rng.uniform(opts.alpha, 1.0);
+
+  // State being iterated (x for the solution-based models, r for the
+  // residual-based model) and its history window.
+  Vector state;
+  if (residual_based) {
+    a.residual(b, x, state);
+  } else {
+    state = x;
+  }
+  History hist(delta + 1, state);
+
+  // Read-instant bookkeeping (assumption 1 of Section III: reads are
+  // monotone in time).
+  std::vector<int> last_z(grids, 0);                 // semi-async
+  std::vector<std::vector<int>> last_z_comp;         // full-async
+  if (per_component) {
+    last_z_comp.assign(grids, std::vector<int>(n, 0));
+  }
+
+  std::vector<int> updates(grids, 0);
+  std::size_t grids_done = 0;
+
+  Vector read_state(n), r_read(n), correction, total(n);
+  const double bnorm = norm2(b);
+  const double scale = bnorm > 0.0 ? 1.0 / bnorm : 1.0;
+
+  int t = 0;
+  while (grids_done < grids) {
+    fill(total, 0.0);
+    bool any = false;
+    for (std::size_t k = 0; k < grids; ++k) {
+      if (updates[k] >= opts.updates_per_grid) continue;
+      if (!rng.bernoulli(result.probabilities[k])) continue;
+
+      // Assemble this grid's read of the state.
+      if (per_component) {
+        auto& zk = last_z_comp[k];
+        for (std::size_t i = 0; i < n; ++i) {
+          const int lo = std::max(zk[i], t - delta);
+          const int z = sample_instant(rng, lo, t);
+          zk[i] = z;
+          read_state[i] = hist.at(z)[i];
+        }
+      } else {
+        const int lo = std::max(last_z[k], t - delta);
+        const int z = sample_instant(rng, lo, t);
+        last_z[k] = z;
+        read_state = hist.at(z);
+      }
+
+      // B_k / C_k: the grid's fine-level correction from its read.
+      if (residual_based) {
+        corrector.correction(k, read_state, correction);
+      } else {
+        a.residual(b, read_state, r_read);
+        corrector.correction(k, r_read, correction);
+      }
+      axpy(1.0, correction, total);
+      any = true;
+      if (++updates[k] == opts.updates_per_grid) ++grids_done;
+    }
+
+    ++t;
+    if (any) {
+      // Apply the joint update of this time instant.
+      axpy(1.0, total, x);
+      if (residual_based) {
+        Vector atotal;
+        a.spmv(total, atotal);
+        axpy(-1.0, atotal, state);
+      } else {
+        state = x;
+      }
+    }
+    hist.push(t, state);
+    if (opts.record_history) {
+      if (residual_based) {
+        result.rel_res_history.push_back(norm2(state) * scale);
+      } else {
+        Vector r;
+        a.residual(b, x, r);
+        result.rel_res_history.push_back(norm2(r) * scale);
+      }
+    }
+  }
+
+  result.time_instants = t;
+  if (residual_based) {
+    result.final_rel_res = norm2(state) * scale;
+  } else {
+    Vector r;
+    a.residual(b, x, r);
+    result.final_rel_res = norm2(r) * scale;
+  }
+  return result;
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,67 @@
+#pragma once
+// Sequential simulators of the paper's asynchronous multigrid models
+// (Section III):
+//
+//   semi-async            Eq. (6): every grid's read of x is a consistent
+//                         snapshot from one past time instant.
+//   full-async, solution  Eq. (7): each *component* of x is read from its
+//                         own past time instant.
+//   full-async, residual  Eq. (10): the iteration is carried on the
+//                         residual, with per-component read instants.
+//
+// Randomness follows Section III exactly: grid k joins Psi(t) with a
+// pre-drawn probability p_k ~ U[alpha, 1]; read instants are sampled
+// uniformly from (max(z_k(tau_k), t - delta), t]. (The paper prints `min`
+// in that range, but its stated assumption "a grid cannot read older
+// information than what has already been read" requires `max`; see
+// DESIGN.md.) Each grid stops after `updates_per_grid` updates and the
+// simulation ends when every grid is done. delta = 0 makes every read
+// current, which with one grid per instant recovers the synchronous method.
+
+#include <cstdint>
+
+#include "multigrid/additive.hpp"
+#include "multigrid/solve_stats.hpp"
+
+namespace asyncmg {
+
+enum class AsyncModelKind {
+  kSemiAsync,          // Eq. 6 (solution- and residual-based coincide)
+  kFullAsyncSolution,  // Eq. 7
+  kFullAsyncResidual,  // Eq. 10
+};
+
+std::string async_model_name(AsyncModelKind k);
+
+struct AsyncModelOptions {
+  AsyncModelKind kind = AsyncModelKind::kSemiAsync;
+  /// Minimum update probability alpha in (0, 1]; p_k ~ U[alpha, 1].
+  double alpha = 1.0;
+  /// Maximum read delay delta >= 0.
+  int max_delay = 0;
+  /// Each grid performs exactly this many corrections ("20 V-cycles").
+  int updates_per_grid = 20;
+  /// Record ||b - Ax||/||b|| after every time instant (costs one SpMV per
+  /// instant; off by default).
+  bool record_history = false;
+  std::uint64_t seed = 1;
+};
+
+struct AsyncModelResult {
+  /// ||b - A x|| / ||b|| at the end of the simulation.
+  double final_rel_res = 1.0;
+  /// Time instants elapsed until every grid finished.
+  int time_instants = 0;
+  /// Per-grid update probabilities that were drawn.
+  std::vector<double> probabilities;
+  /// Relative residual after each time instant (for plotting trajectories).
+  std::vector<double> rel_res_history;
+};
+
+/// Runs one simulated asynchronous solve of A x = b with the additive
+/// method wrapped by `corrector`. `x` is updated in place.
+AsyncModelResult run_async_model(const AdditiveCorrector& corrector,
+                                 const Vector& b, Vector& x,
+                                 const AsyncModelOptions& opts);
+
+}  // namespace asyncmg

@@ -1,0 +1,105 @@
+#include "gmg/gmg.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "mesh/grid3d.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace asyncmg {
+
+namespace {
+
+/// Per-axis trilinear weights of fine coordinate i (0-based, interior
+/// Dirichlet grid of n points with mesh width h): coarse points sit at the
+/// odd fine coordinates (2j+1 <-> coarse j), boundaries are homogeneous.
+struct AxisWeights {
+  Index idx[2];
+  double w[2];
+  int count = 0;
+};
+
+AxisWeights axis_weights(Index i, Index nc) {
+  AxisWeights a;
+  if (i % 2 == 1) {
+    a.idx[0] = (i - 1) / 2;
+    a.w[0] = 1.0;
+    a.count = 1;
+    return a;
+  }
+  // Even coordinate: midpoint between coarse i/2 - 1 and i/2 (either may
+  // fall on the zero boundary and is then dropped).
+  const Index left = i / 2 - 1;
+  const Index right = i / 2;
+  if (left >= 0) {
+    a.idx[a.count] = left;
+    a.w[a.count] = 0.5;
+    ++a.count;
+  }
+  if (right < nc) {
+    a.idx[a.count] = right;
+    a.w[a.count] = 0.5;
+    ++a.count;
+  }
+  return a;
+}
+
+}  // namespace
+
+Index gmg_coarse_axis(Index n_fine) { return (n_fine - 1) / 2; }
+
+CsrMatrix gmg_trilinear_interpolation(Index n) {
+  if (n < 3 || n % 2 == 0) {
+    throw std::invalid_argument(
+        "gmg_trilinear_interpolation: need odd n >= 3");
+  }
+  const Index nc = gmg_coarse_axis(n);
+  const Grid3D fine{n, n, n};
+  const Grid3D coarse{nc, nc, nc};
+
+  std::vector<Triplet> trips;
+  trips.reserve(static_cast<std::size_t>(fine.size()) * 8);
+  for (Index k = 0; k < n; ++k) {
+    const AxisWeights wz = axis_weights(k, nc);
+    for (Index j = 0; j < n; ++j) {
+      const AxisWeights wy = axis_weights(j, nc);
+      for (Index i = 0; i < n; ++i) {
+        const AxisWeights wx = axis_weights(i, nc);
+        const Index row = fine.id(i, j, k);
+        for (int a = 0; a < wz.count; ++a) {
+          for (int b = 0; b < wy.count; ++b) {
+            for (int c = 0; c < wx.count; ++c) {
+              trips.push_back(
+                  {row, coarse.id(wx.idx[c], wy.idx[b], wz.idx[a]),
+                   wx.w[c] * wy.w[b] * wz.w[a]});
+            }
+          }
+        }
+      }
+    }
+  }
+  return CsrMatrix::from_triplets(fine.size(), coarse.size(),
+                                  std::move(trips));
+}
+
+Hierarchy build_geometric_hierarchy(CsrMatrix a_fine, Index n,
+                                    const GmgOptions& opts) {
+  if (a_fine.rows() != n * n * n) {
+    throw std::invalid_argument(
+        "build_geometric_hierarchy: operator size != n^3");
+  }
+  std::vector<AmgLevel> levels;
+  levels.push_back(AmgLevel{std::move(a_fine), {}, {}});
+  Index axis = n;
+  for (Index lvl = 0; lvl + 1 < opts.max_levels; ++lvl) {
+    if (axis < 2 * opts.min_points_per_axis + 1 || axis % 2 == 0) break;
+    CsrMatrix p = gmg_trilinear_interpolation(axis);
+    CsrMatrix ac = galerkin_product(levels.back().a, p);
+    levels.back().p = std::move(p);
+    levels.push_back(AmgLevel{std::move(ac), {}, {}});
+    axis = gmg_coarse_axis(axis);
+  }
+  return Hierarchy::from_levels(std::move(levels));
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,40 @@
+#pragma once
+// Geometric multigrid setup for structured 3D grids — the classical
+// alternative to the algebraic setup phase, and the natural setting for
+// the paper's 7pt/27pt test sets (AFACx itself originates from geometric
+// composite-grid methods).
+//
+// Coarsening is by factor 2 in every direction on the vertex grid of an
+// n^3 Dirichlet problem with n odd-friendly sizes: coarse points are the
+// fine points with all-odd (1-based) coordinates, i.e. every second point
+// per axis; interpolation is trilinear. Coarse operators are Galerkin
+// (P^T A P), so the resulting Hierarchy drops into MgSetup and every
+// solver in the library (Mult, Multadd, AFACx, the async runtime, the
+// models) without changes.
+
+#include "amg/hierarchy.hpp"
+#include "sparse/csr.hpp"
+
+namespace asyncmg {
+
+struct GmgOptions {
+  /// Stop when a grid has at most this many points per axis.
+  Index min_points_per_axis = 3;
+  Index max_levels = 25;
+};
+
+/// Trilinear interpolation from the coarse vertex grid ((n-1)/2 points per
+/// axis) to the fine n^3 grid. Requires n odd and n >= 3.
+CsrMatrix gmg_trilinear_interpolation(Index n_fine);
+
+/// Number of coarse points per axis for a fine grid of n points per axis.
+Index gmg_coarse_axis(Index n_fine);
+
+/// Builds a geometric hierarchy for an operator living on an n x n x n
+/// vertex grid (lexicographic order, x fastest), e.g. make_laplace_7pt(n)
+/// or make_laplace_27pt(n) with odd n. Coarse operators are Galerkin
+/// products through trilinear interpolation.
+Hierarchy build_geometric_hierarchy(CsrMatrix a_fine, Index n,
+                                    const GmgOptions& opts = {});
+
+}  // namespace asyncmg

@@ -1,0 +1,197 @@
+// FEM problem generators substituting the paper's MFEM test sets:
+// Laplace on a sphere (hex8 on a sphere-masked grid) and multi-material
+// cantilever-beam linear elasticity.
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "mesh/grid3d.hpp"
+#include "mesh/hex8.hpp"
+#include "mesh/problems.hpp"
+
+namespace asyncmg {
+
+Problem make_fem_laplace_sphere(Index n) {
+  if (n < 4) throw std::invalid_argument("sphere mesh needs n >= 4");
+  // Node grid spans [-1,1]^3; elements whose center lies inside the unit
+  // sphere are kept.
+  const Grid3D nodes{n, n, n};
+  const Index ne = n - 1;  // elements per axis
+  const Grid3D elems{ne, ne, ne};
+  const double h = 2.0 / static_cast<double>(n - 1);
+
+  std::vector<char> kept(static_cast<std::size_t>(elems.size()), 0);
+  for (Index k = 0; k < ne; ++k) {
+    for (Index j = 0; j < ne; ++j) {
+      for (Index i = 0; i < ne; ++i) {
+        const double cx = -1.0 + h * (static_cast<double>(i) + 0.5);
+        const double cy = -1.0 + h * (static_cast<double>(j) + 0.5);
+        const double cz = -1.0 + h * (static_cast<double>(k) + 0.5);
+        if (cx * cx + cy * cy + cz * cz <= 1.0) {
+          kept[static_cast<std::size_t>(elems.id(i, j, k))] = 1;
+        }
+      }
+    }
+  }
+
+  // Count kept elements touching each node; interior nodes touch all 8.
+  std::vector<std::uint8_t> touch(static_cast<std::size_t>(nodes.size()), 0);
+  auto for_each_elem_node = [&](Index ei, Index ej, Index ek, auto&& fn) {
+    for (Index dk = 0; dk <= 1; ++dk) {
+      for (Index dj = 0; dj <= 1; ++dj) {
+        for (Index di = 0; di <= 1; ++di) {
+          fn(nodes.id(ei + di, ej + dj, ek + dk));
+        }
+      }
+    }
+  };
+  for (Index k = 0; k < ne; ++k) {
+    for (Index j = 0; j < ne; ++j) {
+      for (Index i = 0; i < ne; ++i) {
+        if (!kept[static_cast<std::size_t>(elems.id(i, j, k))]) continue;
+        for_each_elem_node(i, j, k,
+                           [&](Index nid) { ++touch[static_cast<std::size_t>(nid)]; });
+      }
+    }
+  }
+
+  // Free dofs: nodes fully surrounded by kept elements (touch == 8). All
+  // other touched nodes sit on the curved surface -> homogeneous Dirichlet.
+  std::vector<Index> dof(static_cast<std::size_t>(nodes.size()), -1);
+  Index ndof = 0;
+  for (Index nid = 0; nid < nodes.size(); ++nid) {
+    if (touch[static_cast<std::size_t>(nid)] == 8) {
+      dof[static_cast<std::size_t>(nid)] = ndof++;
+    }
+  }
+  if (ndof == 0) throw std::runtime_error("sphere mesh produced no free dofs");
+
+  const auto ke = hex8_laplace_stiffness(h, h, h, 1.0);
+  std::vector<Triplet> trips;
+  trips.reserve(static_cast<std::size_t>(ndof) * 27);
+  Index enodes[8];
+  for (Index k = 0; k < ne; ++k) {
+    for (Index j = 0; j < ne; ++j) {
+      for (Index i = 0; i < ne; ++i) {
+        if (!kept[static_cast<std::size_t>(elems.id(i, j, k))]) continue;
+        int idx = 0;
+        for_each_elem_node(i, j, k, [&](Index nid) { enodes[idx++] = nid; });
+        for (int a = 0; a < 8; ++a) {
+          const Index ra = dof[static_cast<std::size_t>(enodes[a])];
+          if (ra < 0) continue;
+          for (int b = 0; b < 8; ++b) {
+            const Index rb = dof[static_cast<std::size_t>(enodes[b])];
+            if (rb < 0) continue;
+            trips.push_back({ra, rb,
+                             ke[static_cast<std::size_t>(a)]
+                               [static_cast<std::size_t>(b)]});
+          }
+        }
+      }
+    }
+  }
+  Problem p;
+  p.name = "mfem-laplace";
+  p.grid_length = n;
+  p.a = CsrMatrix::from_triplets(ndof, ndof, std::move(trips));
+  return p;
+}
+
+Problem make_elasticity_beam(Index nx, Index ny, Index nz) {
+  if (nx < 2 || ny < 1 || nz < 1) {
+    throw std::invalid_argument("beam needs nx >= 2, ny/nz >= 1");
+  }
+  const Grid3D nodes{nx + 1, ny + 1, nz + 1};
+  // Clamped face at x=0: all three displacement components fixed.
+  std::vector<Index> dof(static_cast<std::size_t>(nodes.size()), -1);
+  Index nfree_nodes = 0;
+  for (Index k = 0; k <= nz; ++k) {
+    for (Index j = 0; j <= ny; ++j) {
+      for (Index i = 0; i <= nx; ++i) {
+        if (i == 0) continue;  // Dirichlet
+        dof[static_cast<std::size_t>(nodes.id(i, j, k))] = nfree_nodes++;
+      }
+    }
+  }
+  const Index ndof = 3 * nfree_nodes;
+
+  // Two isotropic materials along the beam: stiff near the clamp, 100x
+  // softer toward the tip (the paper's multi-material cantilever).
+  const Lame mat1 = lame_from_young_poisson(1.0, 0.3);
+  const Lame mat2 = lame_from_young_poisson(0.01, 0.3);
+  const auto ke1 = hex8_elasticity_stiffness(1.0, 1.0, 1.0, mat1.lambda, mat1.mu);
+  const auto ke2 = hex8_elasticity_stiffness(1.0, 1.0, 1.0, mat2.lambda, mat2.mu);
+
+  std::vector<Triplet> trips;
+  trips.reserve(static_cast<std::size_t>(ndof) * 81);
+  for (Index ek = 0; ek < nz; ++ek) {
+    for (Index ej = 0; ej < ny; ++ej) {
+      for (Index ei = 0; ei < nx; ++ei) {
+        const auto& ke = (ei < nx / 2) ? ke1 : ke2;
+        Index enodes[8];
+        int idx = 0;
+        for (Index dk = 0; dk <= 1; ++dk) {
+          for (Index dj = 0; dj <= 1; ++dj) {
+            for (Index di = 0; di <= 1; ++di) {
+              enodes[idx++] = nodes.id(ei + di, ej + dj, ek + dk);
+            }
+          }
+        }
+        for (int a = 0; a < 8; ++a) {
+          const Index na = dof[static_cast<std::size_t>(enodes[a])];
+          if (na < 0) continue;
+          for (int b = 0; b < 8; ++b) {
+            const Index nb = dof[static_cast<std::size_t>(enodes[b])];
+            if (nb < 0) continue;
+            for (int ci = 0; ci < 3; ++ci) {
+              for (int cj = 0; cj < 3; ++cj) {
+                trips.push_back(
+                    {3 * na + ci, 3 * nb + cj,
+                     ke[static_cast<std::size_t>(3 * a + ci)]
+                       [static_cast<std::size_t>(3 * b + cj)]});
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  Problem p;
+  p.name = "mfem-elasticity";
+  p.grid_length = nx;
+  p.a = CsrMatrix::from_triplets(ndof, ndof, std::move(trips));
+  return p;
+}
+
+std::string test_set_name(TestSet s) {
+  switch (s) {
+    case TestSet::kFD7pt:
+      return "7pt";
+    case TestSet::kFD27pt:
+      return "27pt";
+    case TestSet::kFemLaplace:
+      return "mfem-laplace";
+    case TestSet::kFemElasticity:
+      return "mfem-elasticity";
+  }
+  return "unknown";
+}
+
+Problem make_problem(TestSet set, Index n) {
+  switch (set) {
+    case TestSet::kFD7pt:
+      return make_laplace_7pt(n);
+    case TestSet::kFD27pt:
+      return make_laplace_27pt(n);
+    case TestSet::kFemLaplace:
+      return make_fem_laplace_sphere(n);
+    case TestSet::kFemElasticity:
+      return make_elasticity_beam(n, std::max<Index>(3, n / 3),
+                                  std::max<Index>(3, n / 3));
+  }
+  throw std::invalid_argument("unknown test set");
+}
+
+}  // namespace asyncmg

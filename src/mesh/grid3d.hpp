@@ -1,0 +1,23 @@
+#pragma once
+// Structured 3D grid indexing shared by the stencil and FEM generators.
+
+#include "sparse/types.hpp"
+
+namespace asyncmg {
+
+/// Lexicographic indexing of an nx x ny x nz point grid (x fastest).
+struct Grid3D {
+  Index nx = 0, ny = 0, nz = 0;
+
+  Index size() const { return nx * ny * nz; }
+
+  Index id(Index i, Index j, Index k) const {
+    return i + nx * (j + ny * k);
+  }
+
+  bool inside(Index i, Index j, Index k) const {
+    return i >= 0 && i < nx && j >= 0 && j < ny && k >= 0 && k < nz;
+  }
+};
+
+}  // namespace asyncmg

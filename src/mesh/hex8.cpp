@@ -1,0 +1,108 @@
+#include "mesh/hex8.hpp"
+
+#include <cmath>
+
+namespace asyncmg {
+
+namespace {
+
+// Reference-node coordinates of the hex8 element in [-1,1]^3; node ordering
+// matches the grid generators: x fastest, then y, then z.
+constexpr double kNode[8][3] = {
+    {-1, -1, -1}, {1, -1, -1}, {-1, 1, -1}, {1, 1, -1},
+    {-1, -1, 1},  {1, -1, 1},  {-1, 1, 1},  {1, 1, 1}};
+
+// 2-point Gauss abscissa.
+const double kGauss = 1.0 / std::sqrt(3.0);
+
+/// Gradient of the trilinear shape function `a` at reference point (x,y,z),
+/// with respect to reference coordinates.
+void shape_grad(int a, double x, double y, double z, double grad[3]) {
+  const double sx = kNode[a][0], sy = kNode[a][1], sz = kNode[a][2];
+  grad[0] = 0.125 * sx * (1 + sy * y) * (1 + sz * z);
+  grad[1] = 0.125 * (1 + sx * x) * sy * (1 + sz * z);
+  grad[2] = 0.125 * (1 + sx * x) * (1 + sy * y) * sz;
+}
+
+}  // namespace
+
+std::array<std::array<double, 8>, 8> hex8_laplace_stiffness(double hx,
+                                                            double hy,
+                                                            double hz,
+                                                            double kappa) {
+  std::array<std::array<double, 8>, 8> ke{};
+  // Axis-aligned box: diagonal Jacobian h/2 per axis.
+  const double jac[3] = {hx / 2.0, hy / 2.0, hz / 2.0};
+  const double detj = jac[0] * jac[1] * jac[2];
+  for (int gx = 0; gx < 2; ++gx) {
+    for (int gy = 0; gy < 2; ++gy) {
+      for (int gz = 0; gz < 2; ++gz) {
+        const double px = (gx ? kGauss : -kGauss);
+        const double py = (gy ? kGauss : -kGauss);
+        const double pz = (gz ? kGauss : -kGauss);
+        double grads[8][3];
+        for (int a = 0; a < 8; ++a) {
+          shape_grad(a, px, py, pz, grads[a]);
+          // Physical gradient: divide by Jacobian per axis.
+          for (int d = 0; d < 3; ++d) grads[a][d] /= jac[d];
+        }
+        for (int a = 0; a < 8; ++a) {
+          for (int b = 0; b < 8; ++b) {
+            double dotg = 0.0;
+            for (int d = 0; d < 3; ++d) dotg += grads[a][d] * grads[b][d];
+            ke[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] +=
+                kappa * dotg * detj;  // Gauss weights are all 1
+          }
+        }
+      }
+    }
+  }
+  return ke;
+}
+
+std::array<std::array<double, 24>, 24> hex8_elasticity_stiffness(
+    double hx, double hy, double hz, double lambda, double mu) {
+  std::array<std::array<double, 24>, 24> ke{};
+  const double jac[3] = {hx / 2.0, hy / 2.0, hz / 2.0};
+  const double detj = jac[0] * jac[1] * jac[2];
+  for (int gx = 0; gx < 2; ++gx) {
+    for (int gy = 0; gy < 2; ++gy) {
+      for (int gz = 0; gz < 2; ++gz) {
+        const double px = (gx ? kGauss : -kGauss);
+        const double py = (gy ? kGauss : -kGauss);
+        const double pz = (gz ? kGauss : -kGauss);
+        double g[8][3];
+        for (int a = 0; a < 8; ++a) {
+          shape_grad(a, px, py, pz, g[a]);
+          for (int d = 0; d < 3; ++d) g[a][d] /= jac[d];
+        }
+        // K(ai, bj) += lambda g_a[i] g_b[j] + mu g_a[j] g_b[i]
+        //            + mu delta_ij (g_a . g_b)   (standard isotropic form)
+        for (int a = 0; a < 8; ++a) {
+          for (int b = 0; b < 8; ++b) {
+            double dotg = 0.0;
+            for (int d = 0; d < 3; ++d) dotg += g[a][d] * g[b][d];
+            for (int i = 0; i < 3; ++i) {
+              for (int j = 0; j < 3; ++j) {
+                double v = lambda * g[a][i] * g[b][j] + mu * g[a][j] * g[b][i];
+                if (i == j) v += mu * dotg;
+                ke[static_cast<std::size_t>(3 * a + i)]
+                  [static_cast<std::size_t>(3 * b + j)] += v * detj;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return ke;
+}
+
+Lame lame_from_young_poisson(double young, double poisson) {
+  Lame l;
+  l.lambda = young * poisson / ((1 + poisson) * (1 - 2 * poisson));
+  l.mu = young / (2 * (1 + poisson));
+  return l;
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,32 @@
+#pragma once
+// Trilinear hexahedral (hex8) element kernels: stiffness matrices for the
+// Laplace operator and for isotropic linear elasticity, integrated with
+// 2x2x2 Gauss quadrature on an axis-aligned box element. These are the
+// building blocks of the MFEM-substitute FEM generators.
+
+#include <array>
+
+namespace asyncmg {
+
+/// 8x8 Laplace stiffness for a box element with edge lengths hx, hy, hz and
+/// scalar diffusion coefficient `kappa`.
+/// K_ab = kappa * integral( grad(phi_a) . grad(phi_b) ).
+std::array<std::array<double, 8>, 8> hex8_laplace_stiffness(double hx,
+                                                            double hy,
+                                                            double hz,
+                                                            double kappa);
+
+/// 24x24 isotropic linear elasticity stiffness for a box element
+/// (3 dofs per node, node-major ordering: dof = 3*node + component) with
+/// Lame parameters lambda and mu.
+std::array<std::array<double, 24>, 24> hex8_elasticity_stiffness(
+    double hx, double hy, double hz, double lambda, double mu);
+
+/// Lame parameters from Young's modulus E and Poisson ratio nu.
+struct Lame {
+  double lambda = 0.0;
+  double mu = 0.0;
+};
+Lame lame_from_young_poisson(double young, double poisson);
+
+}  // namespace asyncmg

@@ -1,0 +1,65 @@
+#pragma once
+// Test-problem generators reproducing the paper's four matrix sets
+// (Section V). The MFEM-generated sets are substituted by from-scratch
+// finite element assembly (see DESIGN.md section 2):
+//
+//   7pt / 27pt      - 3D Laplace on a cube, centered differences, Dirichlet
+//                     boundaries eliminated. Row/nnz counts match the paper
+//                     exactly (e.g. 27pt at 30^3: 27000 rows, 681472 nnz).
+//   MFEM Laplace    - Laplace on a sphere: trilinear hexahedral (hex8) FEM
+//                     on a sphere-masked structured grid (substitutes the
+//                     NURBS sphere mesh: curved boundary, irregular rows).
+//   MFEM Elasticity - multi-material cantilever beam: 3D linear elasticity,
+//                     hex8 elements, 3 dofs/node, clamped at x=0, two
+//                     materials along the beam length.
+
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace asyncmg {
+
+/// A generated linear system's matrix plus identification metadata.
+struct Problem {
+  std::string name;
+  CsrMatrix a;
+  /// Characteristic grid length (the paper's x-axis in Figs. 1-5).
+  Index grid_length = 0;
+};
+
+/// 7-point Laplacian on an n x n x n interior grid, Dirichlet boundary.
+Problem make_laplace_7pt(Index n);
+
+/// 27-point Laplacian (all 26 neighbors) on an n x n x n interior grid.
+Problem make_laplace_27pt(Index n);
+
+/// Anisotropic 7-point Laplacian (eps * d_xx + d_yy + d_zz); stresses AMG
+/// coarsening beyond the paper's isotropic sets.
+Problem make_laplace_7pt_anisotropic(Index n, double eps_x);
+
+/// Jumping-coefficient 7-point diffusion: coefficient `contrast` inside the
+/// centered cube spanning the middle third of each axis, 1 outside. The
+/// flux between cells uses the harmonic mean, so the matrix stays symmetric
+/// and an M-matrix; classic AMG robustness test beyond the paper's sets.
+Problem make_laplace_7pt_jump(Index n, double contrast);
+
+/// FEM Laplace on (approximately) the unit sphere; `n` is the number of
+/// grid points per axis of the bounding box before masking.
+Problem make_fem_laplace_sphere(Index n);
+
+/// Linear elasticity cantilever beam with `nx x ny x nz` hex elements;
+/// the x in [0, nx/2) half is material 1 (stiff), the rest material 2.
+/// Returns 3 dofs per free node.
+Problem make_elasticity_beam(Index nx, Index ny, Index nz);
+
+/// The paper's four named test sets.
+enum class TestSet { kFD7pt, kFD27pt, kFemLaplace, kFemElasticity };
+
+std::string test_set_name(TestSet s);
+
+/// Builds a test-set member with characteristic length `n`. For the beam,
+/// `n` is interpreted as elements along the beam (cross-section n/4 x n/4,
+/// clamped to >= 2).
+Problem make_problem(TestSet set, Index n);
+
+}  // namespace asyncmg

@@ -1,0 +1,127 @@
+// Finite-difference Laplacian generators (7pt, 27pt, anisotropic 7pt).
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "mesh/grid3d.hpp"
+#include "mesh/problems.hpp"
+
+namespace asyncmg {
+
+namespace {
+
+/// Assembles a stencil operator on the interior n x n x n grid with
+/// homogeneous Dirichlet boundaries (boundary points eliminated).
+/// `offsets` lists (di, dj, dk, weight) including the center.
+Problem assemble_stencil(const std::string& name, Index n,
+                         const std::vector<std::array<double, 4>>& offsets) {
+  const Grid3D g{n, n, n};
+  std::vector<Triplet> trips;
+  trips.reserve(static_cast<std::size_t>(g.size()) * offsets.size());
+  for (Index k = 0; k < n; ++k) {
+    for (Index j = 0; j < n; ++j) {
+      for (Index i = 0; i < n; ++i) {
+        const Index row = g.id(i, j, k);
+        for (const auto& off : offsets) {
+          const Index ii = i + static_cast<Index>(off[0]);
+          const Index jj = j + static_cast<Index>(off[1]);
+          const Index kk = k + static_cast<Index>(off[2]);
+          if (!g.inside(ii, jj, kk)) continue;  // Dirichlet: drop
+          trips.push_back({row, g.id(ii, jj, kk), off[3]});
+        }
+      }
+    }
+  }
+  Problem p;
+  p.name = name;
+  p.grid_length = n;
+  p.a = CsrMatrix::from_triplets(g.size(), g.size(), std::move(trips));
+  return p;
+}
+
+}  // namespace
+
+Problem make_laplace_7pt(Index n) {
+  std::vector<std::array<double, 4>> offsets = {
+      {0, 0, 0, 6.0},  {1, 0, 0, -1.0}, {-1, 0, 0, -1.0}, {0, 1, 0, -1.0},
+      {0, -1, 0, -1.0}, {0, 0, 1, -1.0}, {0, 0, -1, -1.0}};
+  return assemble_stencil("7pt", n, offsets);
+}
+
+Problem make_laplace_27pt(Index n) {
+  std::vector<std::array<double, 4>> offsets;
+  offsets.reserve(27);
+  for (int dk = -1; dk <= 1; ++dk) {
+    for (int dj = -1; dj <= 1; ++dj) {
+      for (int di = -1; di <= 1; ++di) {
+        const bool center = di == 0 && dj == 0 && dk == 0;
+        offsets.push_back({static_cast<double>(di), static_cast<double>(dj),
+                           static_cast<double>(dk), center ? 26.0 : -1.0});
+      }
+    }
+  }
+  return assemble_stencil("27pt", n, offsets);
+}
+
+Problem make_laplace_7pt_jump(Index n, double contrast) {
+  if (contrast <= 0.0) {
+    throw std::invalid_argument("jump contrast must be positive");
+  }
+  const Grid3D g{n, n, n};
+  auto kappa = [&](Index i, Index j, Index k) {
+    const Index lo = n / 3, hi = 2 * n / 3;
+    const bool inside = i >= lo && i < hi && j >= lo && j < hi && k >= lo &&
+                        k < hi;
+    return inside ? contrast : 1.0;
+  };
+  // Face coefficient between two cells: harmonic mean (standard for
+  // discontinuous diffusion).
+  auto face = [&](Index i0, Index j0, Index k0, Index i1, Index j1,
+                  Index k1) {
+    const double a = kappa(i0, j0, k0), b = kappa(i1, j1, k1);
+    return 2.0 * a * b / (a + b);
+  };
+  std::vector<Triplet> trips;
+  trips.reserve(static_cast<std::size_t>(g.size()) * 7);
+  const int off[6][3] = {{1, 0, 0},  {-1, 0, 0}, {0, 1, 0},
+                         {0, -1, 0}, {0, 0, 1},  {0, 0, -1}};
+  for (Index k = 0; k < n; ++k) {
+    for (Index j = 0; j < n; ++j) {
+      for (Index i = 0; i < n; ++i) {
+        const Index row = g.id(i, j, k);
+        double diag = 0.0;
+        for (const auto& d : off) {
+          const Index ii = i + d[0], jj = j + d[1], kk = k + d[2];
+          if (g.inside(ii, jj, kk)) {
+            const double c = face(i, j, k, ii, jj, kk);
+            trips.push_back({row, g.id(ii, jj, kk), -c});
+            diag += c;
+          } else {
+            diag += kappa(i, j, k);  // Dirichlet face uses the cell value
+          }
+        }
+        trips.push_back({row, row, diag});
+      }
+    }
+  }
+  Problem p;
+  p.name = "7pt-jump";
+  p.grid_length = n;
+  p.a = CsrMatrix::from_triplets(g.size(), g.size(), std::move(trips));
+  return p;
+}
+
+Problem make_laplace_7pt_anisotropic(Index n, double eps_x) {
+  std::vector<std::array<double, 4>> offsets = {
+      {0, 0, 0, 2.0 * eps_x + 4.0},
+      {1, 0, 0, -eps_x},
+      {-1, 0, 0, -eps_x},
+      {0, 1, 0, -1.0},
+      {0, -1, 0, -1.0},
+      {0, 0, 1, -1.0},
+      {0, 0, -1, -1.0}};
+  return assemble_stencil("7pt-aniso", n, offsets);
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,77 @@
+#pragma once
+// Additive multigrid methods: BPX (Eq. 1), Multadd (Eq. 2), and AFACx
+// (Algorithm 2). The central primitive is the per-grid correction
+//
+//   c_k = Pbar_k^0 Lambda_k (Pbar_k^0)^T r     (Multadd; plain P for BPX)
+//   c_k = P_k^0 e_k                            (AFACx, Alg. 2 lines 8-9)
+//
+// computed from a fine-grid residual. The synchronous additive cycle sums
+// the corrections of all grids; the asynchronous models and the
+// shared-memory runtime apply exactly the same per-grid correction with
+// out-of-date residuals.
+
+#include <string>
+
+#include "multigrid/setup.hpp"
+#include "multigrid/solve_stats.hpp"
+
+namespace asyncmg {
+
+enum class AdditiveKind { kBpx, kMultadd, kAfacx };
+
+std::string additive_kind_name(AdditiveKind k);
+
+struct AdditiveOptions {
+  AdditiveKind kind = AdditiveKind::kMultadd;
+  /// AFACx V(s1/s2,0): sweeps for e_k (s1) and for e_{k+1} (s2).
+  int afacx_s1 = 1;
+  int afacx_s2 = 1;
+  /// Use the symmetrized smoother Mbar^{-1} as Lambda_k; Multadd then
+  /// matches the symmetric multiplicative V(1,1)-cycle exactly.
+  bool symmetrized_lambda = false;
+};
+
+class AdditiveCorrector {
+ public:
+  AdditiveCorrector(const MgSetup& setup, AdditiveOptions opts);
+
+  const MgSetup& setup() const { return *s_; }
+  const AdditiveOptions& options() const { return opts_; }
+  std::size_t num_grids() const { return s_->num_levels(); }
+
+  /// Fine-grid correction contributed by grid k given fine residual r:
+  /// c is resized and overwritten.
+  void correction(std::size_t k, const Vector& r_fine, Vector& c) const;
+
+  /// Per-grid work estimate (flops of one correction) for thread balancing.
+  std::vector<double> work() const;
+
+ private:
+  void correction_chain(std::size_t k, const Vector& r_fine, Vector& c) const;
+  void correction_afacx(std::size_t k, const Vector& r_fine, Vector& c) const;
+  /// Interpolant to use between levels j and j+1 for this method.
+  const CsrMatrix& interp(std::size_t j) const;
+  void solve_coarsest(const Vector& r, Vector& e) const;
+
+  const MgSetup* s_;
+  AdditiveOptions opts_;
+};
+
+/// Synchronous additive driver: one "V-cycle" computes r = b - Ax once and
+/// adds every grid's correction (what the paper's sync Multadd / sync AFACx
+/// baselines do, minus threading).
+class AdditiveMg {
+ public:
+  AdditiveMg(const MgSetup& setup, AdditiveOptions opts);
+
+  void cycle(const Vector& b, Vector& x);
+  SolveStats solve(const Vector& b, Vector& x, int t_max, double tol = 0.0);
+
+  const AdditiveCorrector& corrector() const { return corrector_; }
+
+ private:
+  AdditiveCorrector corrector_;
+  Vector r_, c_;
+};
+
+}  // namespace asyncmg

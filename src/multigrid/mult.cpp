@@ -1,0 +1,108 @@
+#include "multigrid/mult.hpp"
+
+#include <stdexcept>
+
+#include "sparse/vec.hpp"
+#include "util/timer.hpp"
+
+namespace asyncmg {
+
+MultiplicativeMg::MultiplicativeMg(const MgSetup& setup, bool symmetric,
+                                   int pre_sweeps, int post_sweeps, int gamma)
+    : s_(&setup),
+      symmetric_(symmetric),
+      pre_sweeps_(pre_sweeps),
+      post_sweeps_(post_sweeps),
+      gamma_(gamma) {
+  if (pre_sweeps < 0 || post_sweeps < 0 || pre_sweeps + post_sweeps == 0) {
+    throw std::invalid_argument(
+        "MultiplicativeMg: need nonnegative sweep counts, at least one");
+  }
+  if (gamma < 1) {
+    throw std::invalid_argument("MultiplicativeMg: gamma must be >= 1");
+  }
+  const std::size_t nl = s_->num_levels();
+  r_.resize(nl);
+  e_.resize(nl);
+  tmp_.resize(nl);
+  for (std::size_t k = 0; k < nl; ++k) {
+    const auto n = static_cast<std::size_t>(s_->a(k).rows());
+    r_[k].resize(n);
+    e_[k].resize(n);
+    tmp_[k].resize(n);
+  }
+}
+
+void MultiplicativeMg::level_solve(std::size_t k) {
+  const std::size_t coarsest = s_->num_levels() - 1;
+  if (k == coarsest) {
+    // Exact solve when available, a smoothing sweep otherwise.
+    if (!s_->coarse_solver().empty()) {
+      s_->coarse_solver().solve(r_[k], e_[k]);
+    } else {
+      s_->smoother(k).apply_zero(r_[k], e_[k]);
+    }
+    return;
+  }
+
+  // Pre-smooth from a zero initial guess.
+  if (pre_sweeps_ == 0) {
+    fill(e_[k], 0.0);
+  } else {
+    s_->smoother(k).smooth_zero(r_[k], e_[k], pre_sweeps_);
+  }
+
+  // gamma coarse-grid corrections: gamma = 1 is the V-cycle of Algorithm 1,
+  // gamma = 2 the W-cycle.
+  for (int g = 0; g < gamma_; ++g) {
+    s_->a(k).spmv(e_[k], tmp_[k]);                // tmp = A_k e_k
+    for (std::size_t i = 0; i < tmp_[k].size(); ++i) {
+      tmp_[k][i] = r_[k][i] - tmp_[k][i];
+    }
+    s_->p(k).spmv_transpose(tmp_[k], r_[k + 1]);  // r_{k+1} = P^T (r_k - A e_k)
+    level_solve(k + 1);
+    s_->p(k).spmv(e_[k + 1], tmp_[k]);
+    axpy(1.0, tmp_[k], e_[k]);                    // e_k += P e_{k+1}
+  }
+
+  // Post-smooth.
+  for (int s = 0; s < post_sweeps_; ++s) {
+    if (symmetric_) {
+      s_->smoother(k).sweep_transpose(r_[k], e_[k]);
+    } else {
+      s_->smoother(k).sweep(r_[k], e_[k]);        // e_k += M^{-1}(r_k - A e_k)
+    }
+  }
+}
+
+void MultiplicativeMg::cycle(const Vector& b, Vector& x) {
+  s_->a(0).residual(b, x, r_[0]);
+  level_solve(0);
+  axpy(1.0, e_[0], x);
+}
+
+SolveStats MultiplicativeMg::solve(const Vector& b, Vector& x, int t_max,
+                                   double tol) {
+  SolveStats stats;
+  Timer timer;
+  const double bnorm = norm2(b);
+  const double scale = bnorm > 0.0 ? 1.0 / bnorm : 1.0;
+  Vector r;
+  s_->a(0).residual(b, x, r);
+  stats.rel_res_history.push_back(norm2(r) * scale);
+  for (int t = 0; t < t_max; ++t) {
+    cycle(b, x);
+    ++stats.cycles;
+    s_->a(0).residual(b, x, r);
+    const double rr = norm2(r) * scale;
+    stats.rel_res_history.push_back(rr);
+    if (tol > 0.0 && rr < tol) {
+      stats.converged = true;
+      break;
+    }
+  }
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,43 @@
+#pragma once
+// Classical multiplicative V(1,1)-multigrid (Algorithm 1 of the paper),
+// the "Mult" baseline of every experiment. Optionally post-smooths with
+// M^T, which makes the cycle symmetric and mathematically equivalent to
+// Multadd with the symmetrized smoother (Section II-B1).
+
+#include "multigrid/setup.hpp"
+#include "multigrid/solve_stats.hpp"
+
+namespace asyncmg {
+
+class MultiplicativeMg {
+ public:
+  /// `symmetric` selects G^T (transposed-smoother) post-smoothing.
+  /// `pre_sweeps`/`post_sweeps` generalize to V(s1,s2)-cycles (the paper
+  /// uses V(1,1) throughout); `gamma` selects the cycle shape (1 = V-cycle,
+  /// 2 = W-cycle, ...).
+  explicit MultiplicativeMg(const MgSetup& setup, bool symmetric = false,
+                            int pre_sweeps = 1, int post_sweeps = 1,
+                            int gamma = 1);
+
+  /// One V(1,1)-cycle: x is corrected in place using right-hand side b.
+  void cycle(const Vector& b, Vector& x);
+
+  /// Runs `t_max` cycles (or until ||r||/||b|| < tol when tol > 0),
+  /// recording the residual history.
+  SolveStats solve(const Vector& b, Vector& x, int t_max, double tol = 0.0);
+
+ private:
+  /// Recursive multigrid on the error equation A_k e_k = r_k; reads r_[k],
+  /// leaves the correction in e_[k].
+  void level_solve(std::size_t k);
+
+  const MgSetup* s_;
+  bool symmetric_;
+  int pre_sweeps_;
+  int post_sweeps_;
+  int gamma_ = 1;
+  // Per-level workspaces reused across cycles.
+  std::vector<Vector> r_, e_, tmp_;
+};
+
+}  // namespace asyncmg

@@ -1,0 +1,45 @@
+#pragma once
+// Preconditioned conjugate gradients. The paper notes (Section II-B) that
+// BPX is normally used as a preconditioner rather than a solver because
+// its additive corrections over-correct; PCG is the natural harness for
+// that use. Any SPD preconditioner works; `MultigridPreconditioner` wraps
+// the library's cycles:
+//
+//   * BPX or Multadd with the symmetrized smoother (SPD by construction);
+//   * a symmetric multiplicative V(1,1)-cycle.
+
+#include <functional>
+
+#include "multigrid/additive.hpp"
+#include "multigrid/mult.hpp"
+#include "multigrid/solve_stats.hpp"
+
+namespace asyncmg {
+
+/// z = M^{-1} r. Implementations must be (numerically) SPD for CG theory
+/// to apply.
+using Preconditioner = std::function<void(const Vector& r, Vector& z)>;
+
+struct PcgOptions {
+  int max_iterations = 500;
+  double tol = 1e-9;  // on ||r||_2 / ||b||_2
+};
+
+/// Solves A x = b with (preconditioned) CG. Pass a null Preconditioner for
+/// plain CG. Returns the residual history (entry i is after iteration i).
+SolveStats pcg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                     const Preconditioner& precond, const PcgOptions& opts);
+
+enum class MgPreconditionerKind {
+  kBpx,                  // Eq. 1, one additive application
+  kMultaddSymmetrized,   // Eq. 2 with Mbar^{-1}: equals symmetric V(1,1)
+  kSymmetricVCycle,      // Algorithm 1 with transposed post-smoothing
+};
+
+/// Builds a multigrid preconditioner application around a setup. The
+/// returned callable owns the per-application workspaces (shared across
+/// calls: not thread-safe).
+Preconditioner make_mg_preconditioner(const MgSetup& setup,
+                                      MgPreconditionerKind kind);
+
+}  // namespace asyncmg

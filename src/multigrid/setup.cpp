@@ -1,0 +1,59 @@
+#include "multigrid/setup.hpp"
+
+namespace asyncmg {
+
+MgSetup::MgSetup(CsrMatrix a_fine, MgOptions opts)
+    : opts_(opts), h_(Hierarchy::build(std::move(a_fine), opts.amg)) {
+  init();
+}
+
+MgSetup::MgSetup(Hierarchy hierarchy, MgOptions opts)
+    : opts_(opts), h_(std::move(hierarchy)) {
+  init();
+}
+
+void MgSetup::init() {
+  const std::size_t nl = h_.num_levels();
+
+  smoothers_.reserve(nl);
+  for (std::size_t k = 0; k < nl; ++k) {
+    smoothers_.push_back(
+        std::make_unique<Smoother>(h_.matrix(k), opts_.smoother));
+  }
+
+  // Smoothed interpolants for Multadd, one per non-coarsest level, built
+  // from the Jacobi-type iteration matrix of the configured smoother.
+  pbar_.reserve(nl > 0 ? nl - 1 : 0);
+  for (std::size_t k = 0; k + 1 < nl; ++k) {
+    pbar_.push_back(smoothed_interpolant(h_.matrix(k), h_.interpolation(k),
+                                         opts_.smoother.type,
+                                         opts_.smoother.omega));
+  }
+
+  rt_.reserve(pbar_.size());
+  rbart_.reserve(pbar_.size());
+  for (std::size_t k = 0; k + 1 < nl; ++k) {
+    rt_.push_back(h_.interpolation(k).transpose());
+    rbart_.push_back(pbar_[k].transpose());
+  }
+
+  const CsrMatrix& ac = h_.matrix(nl - 1);
+  if (ac.rows() <= opts_.max_dense_coarse) {
+    coarse_ = LuSolver(ac);
+  }
+
+  // Work model: one grid-k additive correction walks the interpolation
+  // chain down and back up (2 nnz flops per SpMV) and smooths once on A_k.
+  work_.assign(nl, 0.0);
+  for (std::size_t k = 0; k < nl; ++k) {
+    double w = 2.0 * static_cast<double>(h_.matrix(k).nnz());  // smoothing
+    for (std::size_t j = 0; j < k; ++j) {
+      // Restriction (Pbar^T) and prolongation (Pbar) through level j.
+      const CsrMatrix& pj = pbar_.empty() ? h_.interpolation(j) : pbar_[j];
+      w += 4.0 * static_cast<double>(pj.nnz());
+    }
+    work_[k] = w;
+  }
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,246 @@
+#include "perfmodel/perfmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/partition.hpp"
+#include "util/rng.hpp"
+
+namespace asyncmg {
+
+namespace {
+
+double barrier_cost(const MachineModel& m, std::size_t participants) {
+  if (participants <= 1) return 0.0;
+  return m.barrier_alpha +
+         m.barrier_beta * std::log2(static_cast<double>(participants));
+}
+
+/// Simulates one barriered phase of `flops` total work split evenly over
+/// the threads whose persistent speeds are given; returns the slowest
+/// participant's time (everyone waits) and accumulates the wait imbalance.
+double phase_time(const MachineModel& m, double flops,
+                  const std::vector<double>& speeds, Rng& rng,
+                  double* wait_accum) {
+  const std::size_t p = speeds.size();
+  if (p == 0) return 0.0;
+  const double chunk = flops / static_cast<double>(p);
+  double worst = 0.0, total = 0.0;
+  for (double s : speeds) {
+    const double jitter = 1.0 - m.jitter * rng.next_double();
+    const double t = chunk / (m.flops_per_second * s * jitter);
+    worst = std::max(worst, t);
+    total += t;
+  }
+  if (wait_accum) *wait_accum += worst - total / static_cast<double>(p);
+  return worst;
+}
+
+std::vector<double> draw_speeds(const MachineModel& m, std::size_t threads,
+                                Rng& rng) {
+  std::vector<double> s(threads);
+  for (double& v : s) v = 1.0 - m.heterogeneity * rng.next_double();
+  return s;
+}
+
+/// Flops of the phases one grid-k correction executes, in order
+/// (restriction chain, level solve, prolongation chain, fine-grid write).
+std::vector<double> correction_phases(const AdditiveCorrector& corr,
+                                      std::size_t k) {
+  const MgSetup& s = corr.setup();
+  const AdditiveOptions& ao = corr.options();
+  const std::size_t coarsest = s.num_levels() - 1;
+  const bool multadd = ao.kind == AdditiveKind::kMultadd;
+  std::vector<double> phases;
+  for (std::size_t j = 0; j < k; ++j) {
+    phases.push_back(2.0 * (multadd ? s.pbar(j).nnz() : s.p(j).nnz()));
+  }
+  if (k == coarsest) {
+    const double nc = static_cast<double>(s.a(k).rows());
+    phases.push_back(2.0 * nc * nc);  // triangular solves of the LU factors
+  } else if (ao.kind == AdditiveKind::kAfacx) {
+    phases.push_back(2.0 * s.p(k).nnz());                      // restrict r
+    phases.push_back(2.0 * s.a(k + 1).nnz() * ao.afacx_s2);    // smooth k+1
+    phases.push_back(2.0 * s.p(k).nnz());                      // P u
+    phases.push_back(2.0 * s.a(k).nnz());                      // A_k P u
+    phases.push_back(2.0 * s.a(k).nnz() * ao.afacx_s1);        // smooth k
+  } else {
+    phases.push_back(2.0 * s.a(k).nnz());                      // Lambda_k
+  }
+  for (std::size_t j = k; j-- > 0;) {
+    phases.push_back(2.0 * (multadd ? s.pbar(j).nnz() : s.p(j).nnz()));
+  }
+  phases.push_back(static_cast<double>(s.a(0).rows()));        // x += e
+  return phases;
+}
+
+}  // namespace
+
+PerfPrediction predict_mult(const MgSetup& setup, std::size_t threads,
+                            int t_max, const MachineModel& m) {
+  Rng rng(m.seed);
+  const std::vector<double> speeds = draw_speeds(m, threads, rng);
+  const std::size_t nl = setup.num_levels();
+  const std::size_t coarsest = nl - 1;
+
+  // Phase list of one V(1,1)-cycle; every phase ends in a global barrier.
+  std::vector<double> phases;
+  phases.push_back(2.0 * setup.a(0).nnz());  // fine residual
+  for (std::size_t k = 0; k < coarsest; ++k) {
+    phases.push_back(2.0 * setup.a(k).nnz());  // pre-smooth
+    phases.push_back(2.0 * setup.a(k).nnz());  // r - A e
+    phases.push_back(2.0 * setup.p(k).nnz());  // restrict
+  }
+  const double nc = static_cast<double>(setup.a(coarsest).rows());
+  for (std::size_t k = coarsest; k-- > 0;) {
+    phases.push_back(2.0 * setup.p(k).nnz());  // prolong + add
+    phases.push_back(2.0 * setup.a(k).nnz());  // r - A e
+    phases.push_back(2.0 * setup.a(k).nnz());  // post-smooth
+  }
+  phases.push_back(static_cast<double>(setup.a(0).rows()));  // x += e
+
+  PerfPrediction out;
+  double wait = 0.0;
+  const double bar = barrier_cost(m, threads);
+  for (int t = 0; t < t_max; ++t) {
+    for (double f : phases) {
+      out.seconds += phase_time(m, f, speeds, rng, &wait) + bar;
+      wait += bar;
+    }
+    // Coarse solve on one thread, everyone else waits at the barrier.
+    const double solve = 2.0 * nc * nc / (m.flops_per_second * speeds[0]);
+    out.seconds += solve + bar;
+    wait += solve * (1.0 - 1.0 / static_cast<double>(threads)) + bar;
+  }
+  out.barrier_share = out.seconds > 0.0 ? wait / out.seconds : 0.0;
+  return out;
+}
+
+namespace {
+
+struct Teams {
+  std::vector<std::vector<double>> speeds;  // thread speeds, per grid
+  /// Executor id of each grid: grids sharing an executor run back to back
+  /// on the same thread(s), so their times add instead of overlapping.
+  std::vector<std::size_t> executor;
+  std::size_t num_executors = 0;
+};
+
+Teams split_teams(const AdditiveCorrector& corr, std::size_t threads,
+                  const std::vector<double>& all_speeds) {
+  const std::size_t grids = corr.num_grids();
+  Teams t;
+  if (threads >= grids) {
+    const auto counts = assign_threads_to_grids(corr.work(), threads);
+    const auto ranges = thread_ranges(counts);
+    for (std::size_t k = 0; k < grids; ++k) {
+      t.speeds.emplace_back(all_speeds.begin() + static_cast<std::ptrdiff_t>(ranges[k].begin),
+                            all_speeds.begin() + static_cast<std::ptrdiff_t>(ranges[k].end));
+      t.executor.push_back(k);
+    }
+    t.num_executors = grids;
+  } else {
+    // Single-thread teams own contiguous grid ranges; grids of the same
+    // owner execute sequentially.
+    for (std::size_t tid = 0; tid < threads; ++tid) {
+      const Range gr = static_chunk(grids, threads, tid);
+      for (std::size_t k = gr.begin; k < gr.end; ++k) {
+        t.speeds.push_back({all_speeds[tid]});
+        t.executor.push_back(tid);
+      }
+    }
+    t.num_executors = threads;
+  }
+  return t;
+}
+
+}  // namespace
+
+PerfPrediction predict_sync_additive(const AdditiveCorrector& corr,
+                                     std::size_t threads, int t_max,
+                                     const MachineModel& m) {
+  Rng rng(m.seed);
+  const std::vector<double> all_speeds = draw_speeds(m, threads, rng);
+  const Teams teams = split_teams(corr, threads, all_speeds);
+  const std::size_t grids = corr.num_grids();
+  const double global_bar = barrier_cost(m, threads);
+  const MgSetup& s = corr.setup();
+
+  PerfPrediction out;
+  double wait = 0.0;
+  for (int t = 0; t < t_max; ++t) {
+    // Global residual phase over all threads.
+    out.seconds +=
+        phase_time(m, 2.0 * s.a(0).nnz(), all_speeds, rng, &wait) + global_bar;
+    // Teams correct concurrently (grids of the same executor run back to
+    // back); the cycle waits for the slowest executor.
+    std::vector<double> executor_time(teams.num_executors, 0.0);
+    for (std::size_t k = 0; k < grids; ++k) {
+      const auto& sp = teams.speeds[k];
+      const double team_bar = barrier_cost(m, sp.size());
+      double team_time = m.lock_cost;  // one write of x per correction
+      for (double f : correction_phases(corr, k)) {
+        team_time += phase_time(m, f, sp, rng, nullptr) + team_bar;
+      }
+      executor_time[teams.executor[k]] += team_time;
+    }
+    double slowest = 0.0, sum = 0.0;
+    for (double et : executor_time) {
+      slowest = std::max(slowest, et);
+      sum += et;
+    }
+    out.seconds += slowest + global_bar;
+    wait += slowest - sum / static_cast<double>(teams.num_executors) +
+            global_bar;
+  }
+  out.barrier_share = out.seconds > 0.0 ? wait / out.seconds : 0.0;
+  return out;
+}
+
+PerfPrediction predict_async_additive(const AdditiveCorrector& corr,
+                                      std::size_t threads, int t_max,
+                                      const MachineModel& m) {
+  Rng rng(m.seed);
+  const std::vector<double> all_speeds = draw_speeds(m, threads, rng);
+  const Teams teams = split_teams(corr, threads, all_speeds);
+  const std::size_t grids = corr.num_grids();
+  const MgSetup& s = corr.setup();
+  const double n0 = static_cast<double>(s.a(0).rows());
+
+  // Each team runs t_max corrections privately (local-res: it also
+  // recomputes the fine residual itself); grids sharing an executor run
+  // sequentially, and the makespan is the slowest executor's total. No
+  // global barriers anywhere.
+  PerfPrediction out;
+  std::vector<double> executor_time(teams.num_executors, 0.0);
+  for (std::size_t k = 0; k < grids; ++k) {
+    const auto& sp = teams.speeds[k];
+    const double team_bar = barrier_cost(m, sp.size());
+    double team_total = 0.0;
+    for (int t = 0; t < t_max; ++t) {
+      double ct = m.lock_cost;  // write x
+      for (double f : correction_phases(corr, k)) {
+        ct += phase_time(m, f, sp, rng, nullptr) + team_bar;
+      }
+      // local-res refresh: read x, recompute r^k = b - A x^k.
+      ct += phase_time(m, n0, sp, rng, nullptr) + team_bar + m.lock_cost;
+      ct += phase_time(m, 2.0 * s.a(0).nnz(), sp, rng, nullptr) + team_bar;
+      team_total += ct;
+    }
+    executor_time[teams.executor[k]] += team_total;
+  }
+  double makespan = 0.0, sum = 0.0;
+  for (double et : executor_time) {
+    makespan = std::max(makespan, et);
+    sum += et;
+  }
+  out.seconds = makespan;
+  out.barrier_share =
+      makespan > 0.0
+          ? (makespan - sum / static_cast<double>(teams.num_executors)) /
+                makespan
+          : 0.0;
+  return out;
+}
+
+}  // namespace asyncmg

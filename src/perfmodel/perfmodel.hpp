@@ -1,0 +1,67 @@
+#pragma once
+// Deterministic performance model replaying the execution schedules of
+// sync Mult, sync Multadd, and async Multadd on a parameterized machine.
+//
+// The paper's Figure 6 and Table I timing columns were measured on a
+// 68-core / 272-thread Knights Landing; this container has one core, so
+// measured wall-clock cannot reproduce the thread-scaling *shape*. This
+// module substitutes a discrete cost model (documented in DESIGN.md):
+//
+//   * each thread retires `flops_per_second` useful flops;
+//   * thread heterogeneity: thread i's speed is drawn from
+//     U[1 - heterogeneity, 1] (deterministic per seed) and, per barrier
+//     episode, jittered by U[1 - jitter, 1] -- the "some processes take
+//     longer than others" premise of asynchronous methods;
+//   * a barrier over m threads costs barrier_alpha + barrier_beta*log2(m)
+//     seconds on top of waiting for the slowest participant;
+//   * a lock acquisition costs lock_cost seconds and serializes with other
+//     acquisitions of the same lock.
+//
+// The schedules mirror the real implementations: Mult executes every phase
+// on all threads with a global barrier between phases; sync Multadd runs
+// per-grid teams and two global barriers per cycle; async Multadd runs
+// per-grid teams that never synchronize globally, so its makespan is the
+// slowest team's private makespan.
+
+#include <cstdint>
+#include <vector>
+
+#include "multigrid/additive.hpp"
+#include "multigrid/setup.hpp"
+
+namespace asyncmg {
+
+struct MachineModel {
+  double flops_per_second = 2.0e9;  // per-thread useful throughput
+  double barrier_alpha = 2.0e-6;    // fixed barrier cost (s)
+  double barrier_beta = 4.0e-7;     // per-log2(participant) barrier cost (s)
+  double lock_cost = 1.0e-6;        // mutex acquire+release (s)
+  double heterogeneity = 0.3;       // persistent per-thread slowdown spread
+  double jitter = 0.2;              // per-episode random slowdown spread
+  std::uint64_t seed = 1234;
+};
+
+struct PerfPrediction {
+  double seconds = 0.0;       // predicted makespan of t_max cycles
+  double barrier_share = 0.0; // fraction of makespan spent in barrier waits
+};
+
+/// Predicted makespan of `t_max` multiplicative V(1,1)-cycles on `threads`
+/// threads (all phases global).
+PerfPrediction predict_mult(const MgSetup& setup, std::size_t threads,
+                            int t_max, const MachineModel& m);
+
+/// Predicted makespan of `t_max` synchronous additive cycles (per-grid
+/// teams + 2 global barriers per cycle).
+PerfPrediction predict_sync_additive(const AdditiveCorrector& corr,
+                                     std::size_t threads, int t_max,
+                                     const MachineModel& m);
+
+/// Predicted makespan of asynchronous additive multigrid where every grid
+/// performs `t_max` corrections: the slowest team's private time (local-res;
+/// no global synchronization).
+PerfPrediction predict_async_additive(const AdditiveCorrector& corr,
+                                      std::size_t threads, int t_max,
+                                      const MachineModel& m);
+
+}  // namespace asyncmg

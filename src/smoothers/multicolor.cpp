@@ -1,0 +1,100 @@
+#include "smoothers/multicolor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace asyncmg {
+
+std::vector<int> greedy_coloring(const CsrMatrix& a) {
+  const Index n = a.rows();
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  std::vector<int> color(static_cast<std::size_t>(n), -1);
+  std::vector<char> used;  // scratch: colors used by already-colored neighbors
+  for (Index i = 0; i < n; ++i) {
+    used.assign(used.size(), 0);
+    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+      const Index j = ci[static_cast<std::size_t>(k)];
+      if (j == i) continue;
+      const int cj = color[static_cast<std::size_t>(j)];
+      if (cj >= 0) {
+        if (static_cast<std::size_t>(cj) >= used.size()) {
+          used.resize(static_cast<std::size_t>(cj) + 1, 0);
+        }
+        used[static_cast<std::size_t>(cj)] = 1;
+      }
+    }
+    int c = 0;
+    while (static_cast<std::size_t>(c) < used.size() &&
+           used[static_cast<std::size_t>(c)]) {
+      ++c;
+    }
+    color[static_cast<std::size_t>(i)] = c;
+  }
+  return color;
+}
+
+MulticolorGS::MulticolorGS(const CsrMatrix& a) : a_(&a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("MulticolorGS: matrix must be square");
+  }
+  const Vector d = a.diag();
+  inv_diag_.resize(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d[i] == 0.0) {
+      throw std::invalid_argument("MulticolorGS: zero diagonal entry");
+    }
+    inv_diag_[i] = 1.0 / d[i];
+  }
+  color_ = greedy_coloring(a);
+  num_colors_ = color_.empty()
+                    ? 0
+                    : 1 + *std::max_element(color_.begin(), color_.end());
+  by_color_.resize(static_cast<std::size_t>(num_colors_));
+  for (Index i = 0; i < a.rows(); ++i) {
+    by_color_[static_cast<std::size_t>(color_[static_cast<std::size_t>(i)])]
+        .push_back(i);
+  }
+}
+
+void MulticolorGS::apply_zero(const Vector& r, Vector& e) const {
+  e.assign(r.size(), 0.0);
+  const auto rp = a_->row_ptr();
+  const auto ci = a_->col_idx();
+  const auto v = a_->values();
+  for (const auto& rows : by_color_) {
+    // Rows of one color have no mutual couplings: any execution order
+    // (including concurrent) yields this exact result.
+    for (Index i : rows) {
+      double s = r[static_cast<std::size_t>(i)];
+      for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+        if (static_cast<Index>(j) != i) {
+          s -= v[static_cast<std::size_t>(k)] * e[j];
+        }
+      }
+      e[static_cast<std::size_t>(i)] = s * inv_diag_[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+void MulticolorGS::sweep(const Vector& b, Vector& x) const {
+  const auto rp = a_->row_ptr();
+  const auto ci = a_->col_idx();
+  const auto v = a_->values();
+  for (const auto& rows : by_color_) {
+    for (Index i : rows) {
+      double s = b[static_cast<std::size_t>(i)];
+      for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+        if (static_cast<Index>(j) != i) {
+          s -= v[static_cast<std::size_t>(k)] * x[j];
+        }
+      }
+      x[static_cast<std::size_t>(i)] =
+          s * inv_diag_[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+}  // namespace asyncmg

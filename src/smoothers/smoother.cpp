@@ -1,0 +1,359 @@
+#include "smoothers/smoother.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/spgemm.hpp"
+
+namespace asyncmg {
+
+std::string smoother_name(SmootherType t) {
+  switch (t) {
+    case SmootherType::kWeightedJacobi:
+      return "w-jacobi";
+    case SmootherType::kL1Jacobi:
+      return "l1-jacobi";
+    case SmootherType::kHybridJGS:
+      return "hybrid-jgs";
+    case SmootherType::kAsyncGS:
+      return "async-gs";
+    case SmootherType::kL1HybridJGS:
+      return "l1-hybrid-jgs";
+  }
+  return "unknown";
+}
+
+Smoother::Smoother(const CsrMatrix& a, SmootherOptions opts)
+    : a_(&a), opts_(opts) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("Smoother: matrix must be square");
+  }
+  diag_ = a.diag();
+  for (double d : diag_) {
+    if (d == 0.0) throw std::invalid_argument("Smoother: zero diagonal entry");
+  }
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  inv_diag_.resize(n);
+  switch (opts_.type) {
+    case SmootherType::kWeightedJacobi:
+      for (std::size_t i = 0; i < n; ++i) inv_diag_[i] = opts_.omega / diag_[i];
+      break;
+    case SmootherType::kL1Jacobi: {
+      const Vector l1 = a.l1_row_norms();
+      for (std::size_t i = 0; i < n; ++i) inv_diag_[i] = 1.0 / l1[i];
+      break;
+    }
+    case SmootherType::kHybridJGS:
+    case SmootherType::kAsyncGS:
+    case SmootherType::kL1HybridJGS:
+      for (std::size_t i = 0; i < n; ++i) inv_diag_[i] = 1.0 / diag_[i];
+      break;
+  }
+  const std::size_t nb = std::max<std::size_t>(1, opts_.num_blocks);
+  blocks_ = static_chunks(n, std::min(nb, std::max<std::size_t>(1, n)));
+
+  if (opts_.type == SmootherType::kL1HybridJGS) {
+    // Augment each diagonal with the l1 norm of the row's off-block
+    // entries (Baker et al.); depends on the block decomposition, so it
+    // must happen after blocks_ is fixed.
+    std::vector<std::size_t> block_of(n);
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      for (std::size_t i = blocks_[b].begin; i < blocks_[b].end; ++i) {
+        block_of[i] = b;
+      }
+    }
+    const auto rp = a.row_ptr();
+    const auto ci = a.col_idx();
+    const auto v = a.values();
+    for (std::size_t i = 0; i < n; ++i) {
+      double off = 0.0;
+      const auto row = static_cast<Index>(i);
+      for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+        if (block_of[j] != block_of[i]) {
+          off += std::abs(v[static_cast<std::size_t>(k)]);
+        }
+      }
+      diag_[i] += off;
+      inv_diag_[i] = 1.0 / diag_[i];
+    }
+  }
+}
+
+void Smoother::apply_zero(const Vector& r, Vector& e) const {
+  const std::size_t n = static_cast<std::size_t>(a_->rows());
+  assert(r.size() == n);
+  e.assign(n, 0.0);
+  for (std::size_t b = 0; b < blocks_.size(); ++b) apply_zero_block(r, e, b);
+}
+
+void Smoother::apply_zero_block(const Vector& r, Vector& e,
+                                std::size_t blk) const {
+  switch (opts_.type) {
+    case SmootherType::kWeightedJacobi:
+    case SmootherType::kL1Jacobi: {
+      const Range rg = blocks_[blk];
+      for (std::size_t i = rg.begin; i < rg.end; ++i) {
+        e[i] = inv_diag_[i] * r[i];
+      }
+      break;
+    }
+    case SmootherType::kHybridJGS:
+    case SmootherType::kL1HybridJGS:
+      triangular_apply_block(r, e, blk, /*live=*/false);
+      break;
+    case SmootherType::kAsyncGS:
+      triangular_apply_block(r, e, blk, /*live=*/true);
+      break;
+  }
+}
+
+void Smoother::triangular_apply_block(const Vector& r, Vector& e,
+                                      std::size_t blk, bool live) const {
+  const Range rg = blocks_[blk];
+  const auto rp = a_->row_ptr();
+  const auto ci = a_->col_idx();
+  const auto v = a_->values();
+  for (std::size_t i = rg.begin; i < rg.end; ++i) {
+    double s = r[i];
+    const auto row = static_cast<Index>(i);
+    for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+      const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+      if (j == i) continue;
+      double ej;
+      if (live) {
+        // Asynchronous Gauss-Seidel: read whatever value the owning thread
+        // has published so far (relaxed atomic load; Eq. 5's mixed-age
+        // reads). Our own block's earlier rows are always current.
+        ej = std::atomic_ref<const double>(e[j]).load(std::memory_order_relaxed);
+      } else {
+        // Hybrid JGS: only earlier rows of *this* block contribute (the
+        // block's strictly-lower triangle); everything else is the zero
+        // initial guess.
+        if (j < rg.begin || j >= i) continue;
+        ej = e[j];
+      }
+      s -= v[static_cast<std::size_t>(k)] * ej;
+    }
+    const double val = s * inv_diag_[i];
+    if (live) {
+      std::atomic_ref<double>(e[i]).store(val, std::memory_order_relaxed);
+    } else {
+      e[i] = val;
+    }
+  }
+}
+
+void Smoother::sweep(const Vector& b, Vector& x) const {
+  const std::size_t n = static_cast<std::size_t>(a_->rows());
+  assert(b.size() == n && x.size() == n);
+  switch (opts_.type) {
+    case SmootherType::kWeightedJacobi:
+    case SmootherType::kL1Jacobi:
+      sweep_jacobi_like(b, x);
+      break;
+    case SmootherType::kHybridJGS:
+    case SmootherType::kL1HybridJGS:
+      sweep_block_gs(b, x);
+      break;
+    case SmootherType::kAsyncGS: {
+      // Sequential execution of async GS is a plain forward Gauss-Seidel
+      // sweep (every read returns the freshest value).
+      const auto rp = a_->row_ptr();
+      const auto ci = a_->col_idx();
+      const auto v = a_->values();
+      for (std::size_t i = 0; i < n; ++i) {
+        double s = b[i];
+        const auto row = static_cast<Index>(i);
+        for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+          const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+          if (j != i) s -= v[static_cast<std::size_t>(k)] * x[j];
+        }
+        x[i] = s * inv_diag_[i];
+      }
+      break;
+    }
+  }
+}
+
+void Smoother::sweep_transpose(const Vector& b, Vector& x) const {
+  switch (opts_.type) {
+    case SmootherType::kWeightedJacobi:
+    case SmootherType::kL1Jacobi:
+      sweep(b, x);  // M is diagonal, hence symmetric
+      break;
+    case SmootherType::kHybridJGS:
+    case SmootherType::kAsyncGS:
+    case SmootherType::kL1HybridJGS: {
+      a_->residual(b, x, scratch_);
+      Vector e;
+      upper_solve(scratch_, e);
+      for (std::size_t i = 0; i < x.size(); ++i) x[i] += e[i];
+      break;
+    }
+  }
+}
+
+void Smoother::sweep_jacobi_like(const Vector& b, Vector& x) const {
+  a_->residual(b, x, scratch_);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += inv_diag_[i] * scratch_[i];
+}
+
+void Smoother::sweep_block_gs(const Vector& b, Vector& x) const {
+  a_->residual(b, x, scratch_);
+  // Solve blockdiag(L) e = r in place of scratch, then x += e; within a
+  // block this is a forward substitution on the block's lower triangle.
+  const auto rp = a_->row_ptr();
+  const auto ci = a_->col_idx();
+  const auto v = a_->values();
+  for (const Range& rg : blocks_) {
+    for (std::size_t i = rg.begin; i < rg.end; ++i) {
+      double s = scratch_[i];
+      const auto row = static_cast<Index>(i);
+      for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+        if (j >= rg.begin && j < i) s -= v[static_cast<std::size_t>(k)] * scratch_[j];
+      }
+      scratch_[i] = s * inv_diag_[i];
+    }
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += scratch_[i];
+}
+
+void Smoother::async_gs_sweep_block(const Vector& b, Vector& x,
+                                    std::size_t blk) const {
+  const Range rg = blocks_[blk];
+  const auto rp = a_->row_ptr();
+  const auto ci = a_->col_idx();
+  const auto v = a_->values();
+  for (std::size_t i = rg.begin; i < rg.end; ++i) {
+    double s = b[i];
+    const auto row = static_cast<Index>(i);
+    for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+      const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+      if (j == i) continue;
+      s -= v[static_cast<std::size_t>(k)] *
+           std::atomic_ref<const double>(x[j]).load(std::memory_order_relaxed);
+    }
+    std::atomic_ref<double>(x[i]).store(s * inv_diag_[i],
+                                        std::memory_order_relaxed);
+  }
+}
+
+void Smoother::smooth_zero(const Vector& b, Vector& x, int sweeps) const {
+  assert(sweeps >= 1);
+  apply_zero(b, x);
+  for (int s = 1; s < sweeps; ++s) sweep(b, x);
+}
+
+void Smoother::lower_solve(const Vector& r, Vector& y) const {
+  // y = M^{-1} r where M = blockdiag(L) (diagonal included).
+  const std::size_t n = r.size();
+  y.assign(n, 0.0);
+  const auto rp = a_->row_ptr();
+  const auto ci = a_->col_idx();
+  const auto v = a_->values();
+  for (const Range& rg : blocks_) {
+    for (std::size_t i = rg.begin; i < rg.end; ++i) {
+      double s = r[i];
+      const auto row = static_cast<Index>(i);
+      for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+        if (j >= rg.begin && j < i) s -= v[static_cast<std::size_t>(k)] * y[j];
+      }
+      y[i] = s / diag_[i];
+    }
+  }
+}
+
+void Smoother::upper_solve(const Vector& r, Vector& y) const {
+  // y = M^{-T} r: backward substitution on each block's upper triangle
+  // (the transpose of blockdiag(L)). Assumes a symmetric sparsity pattern,
+  // which holds for all our SPD test matrices: row i's upper entries are
+  // the transpose's column entries.
+  const std::size_t n = r.size();
+  y.assign(n, 0.0);
+  const auto rp = a_->row_ptr();
+  const auto ci = a_->col_idx();
+  const auto v = a_->values();
+  for (const Range& rg : blocks_) {
+    for (std::size_t ii = rg.end; ii-- > rg.begin;) {
+      double s = r[ii];
+      const auto row = static_cast<Index>(ii);
+      for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+        if (j > ii && j < rg.end) s -= v[static_cast<std::size_t>(k)] * y[j];
+      }
+      y[ii] = s / diag_[ii];
+      if (ii == 0) break;
+    }
+  }
+}
+
+void Smoother::apply_symmetrized(const Vector& r, Vector& e) const {
+  const std::size_t n = r.size();
+  switch (opts_.type) {
+    case SmootherType::kWeightedJacobi:
+    case SmootherType::kL1Jacobi: {
+      // M diagonal: e = D~ (2 r - A (D~ r)) with D~ = inv_diag.
+      Vector y(n);
+      for (std::size_t i = 0; i < n; ++i) y[i] = inv_diag_[i] * r[i];
+      Vector ay;
+      a_->spmv(y, ay);
+      e.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        e[i] = inv_diag_[i] * (2.0 * r[i] - ay[i]);
+      }
+      break;
+    }
+    case SmootherType::kHybridJGS:
+    case SmootherType::kAsyncGS:
+    case SmootherType::kL1HybridJGS: {
+      // e = M^{-T} (M + M^T - A) M^{-1} r with M = blockdiag(L).
+      Vector y, z(n), ay;
+      lower_solve(r, y);
+      a_->spmv(y, ay);
+      // (M + M^T) y: block lower + block upper, diagonal counted twice.
+      const auto rp = a_->row_ptr();
+      const auto ci = a_->col_idx();
+      const auto v = a_->values();
+      for (const Range& rg : blocks_) {
+        for (std::size_t i = rg.begin; i < rg.end; ++i) {
+          double s = 2.0 * diag_[i] * y[i];
+          const auto row = static_cast<Index>(i);
+          for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+            const auto j =
+                static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+            if (j != i && j >= rg.begin && j < rg.end) {
+              s += v[static_cast<std::size_t>(k)] * y[j];
+            }
+          }
+          z[i] = s - ay[i];
+        }
+      }
+      upper_solve(z, e);
+      break;
+    }
+  }
+}
+
+CsrMatrix smoothed_interpolant(const CsrMatrix& a, const CsrMatrix& p,
+                               SmootherType smoother_type, double omega) {
+  Vector dtilde(static_cast<std::size_t>(a.rows()));
+  if (smoother_type == SmootherType::kL1Jacobi) {
+    const Vector l1 = a.l1_row_norms();
+    for (std::size_t i = 0; i < dtilde.size(); ++i) dtilde[i] = 1.0 / l1[i];
+  } else {
+    // omega-Jacobi iteration matrix for every other smoother (the paper's
+    // choice, to keep the interpolants sparse).
+    const Vector d = a.diag();
+    for (std::size_t i = 0; i < dtilde.size(); ++i) dtilde[i] = omega / d[i];
+  }
+  CsrMatrix ap = multiply(a, p);
+  ap.scale_rows(dtilde);
+  return add(p, ap, 1.0, -1.0);  // P - D~^{-1} A P
+}
+
+}  // namespace asyncmg

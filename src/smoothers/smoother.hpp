@@ -1,0 +1,127 @@
+#pragma once
+// The paper's four smoothers (Section V):
+//
+//   weighted Jacobi   M = D / omega
+//   l1-Jacobi         M = diag(sum_j |a_ij|)
+//   hybrid JGS        M = blockdiag(L_1..L_p): one Gauss-Seidel sweep inside
+//                     each of p row blocks (p = threads), Jacobi across
+//   async GS          the asynchronous version of hybrid JGS: each thread
+//                     relaxes its rows writing updates immediately; reads of
+//                     other blocks' entries may be new or old
+//
+// A Smoother is bound to one matrix. Two operations matter to multigrid:
+//   apply_zero:  e = Lambda r   (one sweep on A e = r from a zero guess)
+//   sweep:       x <- x + M^{-1}(b - A x)
+// Block/range forms exist for the per-grid thread teams of the async
+// runtime; the block decomposition is the same static row partition the
+// teams use, so hybrid JGS blocks coincide with thread ranges.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "sparse/csr.hpp"
+#include "util/partition.hpp"
+
+namespace asyncmg {
+
+// kL1HybridJGS is the l1 variant of hybrid JGS from Baker et al. (the
+// paper's reference [23]): the block diagonal is augmented with the l1 norm
+// of each row's off-block entries, which makes the method unconditionally
+// convergent for SPD matrices no matter how many blocks are used (plain
+// hybrid JGS can diverge with many blocks, as the paper notes).
+enum class SmootherType {
+  kWeightedJacobi,
+  kL1Jacobi,
+  kHybridJGS,
+  kAsyncGS,
+  kL1HybridJGS,
+};
+
+std::string smoother_name(SmootherType t);
+
+struct SmootherOptions {
+  SmootherType type = SmootherType::kWeightedJacobi;
+  /// Damping for weighted Jacobi (the paper uses .9 for the stencil sets and
+  /// .5 for the MFEM sets).
+  double omega = 0.9;
+  /// Number of row blocks for hybrid JGS / async GS; the paper sets this to
+  /// the number of threads assigned to the grid.
+  std::size_t num_blocks = 1;
+};
+
+class Smoother {
+ public:
+  Smoother(const CsrMatrix& a, SmootherOptions opts);
+
+  const CsrMatrix& matrix() const { return *a_; }
+  SmootherType type() const { return opts_.type; }
+  const SmootherOptions& options() const { return opts_; }
+  std::size_t num_blocks() const { return blocks_.size(); }
+  const Range& block(std::size_t b) const { return blocks_[b]; }
+
+  /// Diagonal scaling of the sweep: entry i is omega/d_ii (Jacobi),
+  /// 1/sum|a_ij| (l1), or 1/d_ii (JGS family). This is the diagonal D~^{-1}
+  /// in the iteration matrix G = I - D~^{-1} A used for Jacobi-type
+  /// smoothed interpolants.
+  const Vector& inv_diag() const { return inv_diag_; }
+
+  /// e = Lambda r: one sweep on A e = r with zero initial guess, all rows.
+  void apply_zero(const Vector& r, Vector& e) const;
+
+  /// Block form of apply_zero for thread teams: computes e over the rows of
+  /// block `blk` only. For kAsyncGS the block reads `e` live (entries of
+  /// other blocks may be mid-update); for the other types it touches only
+  /// its own rows.
+  void apply_zero_block(const Vector& r, Vector& e, std::size_t blk) const;
+
+  /// One sweep x <- x + M^{-1}(b - A x) over all rows (synchronous).
+  void sweep(const Vector& b, Vector& x) const;
+
+  /// Transposed sweep x <- x + M^{-T}(b - A x). Post-smoothing with M^T
+  /// makes the multiplicative V(1,1)-cycle symmetric (G^T post-smoothing in
+  /// Section II-B1). Identical to sweep() for the diagonal smoothers.
+  void sweep_transpose(const Vector& b, Vector& x) const;
+
+  /// One live asynchronous Gauss-Seidel sweep over block `blk` of A x = b,
+  /// updating x in place through relaxed atomics (entries owned by other
+  /// threads may be read mid-update). This is the in-place counterpart of
+  /// apply_zero_block for kAsyncGS; usable with any smoother type's block
+  /// decomposition but always relaxes GS-style.
+  void async_gs_sweep_block(const Vector& b, Vector& x, std::size_t blk) const;
+
+  /// `n` successive sweeps with zero initial guess (x is overwritten);
+  /// n >= 1. Used by AFACx V(s1/s2,0) inner smoothing.
+  void smooth_zero(const Vector& b, Vector& x, int sweeps) const;
+
+  /// e = Mbar^{-1} r with the symmetrized smoothing matrix
+  /// Mbar^{-1} = M^{-T} (M + M^T - A) M^{-1} (Section II-B1). With this
+  /// choice Multadd is mathematically equivalent to a symmetric
+  /// multiplicative V(1,1)-cycle; used by tests and the `exact` Multadd
+  /// variant. (kAsyncGS uses its hybrid-JGS matrix.)
+  void apply_symmetrized(const Vector& r, Vector& e) const;
+
+ private:
+  void sweep_jacobi_like(const Vector& b, Vector& x) const;
+  void sweep_block_gs(const Vector& b, Vector& x) const;
+  void triangular_apply_block(const Vector& r, Vector& e, std::size_t blk,
+                              bool live) const;
+  /// y = M^{-1} r and z = M^{-T} r for the symmetrized application.
+  void lower_solve(const Vector& r, Vector& y) const;
+  void upper_solve(const Vector& r, Vector& y) const;
+
+  const CsrMatrix* a_;
+  SmootherOptions opts_;
+  Vector inv_diag_;
+  Vector diag_;  // plain matrix diagonal
+  std::vector<Range> blocks_;
+  mutable Vector scratch_;
+};
+
+/// Smoothed interpolant Pbar = (I - D~^{-1} A) P where D~ is the Jacobi-type
+/// diagonal of `smoother_type` (omega-Jacobi or l1-Jacobi; the paper keeps
+/// Jacobi-type interpolants even for hybrid/async smoothing, for sparsity).
+CsrMatrix smoothed_interpolant(const CsrMatrix& a, const CsrMatrix& p,
+                               SmootherType smoother_type, double omega);
+
+}  // namespace asyncmg

@@ -1,0 +1,29 @@
+#pragma once
+// Spectral estimates for smoother iteration matrices.
+//
+// Section II-C of the paper: an asynchronous fixed-point iteration with
+// iteration matrix G converges if rho(|G|) < 1, where |G| is the
+// element-wise absolute value. These helpers estimate both rho(G) (the
+// synchronous rate) and rho(|G|) (the asynchronous condition) by power
+// iteration, matrix-free.
+
+#include <cstdint>
+
+#include "smoothers/smoother.hpp"
+
+namespace asyncmg {
+
+/// Estimates rho(G), G = I - M^{-1} A, via power iteration on G (any
+/// smoother type; uses sweeps with b = 0).
+double spectral_radius_iteration(const Smoother& smoother, int iterations,
+                                 std::uint64_t seed);
+
+/// Estimates rho(|G|) for the *diagonal* smoothers (weighted Jacobi,
+/// l1-Jacobi), where |G| has entries |delta_ij - d_i a_ij| and can be
+/// applied matrix-free. Since |G| is nonnegative, power iteration from a
+/// positive vector converges to the Perron root. Throws for block
+/// smoothers (their M^{-1} A is not sparse).
+double spectral_radius_abs_iteration(const Smoother& smoother, int iterations,
+                                     std::uint64_t seed);
+
+}  // namespace asyncmg

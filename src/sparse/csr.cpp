@@ -1,0 +1,295 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace asyncmg {
+
+CsrMatrix::CsrMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols), row_ptr_(static_cast<std::size_t>(rows) + 1, 0) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("negative dimension");
+}
+
+CsrMatrix CsrMatrix::from_triplets(Index rows, Index cols,
+                                   std::vector<Triplet> triplets) {
+  CsrMatrix a(rows, cols);
+  for (const auto& t : triplets) {
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+      throw std::out_of_range("triplet index out of range");
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& x, const Triplet& y) {
+              return x.row != y.row ? x.row < y.row : x.col < y.col;
+            });
+  // Merge duplicates while counting row sizes.
+  a.col_idx_.reserve(triplets.size());
+  a.values_.reserve(triplets.size());
+  std::size_t i = 0;
+  while (i < triplets.size()) {
+    const Index r = triplets[i].row;
+    const Index c = triplets[i].col;
+    double v = triplets[i].value;
+    std::size_t j = i + 1;
+    while (j < triplets.size() && triplets[j].row == r && triplets[j].col == c) {
+      v += triplets[j].value;
+      ++j;
+    }
+    a.col_idx_.push_back(c);
+    a.values_.push_back(v);
+    ++a.row_ptr_[static_cast<std::size_t>(r) + 1];
+    i = j;
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(rows); ++r) {
+    a.row_ptr_[r + 1] += a.row_ptr_[r];
+  }
+  return a;
+}
+
+CsrMatrix CsrMatrix::from_csr(Index rows, Index cols,
+                              std::vector<Index> row_ptr,
+                              std::vector<Index> cols_idx,
+                              std::vector<double> values) {
+  if (row_ptr.size() != static_cast<std::size_t>(rows) + 1) {
+    throw std::invalid_argument("row_ptr size mismatch");
+  }
+  if (cols_idx.size() != values.size() ||
+      row_ptr.back() != static_cast<Index>(values.size()) || row_ptr[0] != 0) {
+    throw std::invalid_argument("CSR arrays inconsistent");
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(rows); ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) {
+      throw std::invalid_argument("row_ptr not monotone");
+    }
+  }
+  for (Index c : cols_idx) {
+    if (c < 0 || c >= cols) throw std::out_of_range("column index out of range");
+  }
+  CsrMatrix a;
+  a.rows_ = rows;
+  a.cols_ = cols;
+  a.row_ptr_ = std::move(row_ptr);
+  a.col_idx_ = std::move(cols_idx);
+  a.values_ = std::move(values);
+  return a;
+}
+
+CsrMatrix CsrMatrix::identity(Index n) {
+  CsrMatrix a(n, n);
+  a.col_idx_.resize(static_cast<std::size_t>(n));
+  a.values_.assign(static_cast<std::size_t>(n), 1.0);
+  for (Index i = 0; i < n; ++i) {
+    a.row_ptr_[static_cast<std::size_t>(i) + 1] = i + 1;
+    a.col_idx_[static_cast<std::size_t>(i)] = i;
+  }
+  return a;
+}
+
+CsrMatrix CsrMatrix::diagonal(const Vector& d) {
+  const Index n = static_cast<Index>(d.size());
+  CsrMatrix a = identity(n);
+  std::copy(d.begin(), d.end(), a.values_.begin());
+  return a;
+}
+
+double CsrMatrix::at(Index i, Index j) const {
+  assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  const Index b = row_ptr_[static_cast<std::size_t>(i)];
+  const Index e = row_ptr_[static_cast<std::size_t>(i) + 1];
+  const auto first = col_idx_.begin() + b;
+  const auto last = col_idx_.begin() + e;
+  const auto it = std::lower_bound(first, last, j);
+  if (it != last && *it == j) {
+    return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+  }
+  return 0.0;
+}
+
+Vector CsrMatrix::diag() const {
+  Vector d(static_cast<std::size_t>(rows_), 0.0);
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      if (col_idx_[static_cast<std::size_t>(k)] == i) {
+        d[static_cast<std::size_t>(i)] = values_[static_cast<std::size_t>(k)];
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+Vector CsrMatrix::l1_row_norms() const {
+  Vector d(static_cast<std::size_t>(rows_), 0.0);
+  for (Index i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      s += std::abs(values_[static_cast<std::size_t>(k)]);
+    }
+    d[static_cast<std::size_t>(i)] = s;
+  }
+  return d;
+}
+
+void CsrMatrix::spmv(const Vector& x, Vector& y) const {
+  assert(static_cast<Index>(x.size()) == cols_);
+  y.resize(static_cast<std::size_t>(rows_));
+  spmv_rows(x, y, 0, rows_);
+}
+
+void CsrMatrix::spmv_rows(const Vector& x, Vector& y, Index row_begin,
+                          Index row_end) const {
+  assert(row_begin >= 0 && row_end <= rows_);
+  for (Index i = row_begin; i < row_end; ++i) {
+    double s = 0.0;
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      s += values_[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(i)] = s;
+  }
+}
+
+void CsrMatrix::spmv_omp(const Vector& x, Vector& y) const {
+  assert(static_cast<Index>(x.size()) == cols_);
+  y.resize(static_cast<std::size_t>(rows_));
+#pragma omp parallel for schedule(static)
+  for (Index i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      s += values_[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(i)] = s;
+  }
+}
+
+void CsrMatrix::spmv_add(const Vector& x, Vector& y, double alpha) const {
+  assert(static_cast<Index>(x.size()) == cols_ &&
+         static_cast<Index>(y.size()) == rows_);
+  for (Index i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      s += values_[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(i)] += alpha * s;
+  }
+}
+
+void CsrMatrix::residual(const Vector& b, const Vector& x, Vector& r) const {
+  r.resize(static_cast<std::size_t>(rows_));
+  residual_rows(b, x, r, 0, rows_);
+}
+
+void CsrMatrix::residual_rows(const Vector& b, const Vector& x, Vector& r,
+                              Index row_begin, Index row_end) const {
+  assert(static_cast<Index>(b.size()) == rows_ &&
+         static_cast<Index>(x.size()) == cols_);
+  for (Index i = row_begin; i < row_end; ++i) {
+    double s = b[static_cast<std::size_t>(i)];
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      s -= values_[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    r[static_cast<std::size_t>(i)] = s;
+  }
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  CsrMatrix t(cols_, rows_);
+  t.col_idx_.resize(values_.size());
+  t.values_.resize(values_.size());
+  // Count entries per column.
+  for (Index c : col_idx_) ++t.row_ptr_[static_cast<std::size_t>(c) + 1];
+  for (std::size_t r = 0; r < static_cast<std::size_t>(cols_); ++r) {
+    t.row_ptr_[r + 1] += t.row_ptr_[r];
+  }
+  std::vector<Index> next(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const Index c = col_idx_[static_cast<std::size_t>(k)];
+      const Index pos = next[static_cast<std::size_t>(c)]++;
+      t.col_idx_[static_cast<std::size_t>(pos)] = i;
+      t.values_[static_cast<std::size_t>(pos)] =
+          values_[static_cast<std::size_t>(k)];
+    }
+  }
+  return t;  // rows visited in increasing i => columns sorted per row
+}
+
+void CsrMatrix::spmv_transpose(const Vector& x, Vector& y) const {
+  assert(static_cast<Index>(x.size()) == rows_);
+  y.assign(static_cast<std::size_t>(cols_), 0.0);
+  for (Index i = 0; i < rows_; ++i) {
+    const double xi = x[static_cast<std::size_t>(i)];
+    if (xi == 0.0) continue;
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      y[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] +=
+          values_[static_cast<std::size_t>(k)] * xi;
+    }
+  }
+}
+
+void CsrMatrix::scale_rows(const Vector& s) {
+  assert(static_cast<Index>(s.size()) == rows_);
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      values_[static_cast<std::size_t>(k)] *= s[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+double CsrMatrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : values_) s += v * v;
+  return std::sqrt(s);
+}
+
+bool CsrMatrix::approx_equal(const CsrMatrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (Index i = 0; i < rows_; ++i) {
+    // Merge the two sorted rows, comparing values entrywise.
+    Index ka = row_ptr_[i], kb = other.row_ptr_[i];
+    const Index ea = row_ptr_[i + 1], eb = other.row_ptr_[i + 1];
+    while (ka < ea || kb < eb) {
+      const Index ca = ka < ea ? col_idx_[static_cast<std::size_t>(ka)]
+                               : std::numeric_limits<Index>::max();
+      const Index cb = kb < eb ? other.col_idx_[static_cast<std::size_t>(kb)]
+                               : std::numeric_limits<Index>::max();
+      double va = 0.0, vb = 0.0;
+      if (ca <= cb) va = values_[static_cast<std::size_t>(ka++)];
+      if (cb <= ca) vb = other.values_[static_cast<std::size_t>(kb++)];
+      if (std::abs(va - vb) > tol) return false;
+    }
+  }
+  return true;
+}
+
+bool CsrMatrix::rows_sorted() const {
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index k = row_ptr_[i] + 1; k < row_ptr_[i + 1]; ++k) {
+      if (col_idx_[static_cast<std::size_t>(k - 1)] >=
+          col_idx_[static_cast<std::size_t>(k)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool CsrMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  return approx_equal(transpose(), tol);
+}
+
+std::string CsrMatrix::summary() const {
+  std::ostringstream os;
+  os << rows_ << " x " << cols_ << ", nnz=" << nnz();
+  return os.str();
+}
+
+}  // namespace asyncmg

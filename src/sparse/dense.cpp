@@ -1,0 +1,98 @@
+#include "sparse/dense.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace asyncmg {
+
+DenseMatrix::DenseMatrix(Index rows, Index cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            0.0) {}
+
+DenseMatrix DenseMatrix::from_csr(const CsrMatrix& a) {
+  DenseMatrix d(a.rows(), a.cols());
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.values();
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+      d(i, ci[static_cast<std::size_t>(k)]) += v[static_cast<std::size_t>(k)];
+    }
+  }
+  return d;
+}
+
+void DenseMatrix::matvec(const Vector& x, Vector& y) const {
+  assert(static_cast<Index>(x.size()) == cols_);
+  y.assign(static_cast<std::size_t>(rows_), 0.0);
+  for (Index i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (Index j = 0; j < cols_; ++j) s += (*this)(i, j) * x[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = s;
+  }
+}
+
+LuSolver::LuSolver(const CsrMatrix& a) : LuSolver(DenseMatrix::from_csr(a)) {}
+
+LuSolver::LuSolver(DenseMatrix a) : n_(a.rows()), lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols()) {
+    throw std::invalid_argument("LuSolver: matrix must be square");
+  }
+  factor();
+}
+
+void LuSolver::factor() {
+  piv_.resize(static_cast<std::size_t>(n_));
+  for (Index k = 0; k < n_; ++k) {
+    // Partial pivot: largest magnitude in column k at/below the diagonal.
+    Index p = k;
+    double best = std::abs(lu_(k, k));
+    for (Index i = k + 1; i < n_; ++i) {
+      const double cand = std::abs(lu_(i, k));
+      if (cand > best) {
+        best = cand;
+        p = i;
+      }
+    }
+    if (best == 0.0) throw std::runtime_error("LuSolver: singular matrix");
+    piv_[static_cast<std::size_t>(k)] = p;
+    if (p != k) {
+      for (Index j = 0; j < n_; ++j) std::swap(lu_(k, j), lu_(p, j));
+    }
+    const double pivot = lu_(k, k);
+    for (Index i = k + 1; i < n_; ++i) {
+      const double m = lu_(i, k) / pivot;
+      lu_(i, k) = m;
+      if (m == 0.0) continue;
+      for (Index j = k + 1; j < n_; ++j) lu_(i, j) -= m * lu_(k, j);
+    }
+  }
+}
+
+void LuSolver::solve(const Vector& b, Vector& x) const {
+  assert(static_cast<Index>(b.size()) == n_);
+  x = b;
+  // Apply row permutation.
+  for (Index k = 0; k < n_; ++k) {
+    const Index p = piv_[static_cast<std::size_t>(k)];
+    if (p != k) std::swap(x[static_cast<std::size_t>(k)], x[static_cast<std::size_t>(p)]);
+  }
+  // Forward substitution with unit lower triangle.
+  for (Index i = 1; i < n_; ++i) {
+    double s = x[static_cast<std::size_t>(i)];
+    for (Index j = 0; j < i; ++j) s -= lu_(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = s;
+  }
+  // Back substitution.
+  for (Index i = n_ - 1; i >= 0; --i) {
+    double s = x[static_cast<std::size_t>(i)];
+    for (Index j = i + 1; j < n_; ++j) s -= lu_(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = s / lu_(i, i);
+    if (i == 0) break;
+  }
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,64 @@
+#pragma once
+// Dense matrix with pivoted LU factorization. Used as the exact solver on
+// the coarsest multigrid level (Lambda_ell = A_ell^{-1} in Eq. 1/2 of the
+// paper) and as a reference oracle in tests.
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace asyncmg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(Index rows, Index cols);
+
+  static DenseMatrix from_csr(const CsrMatrix& a);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+
+  double& operator()(Index i, Index j) {
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(j)];
+  }
+  double operator()(Index i, Index j) const {
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(j)];
+  }
+
+  /// y = A x.
+  void matvec(const Vector& x, Vector& y) const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting; factor once, solve many times.
+class LuSolver {
+ public:
+  LuSolver() = default;
+
+  /// Factors a dense copy of `a` (square). Throws on exact singularity.
+  explicit LuSolver(const CsrMatrix& a);
+  explicit LuSolver(DenseMatrix a);
+
+  bool empty() const { return n_ == 0; }
+  Index size() const { return n_; }
+
+  /// x = A^{-1} b.
+  void solve(const Vector& b, Vector& x) const;
+
+ private:
+  void factor();
+
+  Index n_ = 0;
+  DenseMatrix lu_;
+  std::vector<Index> piv_;
+};
+
+}  // namespace asyncmg

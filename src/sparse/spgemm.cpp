@@ -1,0 +1,144 @@
+#include "sparse/spgemm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace asyncmg {
+
+CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("multiply: inner dimension mismatch");
+  }
+  const Index m = a.rows();
+  const Index n = b.cols();
+  const auto arp = a.row_ptr();
+  const auto aci = a.col_idx();
+  const auto av = a.values();
+  const auto brp = b.row_ptr();
+  const auto bci = b.col_idx();
+  const auto bv = b.values();
+
+  // Gustavson: one dense accumulator + "seen" marker reused across rows.
+  std::vector<double> acc(static_cast<std::size_t>(n), 0.0);
+  std::vector<Index> marker(static_cast<std::size_t>(n), -1);
+  std::vector<Index> row_cols;
+
+  std::vector<Index> row_ptr(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<Index> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(static_cast<std::size_t>(a.nnz()) + b.nnz());
+  values.reserve(static_cast<std::size_t>(a.nnz()) + b.nnz());
+
+  for (Index i = 0; i < m; ++i) {
+    row_cols.clear();
+    for (Index ka = arp[i]; ka < arp[i + 1]; ++ka) {
+      const Index k = aci[static_cast<std::size_t>(ka)];
+      const double aval = av[static_cast<std::size_t>(ka)];
+      for (Index kb = brp[k]; kb < brp[k + 1]; ++kb) {
+        const Index j = bci[static_cast<std::size_t>(kb)];
+        if (marker[static_cast<std::size_t>(j)] != i) {
+          marker[static_cast<std::size_t>(j)] = i;
+          acc[static_cast<std::size_t>(j)] = 0.0;
+          row_cols.push_back(j);
+        }
+        acc[static_cast<std::size_t>(j)] +=
+            aval * bv[static_cast<std::size_t>(kb)];
+      }
+    }
+    std::sort(row_cols.begin(), row_cols.end());
+    for (Index j : row_cols) {
+      col_idx.push_back(j);
+      values.push_back(acc[static_cast<std::size_t>(j)]);
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<Index>(col_idx.size());
+  }
+  return CsrMatrix::from_csr(m, n, std::move(row_ptr), std::move(col_idx),
+                             std::move(values));
+}
+
+CsrMatrix add(const CsrMatrix& a, const CsrMatrix& b, double alpha,
+              double beta) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("add: shape mismatch");
+  }
+  const Index m = a.rows();
+  std::vector<Index> row_ptr(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<Index> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(static_cast<std::size_t>(a.nnz()) + b.nnz());
+  values.reserve(static_cast<std::size_t>(a.nnz()) + b.nnz());
+
+  const auto arp = a.row_ptr();
+  const auto aci = a.col_idx();
+  const auto av = a.values();
+  const auto brp = b.row_ptr();
+  const auto bci = b.col_idx();
+  const auto bv = b.values();
+
+  for (Index i = 0; i < m; ++i) {
+    Index ka = arp[i], kb = brp[i];
+    const Index ea = arp[i + 1], eb = brp[i + 1];
+    while (ka < ea || kb < eb) {
+      const Index ca = ka < ea ? aci[static_cast<std::size_t>(ka)]
+                               : std::numeric_limits<Index>::max();
+      const Index cb = kb < eb ? bci[static_cast<std::size_t>(kb)]
+                               : std::numeric_limits<Index>::max();
+      double v = 0.0;
+      Index c;
+      if (ca < cb) {
+        c = ca;
+        v = alpha * av[static_cast<std::size_t>(ka++)];
+      } else if (cb < ca) {
+        c = cb;
+        v = beta * bv[static_cast<std::size_t>(kb++)];
+      } else {
+        c = ca;
+        v = alpha * av[static_cast<std::size_t>(ka++)] +
+            beta * bv[static_cast<std::size_t>(kb++)];
+      }
+      col_idx.push_back(c);
+      values.push_back(v);
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<Index>(col_idx.size());
+  }
+  return CsrMatrix::from_csr(m, a.cols(), std::move(row_ptr),
+                             std::move(col_idx), std::move(values));
+}
+
+CsrMatrix galerkin_product(const CsrMatrix& a, const CsrMatrix& p) {
+  const CsrMatrix ap = multiply(a, p);
+  const CsrMatrix pt = p.transpose();
+  return multiply(pt, ap);
+}
+
+CsrMatrix drop_small(const CsrMatrix& a, double tol) {
+  const Index m = a.rows();
+  std::vector<Index> row_ptr(static_cast<std::size_t>(m) + 1, 0);
+  std::vector<Index> col_idx;
+  std::vector<double> values;
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.values();
+  const bool square = a.rows() == a.cols();
+  for (Index i = 0; i < m; ++i) {
+    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+      const Index j = ci[static_cast<std::size_t>(k)];
+      const double val = v[static_cast<std::size_t>(k)];
+      if (std::abs(val) > tol || (square && j == i)) {
+        col_idx.push_back(j);
+        values.push_back(val);
+      }
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<Index>(col_idx.size());
+  }
+  return CsrMatrix::from_csr(m, a.cols(), std::move(row_ptr),
+                             std::move(col_idx), std::move(values));
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,24 @@
+#pragma once
+// Sparse matrix-matrix kernels: SpGEMM (Gustavson's row-wise algorithm),
+// sparse addition, and the Galerkin triple product P^T A P used to build
+// coarse-grid operators (Section II-A) and the smoothed interpolants
+// Pbar = G P of Multadd (Section II-B1).
+
+#include "sparse/csr.hpp"
+
+namespace asyncmg {
+
+/// C = A * B.
+CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b);
+
+/// C = alpha * A + beta * B (same shape).
+CsrMatrix add(const CsrMatrix& a, const CsrMatrix& b, double alpha = 1.0,
+              double beta = 1.0);
+
+/// Galerkin coarse operator A_c = P^T A P.
+CsrMatrix galerkin_product(const CsrMatrix& a, const CsrMatrix& p);
+
+/// Drop entries with |value| <= tol (keeps the diagonal of square matrices).
+CsrMatrix drop_small(const CsrMatrix& a, double tol);
+
+}  // namespace asyncmg

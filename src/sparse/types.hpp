@@ -1,0 +1,17 @@
+#pragma once
+// Common scalar/index typedefs for the sparse kernels.
+
+#include <cstdint>
+#include <vector>
+
+namespace asyncmg {
+
+/// Row/column index type. 32-bit indices keep CSR structures compact; all
+/// problems in the paper (up to 80^3 = 512000 rows, ~14M nonzeros) fit
+/// comfortably.
+using Index = std::int32_t;
+
+/// Dense vector of doubles.
+using Vector = std::vector<double>;
+
+}  // namespace asyncmg

@@ -1,0 +1,56 @@
+#include "sparse/vec.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace asyncmg {
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  assert(x.size() == y.size());
+  axpy_range(alpha, x, y, 0, x.size());
+}
+
+void axpy_range(double alpha, const Vector& x, Vector& y, std::size_t begin,
+                std::size_t end) {
+  assert(end <= x.size() && end <= y.size());
+  for (std::size_t i = begin; i < end; ++i) y[i] += alpha * x[i];
+}
+
+void scale(Vector& x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+double dot(const Vector& x, const Vector& y) {
+  assert(x.size() == y.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+double norm2(const Vector& x) { return std::sqrt(dot(x, x)); }
+
+double norm_inf(const Vector& x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void fill(Vector& x, double value) {
+  for (double& v : x) v = value;
+}
+
+void hadamard(const Vector& d, const Vector& x, Vector& y) {
+  assert(d.size() == x.size());
+  y.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = d[i] * x[i];
+}
+
+Vector random_vector(std::size_t n, Rng& rng, double lo, double hi) {
+  Vector v(n);
+  for (double& e : v) e = rng.uniform(lo, hi);
+  return v;
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,41 @@
+#pragma once
+// Dense vector kernels (BLAS-1 style) with whole-vector and index-range
+// forms. Range forms are executed by the per-grid thread teams.
+
+#include <cstddef>
+
+#include "sparse/types.hpp"
+
+namespace asyncmg {
+
+class Rng;
+
+/// y += alpha * x.
+void axpy(double alpha, const Vector& x, Vector& y);
+void axpy_range(double alpha, const Vector& x, Vector& y, std::size_t begin,
+                std::size_t end);
+
+/// x *= alpha.
+void scale(Vector& x, double alpha);
+
+/// Dot product.
+double dot(const Vector& x, const Vector& y);
+
+/// Euclidean norm.
+double norm2(const Vector& x);
+
+/// Max norm.
+double norm_inf(const Vector& x);
+
+/// Fill with a constant.
+void fill(Vector& x, double value);
+
+/// Entrywise y_i = x_i * d_i (diagonal application).
+void hadamard(const Vector& d, const Vector& x, Vector& y);
+
+/// Random vector with entries uniform in [lo, hi] (the paper's right-hand
+/// sides are uniform in [-1, 1]).
+Vector random_vector(std::size_t n, Rng& rng, double lo = -1.0,
+                     double hi = 1.0);
+
+}  // namespace asyncmg

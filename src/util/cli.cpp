@@ -1,0 +1,89 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace asyncmg {
+
+Cli::Cli(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "";  // bare flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return options_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = options_.find(key);
+  if (it == options_.end() || it->second.empty()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  const auto it = options_.find(key);
+  if (it == options_.end() || it->second.empty()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return def;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  return false;
+}
+
+namespace {
+template <typename T, typename Parse>
+std::vector<T> parse_list(const std::string& text, Parse parse) {
+  std::vector<T> out;
+  std::stringstream ss(text);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(parse(tok));
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<std::int64_t> Cli::get_int_list(
+    const std::string& key, const std::vector<std::int64_t>& def) const {
+  const auto it = options_.find(key);
+  if (it == options_.end() || it->second.empty()) return def;
+  return parse_list<std::int64_t>(it->second, [](const std::string& s) {
+    return std::strtoll(s.c_str(), nullptr, 10);
+  });
+}
+
+std::vector<double> Cli::get_double_list(const std::string& key,
+                                         const std::vector<double>& def) const {
+  const auto it = options_.find(key);
+  if (it == options_.end() || it->second.empty()) return def;
+  return parse_list<double>(it->second, [](const std::string& s) {
+    return std::strtod(s.c_str(), nullptr);
+  });
+}
+
+}  // namespace asyncmg

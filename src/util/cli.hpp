@@ -1,0 +1,45 @@
+#pragma once
+// Minimal command-line option parser for the benchmark and example binaries.
+//
+// Accepts `--key value`, `--key=value`, and bare `--flag` forms. Benches use
+// it to expose paper-scale parameters (mesh sizes, run counts, thread
+// counts) without pulling in an external dependency.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asyncmg {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Comma-separated integer list, e.g. "--sizes 16,24,32".
+  std::vector<std::int64_t> get_int_list(
+      const std::string& key, const std::vector<std::int64_t>& def) const;
+
+  /// Comma-separated double list, e.g. "--alphas 0.1,0.3,0.5".
+  std::vector<double> get_double_list(const std::string& key,
+                                      const std::vector<double>& def) const;
+
+  /// Positional arguments (everything not starting with --).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace asyncmg

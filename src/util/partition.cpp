@@ -1,0 +1,84 @@
+#include "util/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace asyncmg {
+
+Range static_chunk(std::size_t n, std::size_t parts, std::size_t part) {
+  assert(parts > 0 && part < parts);
+  const std::size_t base = n / parts;
+  const std::size_t rem = n % parts;
+  // The first `rem` chunks get base+1 elements.
+  const std::size_t begin =
+      part * base + std::min<std::size_t>(part, rem);
+  const std::size_t len = base + (part < rem ? 1 : 0);
+  return Range{begin, begin + len};
+}
+
+std::vector<Range> static_chunks(std::size_t n, std::size_t parts) {
+  std::vector<Range> out(parts);
+  for (std::size_t p = 0; p < parts; ++p) out[p] = static_chunk(n, parts, p);
+  return out;
+}
+
+std::vector<std::size_t> assign_threads_to_grids(
+    const std::vector<double>& work, std::size_t num_threads) {
+  const std::size_t g = work.size();
+  if (g == 0) return {};
+  if (num_threads < g) {
+    throw std::invalid_argument(
+        "assign_threads_to_grids: need at least one thread per grid");
+  }
+  double total = 0.0;
+  for (double w : work) {
+    if (w < 0.0) {
+      throw std::invalid_argument("assign_threads_to_grids: negative work");
+    }
+    total += w;
+  }
+
+  std::vector<std::size_t> counts(g, 1);
+  std::size_t extra = num_threads - g;  // threads beyond the per-grid minimum
+  if (extra == 0 || total <= 0.0) {
+    // Degenerate: no extra threads, or all grids report zero work; spread
+    // the surplus round-robin so the assignment is still deterministic.
+    for (std::size_t i = 0; extra > 0; i = (i + 1) % g, --extra) ++counts[i];
+    return counts;
+  }
+
+  // Largest-remainder apportionment of the extra threads.
+  std::vector<double> share(g), frac(g);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < g; ++i) {
+    share[i] = static_cast<double>(extra) * (work[i] / total);
+    const auto floor_i = static_cast<std::size_t>(share[i]);
+    counts[i] += floor_i;
+    assigned += floor_i;
+    frac[i] = share[i] - static_cast<double>(floor_i);
+  }
+  std::vector<std::size_t> order(g);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return frac[a] > frac[b];
+  });
+  for (std::size_t j = 0; assigned < extra; ++j) {
+    ++counts[order[j % g]];
+    ++assigned;
+  }
+  return counts;
+}
+
+std::vector<Range> thread_ranges(const std::vector<std::size_t>& counts) {
+  std::vector<Range> out(counts.size());
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out[i] = Range{off, off + counts[i]};
+    off += counts[i];
+  }
+  return out;
+}
+
+}  // namespace asyncmg

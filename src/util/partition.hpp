@@ -1,0 +1,41 @@
+#pragma once
+// Index-range partitioning and work-balanced thread-to-grid assignment.
+//
+// Section IV of the paper distributes threads among multigrid levels so that
+// the per-grid "work" (roughly the flops of one correction) is balanced,
+// with every grid receiving at least one thread. `assign_threads_to_grids`
+// implements that policy.
+
+#include <cstddef>
+#include <vector>
+
+namespace asyncmg {
+
+/// Half-open index range [begin, end).
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+/// Static (OpenMP-style) split of [0, n) into `parts` contiguous chunks whose
+/// sizes differ by at most one. Parts beyond n are empty.
+Range static_chunk(std::size_t n, std::size_t parts, std::size_t part);
+
+/// All chunks of `static_chunk` at once.
+std::vector<Range> static_chunks(std::size_t n, std::size_t parts);
+
+/// Thread counts per grid: distributes `num_threads` among `work.size()`
+/// grids proportionally to `work` (largest-remainder rounding), guaranteeing
+/// at least one thread per grid. Requires num_threads >= work.size() and
+/// nonnegative work. Zero-work grids still get one thread.
+std::vector<std::size_t> assign_threads_to_grids(
+    const std::vector<double>& work, std::size_t num_threads);
+
+/// Contiguous thread-id ranges implied by per-grid counts: grid g owns
+/// threads [offsets[g], offsets[g] + counts[g]).
+std::vector<Range> thread_ranges(const std::vector<std::size_t>& counts);
+
+}  // namespace asyncmg

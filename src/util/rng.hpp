@@ -1,0 +1,51 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation.
+//
+// The asynchronous-model experiments (Section III of the paper) average over
+// many seeded runs; reproducibility across platforms matters, so we use a
+// self-contained xoshiro256** generator and hand-rolled distributions rather
+// than the implementation-defined <random> distributions.
+
+#include <cstdint>
+#include <limits>
+
+namespace asyncmg {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Advances `state` and returns the next value of the sequence.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Small, fast, high-quality PRNG with
+/// a 2^256-1 period; entirely deterministic given the seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection
+  /// method (unbiased). `bound` must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 random mantissa bits.
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p (p outside [0,1] is clamped).
+  bool bernoulli(double p);
+
+  /// Split off an independent generator (seeded from this one's stream);
+  /// used to give each run / grid / thread its own stream.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace asyncmg

@@ -1,0 +1,32 @@
+#pragma once
+// Small statistics helpers for averaging benchmark runs (the paper reports
+// the mean of 20 runs for every data point).
+
+#include <vector>
+
+namespace asyncmg {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);  // population variance
+double stddev(const std::vector<double>& xs);
+double median(std::vector<double> xs);           // by value: sorts a copy
+double geometric_mean(const std::vector<double>& xs);  // requires xs > 0
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+/// Online accumulator (Welford) for streaming runs.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace asyncmg

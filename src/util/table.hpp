@@ -1,0 +1,36 @@
+#pragma once
+// Aligned text tables + CSV emission for the benchmark harnesses. Every
+// bench prints the same rows/series the paper reports and can optionally
+// dump CSV for plotting.
+
+#include <string>
+#include <vector>
+
+namespace asyncmg {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` significant digits; NaN
+  /// renders as the paper's divergence marker "+" (dagger stand-in).
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt_int(long long v);
+
+  /// Render with aligned columns.
+  std::string to_text() const;
+
+  /// Render as CSV (header + rows).
+  std::string to_csv() const;
+
+  /// Print to stdout, and when `csv_path` is nonempty also write the CSV.
+  void emit(const std::string& csv_path = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace asyncmg

@@ -1,0 +1,24 @@
+#pragma once
+// Monotonic wall-clock timer used by the benchmark harnesses.
+
+#include <chrono>
+
+namespace asyncmg {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace asyncmg

@@ -1,0 +1,166 @@
+// Tests for the Section III asynchronous-model simulators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "async/model.hpp"
+#include "mesh/problems.hpp"
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace asyncmg {
+namespace {
+
+struct Fixture {
+  explicit Fixture(AdditiveKind kind, Index n = 10) {
+    Problem prob = make_laplace_7pt(n);
+    MgOptions mo;
+    mo.smoother.type = SmootherType::kWeightedJacobi;
+    mo.smoother.omega = 0.9;
+    setup = std::make_unique<MgSetup>(std::move(prob.a), mo);
+    AdditiveOptions ao;
+    ao.kind = kind;
+    corr = std::make_unique<AdditiveCorrector>(*setup, ao);
+    Rng rng(11);
+    b = random_vector(static_cast<std::size_t>(setup->a(0).rows()), rng);
+  }
+  std::unique_ptr<MgSetup> setup;
+  std::unique_ptr<AdditiveCorrector> corr;
+  Vector b;
+};
+
+double sync_additive_rel_res(Fixture& f, int cycles) {
+  Vector x(f.b.size(), 0.0);
+  AdditiveMg mg(*f.setup, f.corr->options());
+  return mg.solve(f.b, x, cycles).final_rel_res();
+}
+
+double model_rel_res(Fixture& f, AsyncModelKind kind, double alpha, int delay,
+                     std::uint64_t seed, int updates = 20) {
+  Vector x(f.b.size(), 0.0);
+  AsyncModelOptions opts;
+  opts.kind = kind;
+  opts.alpha = alpha;
+  opts.max_delay = delay;
+  opts.updates_per_grid = updates;
+  opts.seed = seed;
+  return run_async_model(*f.corr, f.b, x, opts).final_rel_res;
+}
+
+// With alpha = 1 every grid updates at every instant and delta = 0 forces
+// current reads, so all three models reduce to the synchronous additive
+// method: one model instant == one additive V-cycle.
+TEST(AsyncModel, Alpha1Delta0MatchesSynchronousMultadd) {
+  Fixture f(AdditiveKind::kMultadd);
+  const double sync = sync_additive_rel_res(f, 20);
+  for (AsyncModelKind kind :
+       {AsyncModelKind::kSemiAsync, AsyncModelKind::kFullAsyncSolution,
+        AsyncModelKind::kFullAsyncResidual}) {
+    const double async_rr = model_rel_res(f, kind, 1.0, 0, /*seed=*/3);
+    EXPECT_NEAR(async_rr / sync, 1.0, 1e-6)
+        << async_model_name(kind) << ": " << async_rr << " vs " << sync;
+  }
+}
+
+TEST(AsyncModel, Alpha1Delta0MatchesSynchronousAfacx) {
+  Fixture f(AdditiveKind::kAfacx);
+  const double sync = sync_additive_rel_res(f, 20);
+  const double rr =
+      model_rel_res(f, AsyncModelKind::kSemiAsync, 1.0, 0, /*seed=*/3);
+  EXPECT_NEAR(rr / sync, 1.0, 1e-6);
+}
+
+// Lower update probabilities slow convergence but must not destroy it
+// (Figure 1's message).
+TEST(AsyncModel, SemiAsyncConvergesWithSmallAlpha) {
+  Fixture f(AdditiveKind::kMultadd);
+  const double rr = model_rel_res(f, AsyncModelKind::kSemiAsync, 0.1, 0,
+                                  /*seed=*/5);
+  EXPECT_LT(rr, 1e-2);
+  // It should stay in the same decade as the synchronous method rather
+  // than collapse (individual seeds can land slightly above or below it).
+  const double sync = sync_additive_rel_res(f, 20);
+  EXPECT_LT(rr, sync * 100.0);
+  EXPECT_GT(rr, sync * 0.01);
+}
+
+// Larger delays slow convergence (Figure 2's message); with a small delay
+// the method still converges well, and with large delays the residual-based
+// version degrades more gracefully than the solution-based one (the paper's
+// second observation in Fig. 2).
+TEST(AsyncModel, FullAsyncDelayBehaviour) {
+  Fixture f(AdditiveKind::kMultadd);
+  const double sol1 = model_rel_res(f, AsyncModelKind::kFullAsyncSolution,
+                                    0.1, 1, /*seed=*/7);
+  const double res1 = model_rel_res(f, AsyncModelKind::kFullAsyncResidual,
+                                    0.1, 1, /*seed=*/7);
+  EXPECT_LT(sol1, 0.1);
+  EXPECT_LT(res1, 0.1);
+  // Large delays degrade but stay bounded, and the mean over a few seeds of
+  // the residual-based version beats the solution-based one.
+  double sol8 = 0.0, res8 = 0.0;
+  const int kSeeds = 5;
+  for (int s = 0; s < kSeeds; ++s) {
+    sol8 += model_rel_res(f, AsyncModelKind::kFullAsyncSolution, 0.1, 8,
+                          /*seed=*/100 + s);
+    res8 += model_rel_res(f, AsyncModelKind::kFullAsyncResidual, 0.1, 8,
+                          /*seed=*/100 + s);
+  }
+  sol8 /= kSeeds;
+  res8 /= kSeeds;
+  EXPECT_LT(res8, sol8);
+  EXPECT_LT(sol8, 10.0);
+  // And convergence degrades monotonically-ish with the delay.
+  EXPECT_LT(sol1, sol8);
+  EXPECT_LT(res1, res8);
+}
+
+TEST(AsyncModel, DeterministicGivenSeed) {
+  Fixture f(AdditiveKind::kMultadd);
+  const double a = model_rel_res(f, AsyncModelKind::kFullAsyncSolution, 0.3,
+                                 3, /*seed=*/42);
+  const double b = model_rel_res(f, AsyncModelKind::kFullAsyncSolution, 0.3,
+                                 3, /*seed=*/42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AsyncModel, ProbabilitiesRespectAlpha) {
+  Fixture f(AdditiveKind::kMultadd, 8);
+  Vector x(f.b.size(), 0.0);
+  AsyncModelOptions opts;
+  opts.alpha = 0.4;
+  opts.updates_per_grid = 2;
+  const AsyncModelResult r = run_async_model(*f.corr, f.b, x, opts);
+  ASSERT_FALSE(r.probabilities.empty());
+  for (double p : r.probabilities) {
+    EXPECT_GE(p, 0.4);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(AsyncModel, RecordsHistoryWhenAsked) {
+  Fixture f(AdditiveKind::kMultadd, 8);
+  Vector x(f.b.size(), 0.0);
+  AsyncModelOptions opts;
+  opts.alpha = 1.0;
+  opts.updates_per_grid = 5;
+  opts.record_history = true;
+  const AsyncModelResult r = run_async_model(*f.corr, f.b, x, opts);
+  ASSERT_EQ(static_cast<int>(r.rel_res_history.size()), r.time_instants);
+  EXPECT_NEAR(r.rel_res_history.back(), r.final_rel_res, 1e-14);
+}
+
+TEST(AsyncModel, RejectsBadParameters) {
+  Fixture f(AdditiveKind::kMultadd, 8);
+  Vector x(f.b.size(), 0.0);
+  AsyncModelOptions opts;
+  opts.alpha = 0.0;
+  EXPECT_THROW(run_async_model(*f.corr, f.b, x, opts), std::invalid_argument);
+  opts.alpha = 0.5;
+  opts.max_delay = -1;
+  EXPECT_THROW(run_async_model(*f.corr, f.b, x, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace asyncmg

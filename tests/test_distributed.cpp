@@ -1,0 +1,124 @@
+// Tests for the distributed-memory asynchronous multigrid simulator (the
+// paper's future-work direction).
+
+#include <gtest/gtest.h>
+
+#include "async/distributed.hpp"
+#include "mesh/problems.hpp"
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace asyncmg {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    Problem prob = make_laplace_7pt(8);
+    MgOptions mo;
+    mo.smoother.type = SmootherType::kWeightedJacobi;
+    mo.smoother.omega = 0.9;
+    setup = std::make_unique<MgSetup>(std::move(prob.a), mo);
+    AdditiveOptions ao;
+    ao.kind = AdditiveKind::kMultadd;
+    corr = std::make_unique<AdditiveCorrector>(*setup, ao);
+    Rng rng(31);
+    b = random_vector(static_cast<std::size_t>(setup->a(0).rows()), rng);
+  }
+  std::unique_ptr<MgSetup> setup;
+  std::unique_ptr<AdditiveCorrector> corr;
+  Vector b;
+};
+
+TEST(Distributed, AsyncConvergesAtModerateLatency) {
+  Fixture f;
+  Vector x(f.b.size(), 0.0);
+  DistributedOptions o;
+  o.t_max = 40;
+  // "Moderate": the latency is a fraction of one correction's compute time
+  // (this fixture's corrections take a few microseconds in the model).
+  o.latency = 1e-6;
+  const DistributedResult r = simulate_distributed_async(*f.corr, f.b, x, o);
+  EXPECT_LT(r.final_rel_res, 1e-4);
+  for (int c : r.corrections) EXPECT_EQ(c, 40);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(Distributed, SyncMatchesSequentialAdditiveConvergence) {
+  Fixture f;
+  Vector x_sim(f.b.size(), 0.0);
+  DistributedOptions o;
+  o.t_max = 20;
+  const DistributedResult r = simulate_distributed_sync(*f.corr, f.b, x_sim, o);
+
+  Vector x_seq(f.b.size(), 0.0);
+  AdditiveMg mg(*f.setup, f.corr->options());
+  const SolveStats st = mg.solve(f.b, x_seq, 20);
+  EXPECT_NEAR(r.final_rel_res / st.final_rel_res(), 1.0, 1e-9);
+}
+
+TEST(Distributed, ZeroLatencyAsyncApproachesSyncAccuracy) {
+  // With zero latency every commit is instantly visible, so async
+  // corrections always use fresh residuals; accuracy should be within an
+  // order of magnitude of the synchronous schedule.
+  Fixture f;
+  DistributedOptions o;
+  o.t_max = 20;
+  o.latency = 0.0;
+  Vector xa(f.b.size(), 0.0), xs(f.b.size(), 0.0);
+  const DistributedResult ra = simulate_distributed_async(*f.corr, f.b, xa, o);
+  const DistributedResult rs = simulate_distributed_sync(*f.corr, f.b, xs, o);
+  EXPECT_LT(ra.final_rel_res, rs.final_rel_res * 50.0);
+}
+
+TEST(Distributed, HigherLatencySlowsConvergence) {
+  Fixture f;
+  DistributedOptions lo;
+  lo.t_max = 30;
+  lo.latency = 1e-6;
+  DistributedOptions hi = lo;
+  hi.latency = 3e-3;
+  Vector x1(f.b.size(), 0.0), x2(f.b.size(), 0.0);
+  const double r_lo = simulate_distributed_async(*f.corr, f.b, x1, lo).final_rel_res;
+  const double r_hi = simulate_distributed_async(*f.corr, f.b, x2, hi).final_rel_res;
+  EXPECT_LT(r_lo, r_hi);
+}
+
+TEST(Distributed, AsyncMakespanBeatsSyncAtHighLatency) {
+  // The whole point: when barriers + latency dominate, the asynchronous
+  // discipline finishes the same number of corrections sooner.
+  Fixture f;
+  DistributedOptions o;
+  o.t_max = 20;
+  o.latency = 5e-3;
+  o.barrier_cost = 1e-3;
+  Vector x1(f.b.size(), 0.0), x2(f.b.size(), 0.0);
+  const double async_t =
+      simulate_distributed_async(*f.corr, f.b, x1, o).makespan;
+  const double sync_t = simulate_distributed_sync(*f.corr, f.b, x2, o).makespan;
+  EXPECT_LT(async_t, sync_t);
+}
+
+TEST(Distributed, DeterministicGivenSeed) {
+  Fixture f;
+  DistributedOptions o;
+  o.t_max = 10;
+  Vector x1(f.b.size(), 0.0), x2(f.b.size(), 0.0);
+  const DistributedResult a = simulate_distributed_async(*f.corr, f.b, x1, o);
+  const DistributedResult b2 = simulate_distributed_async(*f.corr, f.b, x2, o);
+  EXPECT_EQ(a.final_rel_res, b2.final_rel_res);
+  EXPECT_EQ(a.makespan, b2.makespan);
+}
+
+TEST(Distributed, RejectsBadOptions) {
+  Fixture f;
+  Vector x(f.b.size(), 0.0);
+  DistributedOptions o;
+  o.t_max = 0;
+  EXPECT_THROW(simulate_distributed_async(*f.corr, f.b, x, o),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_distributed_sync(*f.corr, f.b, x, o),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace asyncmg

@@ -1,0 +1,151 @@
+// Tests for the geometric multigrid builder: trilinear interpolation
+// structure, Galerkin hierarchy validity, and end-to-end solves through
+// the same solver stack the AMG hierarchy uses.
+
+#include <gtest/gtest.h>
+
+#include "async/runtime.hpp"
+#include "gmg/gmg.hpp"
+#include "mesh/grid3d.hpp"
+#include "sparse/spgemm.hpp"
+#include "mesh/problems.hpp"
+#include "multigrid/additive.hpp"
+#include "multigrid/mult.hpp"
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace asyncmg {
+namespace {
+
+TEST(GmgInterp, ShapeAndRowSums) {
+  const Index n = 7;  // coarse axis 3
+  const CsrMatrix p = gmg_trilinear_interpolation(n);
+  EXPECT_EQ(p.rows(), n * n * n);
+  EXPECT_EQ(p.cols(), 27);
+  // Row sums: 1 at points interior to the coarse cell structure, < 1 next
+  // to the Dirichlet boundary (the dropped neighbor is the zero boundary).
+  const Grid3D g{n, n, n};
+  const auto rp = p.row_ptr();
+  const auto v = p.values();
+  for (Index k = 0; k < n; ++k) {
+    for (Index j = 0; j < n; ++j) {
+      for (Index i = 0; i < n; ++i) {
+        double sum = 0.0;
+        const Index row = g.id(i, j, k);
+        for (Index kk = rp[row]; kk < rp[row + 1]; ++kk) {
+          sum += v[static_cast<std::size_t>(kk)];
+        }
+        const bool near_boundary = i == 0 || i == n - 1 || j == 0 ||
+                                   j == n - 1 || k == 0 || k == n - 1;
+        if (near_boundary) {
+          EXPECT_LT(sum, 1.0 + 1e-14);
+        } else {
+          EXPECT_NEAR(sum, 1.0, 1e-14) << i << "," << j << "," << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(GmgInterp, CoarsePointsInjected) {
+  const Index n = 7;
+  const CsrMatrix p = gmg_trilinear_interpolation(n);
+  const Grid3D fine{n, n, n};
+  const Index nc = gmg_coarse_axis(n);
+  const Grid3D coarse{nc, nc, nc};
+  // Fine point (2j+1) per axis coincides with coarse point j: weight 1.
+  for (Index ck = 0; ck < nc; ++ck) {
+    for (Index cj = 0; cj < nc; ++cj) {
+      for (Index ci = 0; ci < nc; ++ci) {
+        const Index frow = fine.id(2 * ci + 1, 2 * cj + 1, 2 * ck + 1);
+        EXPECT_DOUBLE_EQ(p.at(frow, coarse.id(ci, cj, ck)), 1.0);
+      }
+    }
+  }
+}
+
+TEST(GmgInterp, RejectsBadSizes) {
+  EXPECT_THROW(gmg_trilinear_interpolation(4), std::invalid_argument);
+  EXPECT_THROW(gmg_trilinear_interpolation(1), std::invalid_argument);
+}
+
+TEST(Gmg, HierarchyGalerkinConsistent) {
+  const Index n = 15;
+  Problem prob = make_laplace_7pt(n);
+  Hierarchy h = build_geometric_hierarchy(std::move(prob.a), n);
+  EXPECT_GE(h.num_levels(), 3u);  // 15 -> 7 -> 3
+  for (std::size_t k = 0; k + 1 < h.num_levels(); ++k) {
+    const CsrMatrix rap = galerkin_product(h.matrix(k), h.interpolation(k));
+    EXPECT_TRUE(rap.approx_equal(h.matrix(k + 1), 1e-11)) << "level " << k;
+    EXPECT_TRUE(h.matrix(k + 1).is_symmetric(1e-10));
+  }
+}
+
+TEST(Gmg, RejectsSizeMismatch) {
+  Problem prob = make_laplace_7pt(7);
+  EXPECT_THROW(build_geometric_hierarchy(std::move(prob.a), 9),
+               std::invalid_argument);
+}
+
+TEST(Gmg, MultSolvesThroughGeometricHierarchy) {
+  const Index n = 15;
+  Problem prob = make_laplace_7pt(n);
+  Hierarchy h = build_geometric_hierarchy(std::move(prob.a), n);
+  MgOptions mo;
+  mo.smoother.type = SmootherType::kWeightedJacobi;
+  mo.smoother.omega = 0.9;
+  MgSetup setup(std::move(h), mo);
+  Rng rng(71);
+  const Vector b = random_vector(static_cast<std::size_t>(setup.a(0).rows()), rng);
+  Vector x(b.size(), 0.0);
+  MultiplicativeMg mg(setup);
+  const SolveStats st = mg.solve(b, x, 60, 1e-9);
+  EXPECT_TRUE(st.converged) << st.final_rel_res();
+  EXPECT_LE(st.cycles, 45);  // geometric MG on the model problem is fast
+}
+
+TEST(Gmg, AsyncMultaddRunsOnGeometricHierarchy) {
+  const Index n = 15;
+  Problem prob = make_laplace_7pt(n);
+  Hierarchy h = build_geometric_hierarchy(std::move(prob.a), n);
+  MgOptions mo;
+  mo.smoother.type = SmootherType::kWeightedJacobi;
+  mo.smoother.omega = 0.9;
+  MgSetup setup(std::move(h), mo);
+  Rng rng(73);
+  const Vector b = random_vector(static_cast<std::size_t>(setup.a(0).rows()), rng);
+  AdditiveOptions ao;
+  ao.kind = AdditiveKind::kMultadd;
+  const AdditiveCorrector corr(setup, ao);
+  RuntimeOptions ro;
+  ro.t_max = 30;
+  ro.num_threads = 6;
+  Vector x(b.size(), 0.0);
+  const RuntimeResult rr = run_shared_memory(corr, b, x, ro);
+  EXPECT_LT(rr.final_rel_res, 1e-2);
+}
+
+TEST(Gmg, GridIndependentCycleCounts) {
+  std::vector<int> cycles;
+  for (Index n : {7, 15, 31}) {
+    Problem prob = make_laplace_7pt(n);
+    Hierarchy h = build_geometric_hierarchy(std::move(prob.a), n);
+    MgOptions mo;
+    mo.smoother.type = SmootherType::kWeightedJacobi;
+    mo.smoother.omega = 0.9;
+    MgSetup setup(std::move(h), mo);
+    Rng rng(79);
+    const Vector b =
+        random_vector(static_cast<std::size_t>(setup.a(0).rows()), rng);
+    Vector x(b.size(), 0.0);
+    MultiplicativeMg mg(setup);
+    const SolveStats st = mg.solve(b, x, 100, 1e-8);
+    ASSERT_TRUE(st.converged) << "n=" << n;
+    cycles.push_back(st.cycles);
+  }
+  EXPECT_LE(cycles.back(), cycles.front() + 10)
+      << cycles[0] << " " << cycles[1] << " " << cycles[2];
+}
+
+}  // namespace
+}  // namespace asyncmg

@@ -1,0 +1,268 @@
+// Tests for the problem generators (the MFEM substitutes).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/grid3d.hpp"
+#include "mesh/hex8.hpp"
+#include "mesh/problems.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace asyncmg {
+namespace {
+
+TEST(Grid3D, IndexingRoundTrip) {
+  const Grid3D g{4, 5, 6};
+  EXPECT_EQ(g.size(), 120);
+  EXPECT_EQ(g.id(0, 0, 0), 0);
+  EXPECT_EQ(g.id(3, 4, 5), 119);
+  EXPECT_EQ(g.id(1, 2, 3), 1 + 4 * (2 + 5 * 3));
+  EXPECT_TRUE(g.inside(3, 4, 5));
+  EXPECT_FALSE(g.inside(4, 0, 0));
+  EXPECT_FALSE(g.inside(-1, 0, 0));
+}
+
+// The paper states the 7pt matrix at 30^3 has 27000 rows and 183600
+// nonzeros, and the 27pt matrix 681472 nonzeros; our generators must
+// reproduce these counts exactly.
+TEST(Stencil, PaperNnzCountsAt30) {
+  Problem p7 = make_laplace_7pt(30);
+  EXPECT_EQ(p7.a.rows(), 27000);
+  EXPECT_EQ(p7.a.nnz(), 183600);
+  Problem p27 = make_laplace_27pt(30);
+  EXPECT_EQ(p27.a.rows(), 27000);
+  EXPECT_EQ(p27.a.nnz(), 681472);
+}
+
+class StencilCase : public ::testing::TestWithParam<TestSet> {};
+
+TEST_P(StencilCase, SymmetricDiagonallyDominant) {
+  Problem p = make_problem(GetParam(), 8);
+  EXPECT_TRUE(p.a.is_symmetric(1e-9)) << p.name;
+  const auto rp = p.a.row_ptr();
+  const auto ci = p.a.col_idx();
+  const auto v = p.a.values();
+  for (Index i = 0; i < p.a.rows(); ++i) {
+    double diag = 0.0, off = 0.0;
+    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+      if (ci[static_cast<std::size_t>(k)] == i) {
+        diag = v[static_cast<std::size_t>(k)];
+      } else {
+        off += std::abs(v[static_cast<std::size_t>(k)]);
+      }
+    }
+    EXPECT_GT(diag, 0.0) << p.name << " row " << i;
+    // Weak diagonal dominance holds for the stencils; FEM matrices are SPD
+    // but not always diagonally dominant, so only check positivity there.
+    if (GetParam() == TestSet::kFD7pt || GetParam() == TestSet::kFD27pt) {
+      EXPECT_GE(diag + 1e-12, off) << p.name << " row " << i;
+    }
+  }
+}
+
+TEST_P(StencilCase, PositiveDefiniteOnSmallInstance) {
+  Problem p = make_problem(GetParam(), 6);
+  // x^T A x > 0 for a handful of random x.
+  Rng rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Vector x =
+        random_vector(static_cast<std::size_t>(p.a.rows()), rng);
+    Vector ax;
+    p.a.spmv(x, ax);
+    EXPECT_GT(dot(x, ax), 0.0) << p.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSets, StencilCase,
+                         ::testing::Values(TestSet::kFD7pt, TestSet::kFD27pt,
+                                           TestSet::kFemLaplace,
+                                           TestSet::kFemElasticity),
+                         [](const ::testing::TestParamInfo<TestSet>& i) {
+                           switch (i.param) {
+                             case TestSet::kFD7pt: return "FD7pt";
+                             case TestSet::kFD27pt: return "FD27pt";
+                             case TestSet::kFemLaplace: return "FemLaplace";
+                             case TestSet::kFemElasticity:
+                               return "FemElasticity";
+                           }
+                           return "unknown";
+                         });
+
+TEST(Stencil, InteriorRowOf7ptIsClassic) {
+  Problem p = make_laplace_7pt(5);
+  const Grid3D g{5, 5, 5};
+  const Index c = g.id(2, 2, 2);
+  EXPECT_DOUBLE_EQ(p.a.at(c, c), 6.0);
+  EXPECT_DOUBLE_EQ(p.a.at(c, g.id(1, 2, 2)), -1.0);
+  EXPECT_DOUBLE_EQ(p.a.at(c, g.id(2, 3, 2)), -1.0);
+  EXPECT_DOUBLE_EQ(p.a.at(c, g.id(2, 2, 1)), -1.0);
+  EXPECT_DOUBLE_EQ(p.a.at(c, g.id(4, 4, 4)), 0.0);
+}
+
+TEST(Stencil, JumpCoefficientSymmetricMMatrix) {
+  Problem p = make_laplace_7pt_jump(9, 1e3);
+  EXPECT_TRUE(p.a.is_symmetric(1e-10));
+  // M-matrix structure: positive diagonal, nonpositive off-diagonals.
+  const auto rp = p.a.row_ptr();
+  const auto ci = p.a.col_idx();
+  const auto v = p.a.values();
+  for (Index i = 0; i < p.a.rows(); ++i) {
+    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+      if (ci[static_cast<std::size_t>(k)] == i) {
+        EXPECT_GT(v[static_cast<std::size_t>(k)], 0.0);
+      } else {
+        EXPECT_LE(v[static_cast<std::size_t>(k)], 0.0);
+      }
+    }
+  }
+}
+
+TEST(Stencil, JumpCoefficientUsesHarmonicMeanAtInterface) {
+  const Index n = 9;
+  Problem p = make_laplace_7pt_jump(n, 100.0);
+  const Grid3D g{n, n, n};
+  // Cell (3,4,4) is inside the high-coefficient cube (lo=3, hi=6) and its
+  // -x neighbor (2,4,4) is outside: harmonic mean 2*100*1/101.
+  const double expected = -2.0 * 100.0 * 1.0 / 101.0;
+  EXPECT_NEAR(p.a.at(g.id(3, 4, 4), g.id(2, 4, 4)), expected, 1e-12);
+  // Deep inside the cube both cells have kappa = 100.
+  EXPECT_NEAR(p.a.at(g.id(4, 4, 4), g.id(5, 4, 4)), -100.0, 1e-12);
+}
+
+TEST(Stencil, JumpCoefficientRejectsNonPositive) {
+  EXPECT_THROW(make_laplace_7pt_jump(6, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_laplace_7pt_jump(6, -2.0), std::invalid_argument);
+}
+
+TEST(Stencil, AnisotropyScalesXCoupling) {
+  Problem p = make_laplace_7pt_anisotropic(5, 100.0);
+  const Grid3D g{5, 5, 5};
+  const Index c = g.id(2, 2, 2);
+  EXPECT_DOUBLE_EQ(p.a.at(c, g.id(1, 2, 2)), -100.0);
+  EXPECT_DOUBLE_EQ(p.a.at(c, g.id(2, 1, 2)), -1.0);
+  EXPECT_DOUBLE_EQ(p.a.at(c, c), 204.0);
+}
+
+TEST(Hex8, LaplaceStiffnessRowSumsVanish) {
+  // Gradients of a constant field are zero: stiffness rows sum to zero.
+  const auto ke = hex8_laplace_stiffness(0.7, 1.3, 0.9, 2.0);
+  for (int a = 0; a < 8; ++a) {
+    double s = 0.0;
+    for (int b = 0; b < 8; ++b) {
+      s += ke[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+    }
+    EXPECT_NEAR(s, 0.0, 1e-12);
+  }
+}
+
+TEST(Hex8, LaplaceStiffnessSymmetricPsd) {
+  const auto ke = hex8_laplace_stiffness(1.0, 1.0, 1.0, 1.0);
+  for (int a = 0; a < 8; ++a) {
+    EXPECT_GT(ke[static_cast<std::size_t>(a)][static_cast<std::size_t>(a)], 0.0);
+    for (int b = 0; b < 8; ++b) {
+      EXPECT_NEAR(ke[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)],
+                  ke[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)],
+                  1e-14);
+    }
+  }
+}
+
+TEST(Hex8, ElasticityRigidBodyTranslationsInKernel) {
+  const auto ke = hex8_elasticity_stiffness(1.0, 1.0, 1.0, 1.2, 0.8);
+  // A uniform translation in each coordinate direction produces zero force.
+  for (int dir = 0; dir < 3; ++dir) {
+    double u[24] = {};
+    for (int nodeidx = 0; nodeidx < 8; ++nodeidx) u[3 * nodeidx + dir] = 1.0;
+    for (int i = 0; i < 24; ++i) {
+      double f = 0.0;
+      for (int j = 0; j < 24; ++j) {
+        f += ke[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] * u[j];
+      }
+      EXPECT_NEAR(f, 0.0, 1e-12) << "dir " << dir << " dof " << i;
+    }
+  }
+}
+
+TEST(Hex8, LameConversion) {
+  const Lame l = lame_from_young_poisson(1.0, 0.25);
+  EXPECT_NEAR(l.mu, 0.4, 1e-12);
+  EXPECT_NEAR(l.lambda, 0.4, 1e-12);
+}
+
+TEST(FemLaplace, SphereMaskProducesIrregularRows) {
+  Problem p = make_fem_laplace_sphere(10);
+  EXPECT_GT(p.a.rows(), 100);
+  // Interior structured rows have up to 27 couplings; boundary-adjacent
+  // rows fewer. Both must occur (that's the point of the curved domain).
+  const auto rp = p.a.row_ptr();
+  Index min_row = 1000, max_row = 0;
+  for (Index i = 0; i < p.a.rows(); ++i) {
+    min_row = std::min(min_row, rp[i + 1] - rp[i]);
+    max_row = std::max(max_row, rp[i + 1] - rp[i]);
+  }
+  EXPECT_EQ(max_row, 27);
+  EXPECT_LT(min_row, 27);
+}
+
+TEST(FemLaplace, GrowsWithResolution) {
+  const Index n1 = make_fem_laplace_sphere(8).a.rows();
+  const Index n2 = make_fem_laplace_sphere(12).a.rows();
+  EXPECT_GT(n2, 2 * n1);
+}
+
+TEST(FemLaplace, RejectsTinyMesh) {
+  EXPECT_THROW(make_fem_laplace_sphere(3), std::invalid_argument);
+}
+
+TEST(Elasticity, ThreeDofsPerFreeNode) {
+  const Index nx = 6, ny = 3, nz = 3;
+  Problem p = make_elasticity_beam(nx, ny, nz);
+  const Index free_nodes = nx * (ny + 1) * (nz + 1);  // x=0 plane clamped
+  EXPECT_EQ(p.a.rows(), 3 * free_nodes);
+}
+
+TEST(Elasticity, MultiMaterialChangesStiffness) {
+  // Diagonal entries in the stiff half exceed those in the soft half.
+  const Index nx = 8, ny = 2, nz = 2;
+  Problem p = make_elasticity_beam(nx, ny, nz);
+  const Grid3D nodes{nx + 1, ny + 1, nz + 1};
+  // dof index of node (i,1,1), x-component; dof numbering skips the i=0
+  // plane, so free node index = (i-1) + nx*(j + (ny+1)*k) ... recompute via
+  // the same lexicographic rule used by the generator.
+  auto dof_of = [&](Index i, Index j, Index k) {
+    Index count = 0;
+    for (Index kk = 0; kk <= nz; ++kk) {
+      for (Index jj = 0; jj <= ny; ++jj) {
+        for (Index ii = 1; ii <= nx; ++ii) {
+          if (ii == i && jj == j && kk == k) return count;
+          ++count;
+        }
+      }
+    }
+    return Index(-1);
+  };
+  const Index stiff = 3 * dof_of(2, 1, 1);
+  const Index soft = 3 * dof_of(nx - 1, 1, 1);
+  EXPECT_GT(p.a.at(stiff, stiff), 10.0 * p.a.at(soft, soft));
+}
+
+TEST(Elasticity, RejectsDegenerateBeam) {
+  EXPECT_THROW(make_elasticity_beam(1, 2, 2), std::invalid_argument);
+  EXPECT_THROW(make_elasticity_beam(4, 0, 2), std::invalid_argument);
+}
+
+TEST(Problems, FactoryNamesAndLengths) {
+  EXPECT_EQ(test_set_name(TestSet::kFD7pt), "7pt");
+  EXPECT_EQ(test_set_name(TestSet::kFD27pt), "27pt");
+  EXPECT_EQ(test_set_name(TestSet::kFemLaplace), "mfem-laplace");
+  EXPECT_EQ(test_set_name(TestSet::kFemElasticity), "mfem-elasticity");
+  const Problem p = make_problem(TestSet::kFD7pt, 9);
+  EXPECT_EQ(p.grid_length, 9);
+  EXPECT_EQ(p.name, "7pt");
+}
+
+}  // namespace
+}  // namespace asyncmg

@@ -1,0 +1,109 @@
+// Tests for the performance model that substitutes for the paper's KNL
+// when reproducing Figure 6's thread-scaling shape.
+
+#include <gtest/gtest.h>
+
+#include "mesh/problems.hpp"
+#include "perfmodel/perfmodel.hpp"
+
+namespace asyncmg {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    Problem prob = make_laplace_7pt(12);
+    MgOptions mo;
+    mo.smoother.type = SmootherType::kWeightedJacobi;
+    setup = std::make_unique<MgSetup>(std::move(prob.a), mo);
+    AdditiveOptions ao;
+    ao.kind = AdditiveKind::kMultadd;
+    corr = std::make_unique<AdditiveCorrector>(*setup, ao);
+  }
+  std::unique_ptr<MgSetup> setup;
+  std::unique_ptr<AdditiveCorrector> corr;
+};
+
+TEST(PerfModel, DeterministicGivenSeed) {
+  Fixture f;
+  MachineModel m;
+  const PerfPrediction a = predict_mult(*f.setup, 16, 10, m);
+  const PerfPrediction b = predict_mult(*f.setup, 16, 10, m);
+  EXPECT_EQ(a.seconds, b.seconds);
+}
+
+TEST(PerfModel, MoreCyclesCostMore) {
+  Fixture f;
+  MachineModel m;
+  EXPECT_LT(predict_mult(*f.setup, 8, 5, m).seconds,
+            predict_mult(*f.setup, 8, 10, m).seconds);
+  EXPECT_LT(predict_async_additive(*f.corr, 8, 5, m).seconds,
+            predict_async_additive(*f.corr, 8, 10, m).seconds);
+}
+
+TEST(PerfModel, MultFastestAtFewThreads) {
+  // At low thread counts synchronization is cheap and Mult does the least
+  // arithmetic, so it wins (Figure 6, left side of each panel).
+  Fixture f;
+  MachineModel m;
+  for (std::size_t threads : {1, 2}) {
+    const double mult = predict_mult(*f.setup, threads, 20, m).seconds;
+    const double async_ma =
+        predict_async_additive(*f.corr, threads, 20, m).seconds;
+    EXPECT_LT(mult, async_ma) << "threads=" << threads;
+  }
+}
+
+TEST(PerfModel, AsyncWinsAtManyThreads) {
+  // At high thread counts Mult's per-phase global barriers dominate and
+  // asynchronous Multadd wins (Figure 6, right side of each panel).
+  Fixture f;
+  MachineModel m;
+  const double mult = predict_mult(*f.setup, 256, 20, m).seconds;
+  const double async_ma = predict_async_additive(*f.corr, 256, 20, m).seconds;
+  EXPECT_LT(async_ma, mult);
+}
+
+TEST(PerfModel, SyncAdditiveBetweenTheTwoAtScale) {
+  // Sync Multadd has only two global barriers per cycle: it scales better
+  // than Mult but worse than async at large thread counts.
+  Fixture f;
+  MachineModel m;
+  const double mult = predict_mult(*f.setup, 256, 20, m).seconds;
+  const double sync_ma = predict_sync_additive(*f.corr, 256, 20, m).seconds;
+  const double async_ma = predict_async_additive(*f.corr, 256, 20, m).seconds;
+  EXPECT_LT(sync_ma, mult);
+  EXPECT_LT(async_ma, sync_ma);
+}
+
+TEST(PerfModel, BarrierShareGrowsWithThreads) {
+  Fixture f;
+  MachineModel m;
+  const double share_small = predict_mult(*f.setup, 4, 10, m).barrier_share;
+  const double share_large = predict_mult(*f.setup, 128, 10, m).barrier_share;
+  EXPECT_GT(share_large, share_small);
+  EXPECT_GE(share_small, 0.0);
+  EXPECT_LE(share_large, 1.0);
+}
+
+TEST(PerfModel, HomogeneousMachineShrinksWaits) {
+  Fixture f;
+  MachineModel hetero;
+  hetero.heterogeneity = 0.5;
+  hetero.jitter = 0.4;
+  MachineModel homog;
+  homog.heterogeneity = 0.0;
+  homog.jitter = 0.0;
+  const double t_het = predict_mult(*f.setup, 64, 10, hetero).seconds;
+  const double t_hom = predict_mult(*f.setup, 64, 10, homog).seconds;
+  EXPECT_LT(t_hom, t_het);
+}
+
+TEST(PerfModel, WorksWithFewerThreadsThanGrids) {
+  Fixture f;
+  MachineModel m;
+  const PerfPrediction p = predict_async_additive(*f.corr, 2, 10, m);
+  EXPECT_GT(p.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace asyncmg

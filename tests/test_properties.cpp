@@ -1,0 +1,252 @@
+// Property-style sweeps across problem sizes, test sets, and seeds: the
+// invariants that define the methods, checked over families of inputs
+// rather than single fixtures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "async/model.hpp"
+#include "mesh/problems.hpp"
+#include "multigrid/additive.hpp"
+#include "multigrid/mult.hpp"
+#include "sparse/spgemm.hpp"
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace asyncmg {
+namespace {
+
+double paper_like_omega(TestSet set) {
+  return (set == TestSet::kFD7pt || set == TestSet::kFD27pt) ? 0.9 : 0.5;
+}
+
+std::unique_ptr<MgSetup> build(TestSet set, Index n,
+                               SmootherType st = SmootherType::kWeightedJacobi,
+                               int aggressive = 0) {
+  Problem prob = make_problem(set, n);
+  MgOptions mo;
+  mo.smoother.type = st;
+  mo.smoother.omega = paper_like_omega(set);
+  mo.amg.num_aggressive_levels = aggressive;
+  if (set == TestSet::kFemElasticity) mo.amg.num_functions = 3;
+  return std::make_unique<MgSetup>(std::move(prob.a), mo);
+}
+
+// ---------------------------------------------------------------------
+// Grid-size independence: the paper's central property. Cycle counts to a
+// fixed tolerance must not grow meaningfully with the problem size.
+// ---------------------------------------------------------------------
+
+class GridIndependence
+    : public ::testing::TestWithParam<std::tuple<TestSet, bool>> {};
+
+TEST_P(GridIndependence, CyclesToToleranceBounded) {
+  const auto [set, additive] = GetParam();
+  std::vector<int> cycles;
+  for (Index n : {6, 9, 12}) {
+    auto s = build(set, n);
+    Rng rng(41);
+    const Vector b =
+        random_vector(static_cast<std::size_t>(s->a(0).rows()), rng);
+    Vector x(b.size(), 0.0);
+    SolveStats st;
+    if (additive) {
+      AdditiveOptions ao;
+      ao.kind = AdditiveKind::kMultadd;
+      AdditiveMg mg(*s, ao);
+      st = mg.solve(b, x, 400, 1e-8);
+    } else {
+      MultiplicativeMg mg(*s);
+      st = mg.solve(b, x, 400, 1e-8);
+    }
+    ASSERT_TRUE(st.converged)
+        << test_set_name(set) << " n=" << n << " rr=" << st.final_rel_res();
+    cycles.push_back(st.cycles);
+  }
+  // Largest problem may need a few more cycles, but not a multiple.
+  EXPECT_LE(cycles.back(), cycles.front() * 2 + 10)
+      << cycles[0] << " " << cycles[1] << " " << cycles[2];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SetsAndMethods, GridIndependence,
+    ::testing::Combine(::testing::Values(TestSet::kFD7pt, TestSet::kFD27pt),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<TestSet, bool>>& i) {
+      std::string name = test_set_name(std::get<0>(i.param));
+      name += std::get<1>(i.param) ? "_Multadd" : "_Mult";
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------
+// The Multadd == symmetric V(1,1) identity must hold across sizes,
+// smoothers, and omegas, not just the fixture test_multigrid uses.
+// ---------------------------------------------------------------------
+
+class MultaddEquivalence
+    : public ::testing::TestWithParam<std::tuple<SmootherType, double>> {};
+
+TEST_P(MultaddEquivalence, HoldsAcrossConfigs) {
+  const auto [st, omega] = GetParam();
+  Problem prob = make_laplace_27pt(6);
+  MgOptions mo;
+  mo.smoother.type = st;
+  mo.smoother.omega = omega;
+  mo.smoother.num_blocks = 3;
+  MgSetup s(std::move(prob.a), mo);
+  Rng rng(43);
+  const Vector b = random_vector(static_cast<std::size_t>(s.a(0).rows()), rng);
+
+  Vector x_mult(b.size(), 0.0), x_add(b.size(), 0.0);
+  MultiplicativeMg mult(s, /*symmetric=*/true);
+  AdditiveOptions ao;
+  ao.kind = AdditiveKind::kMultadd;
+  ao.symmetrized_lambda = true;
+  AdditiveMg multadd(s, ao);
+  for (int t = 0; t < 3; ++t) {
+    mult.cycle(b, x_mult);
+    multadd.cycle(b, x_add);
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(x_mult[i], x_add[i], 1e-9 * (1.0 + std::abs(x_mult[i])));
+  }
+}
+
+// Only the diagonal smoothers qualify: Multadd's smoothed interpolants are
+// built from the (omega- or l1-) Jacobi iteration matrix (Section V keeps
+// them Jacobi-type for sparsity even under hybrid/async smoothing), so the
+// exact identity Pbar = G P requires G itself to be Jacobi-type.
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MultaddEquivalence,
+    ::testing::Values(std::make_tuple(SmootherType::kWeightedJacobi, 0.9),
+                      std::make_tuple(SmootherType::kWeightedJacobi, 0.5),
+                      std::make_tuple(SmootherType::kL1Jacobi, 0.9),
+                      std::make_tuple(SmootherType::kL1Jacobi, 0.5)),
+    [](const ::testing::TestParamInfo<std::tuple<SmootherType, double>>& i) {
+      std::string name = smoother_name(std::get<0>(i.param)) + "_w" +
+                         std::to_string(static_cast<int>(
+                             std::get<1>(i.param) * 10));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------
+// Model consistency: at alpha = 1, delta = 0 every model equals the
+// synchronous additive method, for every additive kind and several sizes.
+// ---------------------------------------------------------------------
+
+class ModelSyncConsistency
+    : public ::testing::TestWithParam<std::tuple<AdditiveKind, int>> {};
+
+TEST_P(ModelSyncConsistency, Alpha1EqualsSync) {
+  const auto [kind, n] = GetParam();
+  auto s = build(TestSet::kFD7pt, static_cast<Index>(n));
+  AdditiveOptions ao;
+  ao.kind = kind;
+  AdditiveCorrector corr(*s, ao);
+  Rng rng(47);
+  const Vector b = random_vector(static_cast<std::size_t>(s->a(0).rows()), rng);
+
+  Vector x_sync(b.size(), 0.0);
+  AdditiveMg mg(*s, ao);
+  const double sync = mg.solve(b, x_sync, 10).final_rel_res();
+
+  Vector x_model(b.size(), 0.0);
+  AsyncModelOptions mo;
+  mo.kind = AsyncModelKind::kFullAsyncResidual;
+  mo.alpha = 1.0;
+  mo.max_delay = 0;
+  mo.updates_per_grid = 10;
+  const double model = run_async_model(corr, b, x_model, mo).final_rel_res;
+  EXPECT_NEAR(model / sync, 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSizes, ModelSyncConsistency,
+    ::testing::Combine(::testing::Values(AdditiveKind::kMultadd,
+                                         AdditiveKind::kAfacx),
+                       ::testing::Values(6, 9)),
+    [](const ::testing::TestParamInfo<std::tuple<AdditiveKind, int>>& i) {
+      return additive_kind_name(std::get<0>(i.param)) + "_n" +
+             std::to_string(std::get<1>(i.param));
+    });
+
+// ---------------------------------------------------------------------
+// Galerkin consistency on random rectangular interpolants and seeds.
+// ---------------------------------------------------------------------
+
+TEST(GalerkinProperty, RapMatchesTransposeChainAcrossSeeds) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Rng rng(seed);
+    const Index n = 20 + static_cast<Index>(rng.uniform_int(0, 10));
+    const Index nc = 5 + static_cast<Index>(rng.uniform_int(0, 5));
+    std::vector<Triplet> ta, tp;
+    for (Index i = 0; i < n; ++i) {
+      ta.push_back({i, i, 4.0});
+      for (int k = 0; k < 3; ++k) {
+        const Index j = static_cast<Index>(rng.uniform_int(0, n - 1));
+        ta.push_back({i, j, rng.uniform(-1.0, 1.0)});
+      }
+      tp.push_back({i, static_cast<Index>(rng.uniform_int(0, nc - 1)),
+                    rng.uniform(0.1, 1.0)});
+    }
+    const CsrMatrix a = CsrMatrix::from_triplets(n, n, std::move(ta));
+    const CsrMatrix p = CsrMatrix::from_triplets(n, nc, std::move(tp));
+    const CsrMatrix rap = galerkin_product(a, p);
+    const CsrMatrix expl = multiply(multiply(p.transpose(), a), p);
+    EXPECT_TRUE(rap.approx_equal(expl, 1e-11)) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------
+// W-cycles: at least as good as V-cycles per cycle, and V(2,2) at least
+// as good as V(1,1).
+// ---------------------------------------------------------------------
+
+TEST(CycleShapes, WAndHeavierSweepsConvergeFaster) {
+  auto s = build(TestSet::kFD7pt, 10);
+  Rng rng(53);
+  const Vector b = random_vector(static_cast<std::size_t>(s->a(0).rows()), rng);
+
+  auto final_res = [&](int pre, int post, int gamma) {
+    Vector x(b.size(), 0.0);
+    MultiplicativeMg mg(*s, false, pre, post, gamma);
+    return mg.solve(b, x, 10).final_rel_res();
+  };
+  const double v11 = final_res(1, 1, 1);
+  const double v22 = final_res(2, 2, 1);
+  const double w11 = final_res(1, 1, 2);
+  EXPECT_LT(v22, v11);
+  EXPECT_LE(w11, v11 * 1.1);
+}
+
+TEST(CycleShapes, RejectsBadParameters) {
+  auto s = build(TestSet::kFD7pt, 6);
+  EXPECT_THROW(MultiplicativeMg(*s, false, 0, 0), std::invalid_argument);
+  EXPECT_THROW(MultiplicativeMg(*s, false, 1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(MultiplicativeMg(*s, false, -1, 1), std::invalid_argument);
+}
+
+// V(0,1) and V(1,0) sawtooth cycles still converge (the chaotic-cycle
+// literature the paper discusses uses exactly these).
+TEST(CycleShapes, SawtoothCyclesConverge) {
+  auto s = build(TestSet::kFD7pt, 8);
+  Rng rng(59);
+  const Vector b = random_vector(static_cast<std::size_t>(s->a(0).rows()), rng);
+  for (auto [pre, post] : {std::pair{0, 1}, std::pair{1, 0}}) {
+    Vector x(b.size(), 0.0);
+    MultiplicativeMg mg(*s, false, pre, post);
+    const SolveStats st = mg.solve(b, x, 300, 1e-8);
+    EXPECT_TRUE(st.converged) << "V(" << pre << "," << post << ")";
+  }
+}
+
+}  // namespace
+}  // namespace asyncmg

@@ -1,0 +1,60 @@
+// End-to-end smoke tests: the full setup + solve stack on small problems.
+
+#include <gtest/gtest.h>
+
+#include "mesh/problems.hpp"
+#include "multigrid/additive.hpp"
+#include "multigrid/mult.hpp"
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace asyncmg {
+namespace {
+
+MgOptions default_opts(SmootherType st = SmootherType::kWeightedJacobi) {
+  MgOptions o;
+  o.smoother.type = st;
+  o.smoother.omega = 0.9;
+  o.smoother.num_blocks = 4;
+  return o;
+}
+
+TEST(Smoke, MultiplicativeConverges7pt) {
+  Problem prob = make_laplace_7pt(12);
+  MgSetup setup(std::move(prob.a), default_opts());
+  Rng rng(7);
+  const Vector b = random_vector(static_cast<std::size_t>(setup.a(0).rows()), rng);
+  Vector x(b.size(), 0.0);
+  MultiplicativeMg mg(setup);
+  const SolveStats st = mg.solve(b, x, 60, 1e-9);
+  EXPECT_TRUE(st.converged) << "final rel res " << st.final_rel_res();
+}
+
+TEST(Smoke, MultaddConverges7pt) {
+  Problem prob = make_laplace_7pt(12);
+  MgSetup setup(std::move(prob.a), default_opts());
+  Rng rng(7);
+  const Vector b = random_vector(static_cast<std::size_t>(setup.a(0).rows()), rng);
+  Vector x(b.size(), 0.0);
+  AdditiveOptions ao;
+  ao.kind = AdditiveKind::kMultadd;
+  AdditiveMg mg(setup, ao);
+  const SolveStats st = mg.solve(b, x, 120, 1e-9);
+  EXPECT_TRUE(st.converged) << "final rel res " << st.final_rel_res();
+}
+
+TEST(Smoke, AfacxConverges27pt) {
+  Problem prob = make_laplace_27pt(10);
+  MgSetup setup(std::move(prob.a), default_opts());
+  Rng rng(7);
+  const Vector b = random_vector(static_cast<std::size_t>(setup.a(0).rows()), rng);
+  Vector x(b.size(), 0.0);
+  AdditiveOptions ao;
+  ao.kind = AdditiveKind::kAfacx;
+  AdditiveMg mg(setup, ao);
+  const SolveStats st = mg.solve(b, x, 200, 1e-9);
+  EXPECT_TRUE(st.converged) << "final rel res " << st.final_rel_res();
+}
+
+}  // namespace
+}  // namespace asyncmg

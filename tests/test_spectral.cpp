@@ -1,0 +1,181 @@
+// Tests for the spectral-radius estimators and the Section II-C
+// asynchronous convergence condition rho(|G|) < 1, plus the l1 hybrid JGS
+// smoother (reference [23]) whose point is to keep that kind of condition
+// satisfiable with many blocks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/problems.hpp"
+#include "multigrid/mult.hpp"
+#include "smoothers/spectral.hpp"
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace asyncmg {
+namespace {
+
+CsrMatrix fixture_matrix(Index n = 6) {
+  Problem p = make_laplace_7pt(n);
+  return std::move(p.a);
+}
+
+SmootherOptions opts_of(SmootherType t, std::size_t blocks = 4,
+                        double omega = 0.9) {
+  SmootherOptions o;
+  o.type = t;
+  o.omega = omega;
+  o.num_blocks = blocks;
+  return o;
+}
+
+// For weighted Jacobi on the 1D/3D Laplacian the spectrum is known:
+// G = I - w D^{-1} A has eigenvalues 1 - w*lambda_j(D^{-1}A) with
+// lambda in (0, 2); for w = 1 the radius approaches 1 from below.
+TEST(Spectral, JacobiRadiusMatchesTheoryOn1dLaplace) {
+  // 1D Laplacian, n interior points: eigenvalues of D^{-1}A are
+  // 1 - cos(pi j/(n+1)), j=1..n, so rho(G) = max |1 - w(1 - cos ...)|.
+  const Index n = 20;
+  std::vector<Triplet> t;
+  for (Index i = 0; i < n; ++i) {
+    t.push_back({i, i, 2.0});
+    if (i > 0) t.push_back({i, i - 1, -1.0});
+    if (i + 1 < n) t.push_back({i, i + 1, -1.0});
+  }
+  const CsrMatrix a = CsrMatrix::from_triplets(n, n, std::move(t));
+  const double w = 0.7;
+  const Smoother sm(a, opts_of(SmootherType::kWeightedJacobi, 1, w));
+  const double measured = spectral_radius_iteration(sm, 400, 3);
+  double expected = 0.0;
+  for (Index j = 1; j <= n; ++j) {
+    const double lam = 1.0 - std::cos(M_PI * j / (n + 1.0));
+    expected = std::max(expected, std::abs(1.0 - w * lam));
+  }
+  EXPECT_NEAR(measured, expected, 1e-3);
+}
+
+TEST(Spectral, AbsRadiusAtLeastPlainRadius) {
+  const CsrMatrix a = fixture_matrix();
+  for (SmootherType t : {SmootherType::kWeightedJacobi, SmootherType::kL1Jacobi}) {
+    const Smoother sm(a, opts_of(t));
+    const double rho = spectral_radius_iteration(sm, 200, 5);
+    const double rho_abs = spectral_radius_abs_iteration(sm, 200, 5);
+    EXPECT_GE(rho_abs, rho - 1e-6) << smoother_name(t);
+  }
+}
+
+// Section II-C: the asynchronous iteration converges when rho(|G|) < 1.
+// For diagonally dominant SPD Laplacians both Jacobi variants satisfy it.
+TEST(Spectral, AsyncConvergenceConditionHoldsOnLaplace) {
+  const CsrMatrix a = fixture_matrix();
+  for (SmootherType t : {SmootherType::kWeightedJacobi, SmootherType::kL1Jacobi}) {
+    const Smoother sm(a, opts_of(t));
+    EXPECT_LT(spectral_radius_abs_iteration(sm, 200, 7), 1.0)
+        << smoother_name(t);
+  }
+}
+
+// The gap between rho(G) and rho(|G|): a rotation-like iteration matrix
+// converges synchronously (complex eigenvalues inside the unit disk) while
+// violating the asynchronous condition -- the classic counterexample for
+// chaotic relaxation. With A = [[.5 -.7],[.7 .5]] and w = .5 weighted
+// Jacobi, G = I - A = [[.5 .7],[-.7 .5]]: rho(G) = |.5 + .7i| ~ .86 but
+// rho(|G|) = 1.2.
+TEST(Spectral, RotationMatrixBreaksAsyncConditionOnly) {
+  const CsrMatrix a = CsrMatrix::from_triplets(
+      2, 2, {{0, 0, 0.5}, {0, 1, -0.7}, {1, 0, 0.7}, {1, 1, 0.5}});
+  const Smoother sm(a, opts_of(SmootherType::kWeightedJacobi, 1, 0.5));
+  const double rho = spectral_radius_iteration(sm, 300, 9);
+  const double rho_abs = spectral_radius_abs_iteration(sm, 300, 9);
+  EXPECT_NEAR(rho, std::sqrt(0.5 * 0.5 + 0.7 * 0.7), 1e-3);
+  EXPECT_NEAR(rho_abs, 1.2, 1e-3);
+  EXPECT_LT(rho, 1.0);
+  EXPECT_GT(rho_abs, 1.0);
+}
+
+TEST(Spectral, AbsRadiusRejectsBlockSmoothers) {
+  const CsrMatrix a = fixture_matrix();
+  const Smoother sm(a, opts_of(SmootherType::kHybridJGS));
+  EXPECT_THROW(spectral_radius_abs_iteration(sm, 10, 1),
+               std::invalid_argument);
+}
+
+// ----- l1 hybrid JGS -----
+
+TEST(L1HybridJgs, ContractsWithManyBlocks) {
+  const CsrMatrix a = fixture_matrix(8);
+  const Smoother sm(a, opts_of(SmootherType::kL1HybridJGS, 64));
+  const double rho = spectral_radius_iteration(sm, 200, 11);
+  EXPECT_LT(rho, 1.0);
+}
+
+TEST(L1HybridJgs, DampsLessAggressivelyThanPlainHybrid) {
+  // The l1 augmentation enlarges the diagonal, so each sweep moves less
+  // than plain hybrid JGS -- the price of guaranteed convergence.
+  const CsrMatrix a = fixture_matrix(8);
+  Rng rng(13);
+  const Vector r = random_vector(static_cast<std::size_t>(a.rows()), rng);
+  Vector e_plain, e_l1;
+  const Smoother plain(a, opts_of(SmootherType::kHybridJGS, 8));
+  const Smoother l1(a, opts_of(SmootherType::kL1HybridJGS, 8));
+  plain.apply_zero(r, e_plain);
+  l1.apply_zero(r, e_l1);
+  EXPECT_LT(norm2(e_l1), norm2(e_plain));
+  EXPECT_GT(norm2(e_l1), 0.0);
+}
+
+TEST(L1HybridJgs, OneBlockReducesToGaussSeidelPlusNothing) {
+  // With a single block there are no off-block entries: identical to
+  // plain hybrid JGS.
+  const CsrMatrix a = fixture_matrix(6);
+  Rng rng(17);
+  const Vector r = random_vector(static_cast<std::size_t>(a.rows()), rng);
+  Vector e1, e2;
+  Smoother(a, opts_of(SmootherType::kHybridJGS, 1)).apply_zero(r, e1);
+  Smoother(a, opts_of(SmootherType::kL1HybridJGS, 1)).apply_zero(r, e2);
+  for (std::size_t i = 0; i < r.size(); ++i) EXPECT_NEAR(e1[i], e2[i], 1e-13);
+}
+
+TEST(L1HybridJgs, MonotoneInANorm) {
+  // Like l1-Jacobi, the l1 hybrid smoother monotonically reduces the
+  // error's A-norm for SPD matrices.
+  const CsrMatrix a = fixture_matrix(6);
+  const Smoother sm(a, opts_of(SmootherType::kL1HybridJGS, 16));
+  Rng rng(19);
+  const Vector xref = random_vector(static_cast<std::size_t>(a.rows()), rng);
+  Vector b;
+  a.spmv(xref, b);
+  Vector x(xref.size(), 0.0);
+  auto err_a_norm = [&] {
+    Vector err(xref.size());
+    for (std::size_t i = 0; i < err.size(); ++i) err[i] = x[i] - xref[i];
+    Vector ae;
+    a.spmv(err, ae);
+    return std::sqrt(dot(err, ae));
+  };
+  double prev = err_a_norm();
+  for (int sweep = 0; sweep < 12; ++sweep) {
+    sm.sweep(b, x);
+    const double cur = err_a_norm();
+    EXPECT_LE(cur, prev * (1.0 + 1e-12));
+    prev = cur;
+  }
+}
+
+TEST(L1HybridJgs, WorksInsideMultigrid) {
+  Problem prob = make_laplace_7pt(8);
+  MgOptions mo;
+  mo.smoother.type = SmootherType::kL1HybridJGS;
+  mo.smoother.num_blocks = 8;
+  MgSetup setup(std::move(prob.a), mo);
+  Rng rng(21);
+  const Vector b = random_vector(static_cast<std::size_t>(setup.a(0).rows()), rng);
+  Vector x(b.size(), 0.0);
+  MultiplicativeMg mg(setup);
+  const SolveStats st = mg.solve(b, x, 150, 1e-9);
+  EXPECT_TRUE(st.converged) << st.final_rel_res();
+}
+
+}  // namespace
+}  // namespace asyncmg
