@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_amg_options"
+  "../bench/ablation_amg_options.pdb"
+  "CMakeFiles/ablation_amg_options.dir/ablation_amg_options.cpp.o"
+  "CMakeFiles/ablation_amg_options.dir/ablation_amg_options.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_amg_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_smoothers"
+  "../bench/ablation_smoothers.pdb"
+  "CMakeFiles/ablation_smoothers.dir/ablation_smoothers.cpp.o"
+  "CMakeFiles/ablation_smoothers.dir/ablation_smoothers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smoothers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/distributed_sim"
+  "../bench/distributed_sim.pdb"
+  "CMakeFiles/distributed_sim.dir/distributed_sim.cpp.o"
+  "CMakeFiles/distributed_sim.dir/distributed_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_mfem_laplace"
+  "../bench/fig5_mfem_laplace.pdb"
+  "CMakeFiles/fig5_mfem_laplace.dir/fig5_mfem_laplace.cpp.o"
+  "CMakeFiles/fig5_mfem_laplace.dir/fig5_mfem_laplace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mfem_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_thread_scaling"
+  "../bench/fig6_thread_scaling.pdb"
+  "CMakeFiles/fig6_thread_scaling.dir/fig6_thread_scaling.cpp.o"
+  "CMakeFiles/fig6_thread_scaling.dir/fig6_thread_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_thread_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

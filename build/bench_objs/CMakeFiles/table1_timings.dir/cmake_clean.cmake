@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_timings"
+  "../bench/table1_timings.pdb"
+  "CMakeFiles/table1_timings.dir/table1_timings.cpp.o"
+  "CMakeFiles/table1_timings.dir/table1_timings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_timings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/async_model_playground.cpp" "examples/CMakeFiles/async_model_playground.dir/async_model_playground.cpp.o" "gcc" "examples/CMakeFiles/async_model_playground.dir/async_model_playground.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gmg/CMakeFiles/asyncmg_gmg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/asyncmg_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/async/CMakeFiles/asyncmg_async.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/asyncmg_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/multigrid/CMakeFiles/asyncmg_multigrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/amg/CMakeFiles/asyncmg_amg.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoothers/CMakeFiles/asyncmg_smoothers.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/asyncmg_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asyncmg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

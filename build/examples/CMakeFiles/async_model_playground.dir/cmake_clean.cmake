@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_model_playground.dir/async_model_playground.cpp.o"
+  "CMakeFiles/async_model_playground.dir/async_model_playground.cpp.o.d"
+  "async_model_playground"
+  "async_model_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_model_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticity_beam.dir/elasticity_beam.cpp.o"
+  "CMakeFiles/elasticity_beam.dir/elasticity_beam.cpp.o.d"
+  "elasticity_beam"
+  "elasticity_beam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticity_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometric_vs_algebraic.dir/geometric_vs_algebraic.cpp.o"
+  "CMakeFiles/geometric_vs_algebraic.dir/geometric_vs_algebraic.cpp.o.d"
+  "geometric_vs_algebraic"
+  "geometric_vs_algebraic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometric_vs_algebraic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

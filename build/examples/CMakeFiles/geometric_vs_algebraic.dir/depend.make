@@ -1,0 +1,2 @@
+# Empty dependencies file for geometric_vs_algebraic.
+# This may be replaced when dependencies are built.

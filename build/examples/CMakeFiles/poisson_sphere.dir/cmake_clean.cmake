@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson_sphere.dir/poisson_sphere.cpp.o"
+  "CMakeFiles/poisson_sphere.dir/poisson_sphere.cpp.o.d"
+  "poisson_sphere"
+  "poisson_sphere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson_sphere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

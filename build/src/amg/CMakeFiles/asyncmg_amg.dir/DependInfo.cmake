@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amg/coarsen.cpp" "src/amg/CMakeFiles/asyncmg_amg.dir/coarsen.cpp.o" "gcc" "src/amg/CMakeFiles/asyncmg_amg.dir/coarsen.cpp.o.d"
+  "/root/repo/src/amg/hierarchy.cpp" "src/amg/CMakeFiles/asyncmg_amg.dir/hierarchy.cpp.o" "gcc" "src/amg/CMakeFiles/asyncmg_amg.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/amg/interp.cpp" "src/amg/CMakeFiles/asyncmg_amg.dir/interp.cpp.o" "gcc" "src/amg/CMakeFiles/asyncmg_amg.dir/interp.cpp.o.d"
+  "/root/repo/src/amg/serialize.cpp" "src/amg/CMakeFiles/asyncmg_amg.dir/serialize.cpp.o" "gcc" "src/amg/CMakeFiles/asyncmg_amg.dir/serialize.cpp.o.d"
+  "/root/repo/src/amg/strength.cpp" "src/amg/CMakeFiles/asyncmg_amg.dir/strength.cpp.o" "gcc" "src/amg/CMakeFiles/asyncmg_amg.dir/strength.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/asyncmg_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asyncmg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

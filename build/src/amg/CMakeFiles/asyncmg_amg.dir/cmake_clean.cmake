@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmg_amg.dir/coarsen.cpp.o"
+  "CMakeFiles/asyncmg_amg.dir/coarsen.cpp.o.d"
+  "CMakeFiles/asyncmg_amg.dir/hierarchy.cpp.o"
+  "CMakeFiles/asyncmg_amg.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/asyncmg_amg.dir/interp.cpp.o"
+  "CMakeFiles/asyncmg_amg.dir/interp.cpp.o.d"
+  "CMakeFiles/asyncmg_amg.dir/serialize.cpp.o"
+  "CMakeFiles/asyncmg_amg.dir/serialize.cpp.o.d"
+  "CMakeFiles/asyncmg_amg.dir/strength.cpp.o"
+  "CMakeFiles/asyncmg_amg.dir/strength.cpp.o.d"
+  "libasyncmg_amg.a"
+  "libasyncmg_amg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmg_amg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasyncmg_amg.a"
+)

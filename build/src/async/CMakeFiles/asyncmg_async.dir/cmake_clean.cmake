@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmg_async.dir/distributed.cpp.o"
+  "CMakeFiles/asyncmg_async.dir/distributed.cpp.o.d"
+  "CMakeFiles/asyncmg_async.dir/model.cpp.o"
+  "CMakeFiles/asyncmg_async.dir/model.cpp.o.d"
+  "CMakeFiles/asyncmg_async.dir/runtime.cpp.o"
+  "CMakeFiles/asyncmg_async.dir/runtime.cpp.o.d"
+  "libasyncmg_async.a"
+  "libasyncmg_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmg_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmg_gmg.dir/gmg.cpp.o"
+  "CMakeFiles/asyncmg_gmg.dir/gmg.cpp.o.d"
+  "libasyncmg_gmg.a"
+  "libasyncmg_gmg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmg_gmg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

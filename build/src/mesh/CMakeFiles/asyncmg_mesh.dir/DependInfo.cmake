@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/fem.cpp" "src/mesh/CMakeFiles/asyncmg_mesh.dir/fem.cpp.o" "gcc" "src/mesh/CMakeFiles/asyncmg_mesh.dir/fem.cpp.o.d"
+  "/root/repo/src/mesh/hex8.cpp" "src/mesh/CMakeFiles/asyncmg_mesh.dir/hex8.cpp.o" "gcc" "src/mesh/CMakeFiles/asyncmg_mesh.dir/hex8.cpp.o.d"
+  "/root/repo/src/mesh/stencil.cpp" "src/mesh/CMakeFiles/asyncmg_mesh.dir/stencil.cpp.o" "gcc" "src/mesh/CMakeFiles/asyncmg_mesh.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/asyncmg_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asyncmg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

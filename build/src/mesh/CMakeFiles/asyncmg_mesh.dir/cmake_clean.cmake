@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmg_mesh.dir/fem.cpp.o"
+  "CMakeFiles/asyncmg_mesh.dir/fem.cpp.o.d"
+  "CMakeFiles/asyncmg_mesh.dir/hex8.cpp.o"
+  "CMakeFiles/asyncmg_mesh.dir/hex8.cpp.o.d"
+  "CMakeFiles/asyncmg_mesh.dir/stencil.cpp.o"
+  "CMakeFiles/asyncmg_mesh.dir/stencil.cpp.o.d"
+  "libasyncmg_mesh.a"
+  "libasyncmg_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmg_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multigrid/additive.cpp" "src/multigrid/CMakeFiles/asyncmg_multigrid.dir/additive.cpp.o" "gcc" "src/multigrid/CMakeFiles/asyncmg_multigrid.dir/additive.cpp.o.d"
+  "/root/repo/src/multigrid/mult.cpp" "src/multigrid/CMakeFiles/asyncmg_multigrid.dir/mult.cpp.o" "gcc" "src/multigrid/CMakeFiles/asyncmg_multigrid.dir/mult.cpp.o.d"
+  "/root/repo/src/multigrid/pcg.cpp" "src/multigrid/CMakeFiles/asyncmg_multigrid.dir/pcg.cpp.o" "gcc" "src/multigrid/CMakeFiles/asyncmg_multigrid.dir/pcg.cpp.o.d"
+  "/root/repo/src/multigrid/setup.cpp" "src/multigrid/CMakeFiles/asyncmg_multigrid.dir/setup.cpp.o" "gcc" "src/multigrid/CMakeFiles/asyncmg_multigrid.dir/setup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amg/CMakeFiles/asyncmg_amg.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoothers/CMakeFiles/asyncmg_smoothers.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/asyncmg_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asyncmg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

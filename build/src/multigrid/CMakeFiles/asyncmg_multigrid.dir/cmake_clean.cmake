@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmg_multigrid.dir/additive.cpp.o"
+  "CMakeFiles/asyncmg_multigrid.dir/additive.cpp.o.d"
+  "CMakeFiles/asyncmg_multigrid.dir/mult.cpp.o"
+  "CMakeFiles/asyncmg_multigrid.dir/mult.cpp.o.d"
+  "CMakeFiles/asyncmg_multigrid.dir/pcg.cpp.o"
+  "CMakeFiles/asyncmg_multigrid.dir/pcg.cpp.o.d"
+  "CMakeFiles/asyncmg_multigrid.dir/setup.cpp.o"
+  "CMakeFiles/asyncmg_multigrid.dir/setup.cpp.o.d"
+  "libasyncmg_multigrid.a"
+  "libasyncmg_multigrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmg_multigrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

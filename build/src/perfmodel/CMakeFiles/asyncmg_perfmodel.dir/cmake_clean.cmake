@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmg_perfmodel.dir/perfmodel.cpp.o"
+  "CMakeFiles/asyncmg_perfmodel.dir/perfmodel.cpp.o.d"
+  "libasyncmg_perfmodel.a"
+  "libasyncmg_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmg_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smoothers/multicolor.cpp" "src/smoothers/CMakeFiles/asyncmg_smoothers.dir/multicolor.cpp.o" "gcc" "src/smoothers/CMakeFiles/asyncmg_smoothers.dir/multicolor.cpp.o.d"
+  "/root/repo/src/smoothers/smoother.cpp" "src/smoothers/CMakeFiles/asyncmg_smoothers.dir/smoother.cpp.o" "gcc" "src/smoothers/CMakeFiles/asyncmg_smoothers.dir/smoother.cpp.o.d"
+  "/root/repo/src/smoothers/spectral.cpp" "src/smoothers/CMakeFiles/asyncmg_smoothers.dir/spectral.cpp.o" "gcc" "src/smoothers/CMakeFiles/asyncmg_smoothers.dir/spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/asyncmg_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/asyncmg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmg_smoothers.dir/multicolor.cpp.o"
+  "CMakeFiles/asyncmg_smoothers.dir/multicolor.cpp.o.d"
+  "CMakeFiles/asyncmg_smoothers.dir/smoother.cpp.o"
+  "CMakeFiles/asyncmg_smoothers.dir/smoother.cpp.o.d"
+  "CMakeFiles/asyncmg_smoothers.dir/spectral.cpp.o"
+  "CMakeFiles/asyncmg_smoothers.dir/spectral.cpp.o.d"
+  "libasyncmg_smoothers.a"
+  "libasyncmg_smoothers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmg_smoothers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

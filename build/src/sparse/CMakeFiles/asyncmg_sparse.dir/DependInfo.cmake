@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/asyncmg_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/asyncmg_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/dense.cpp" "src/sparse/CMakeFiles/asyncmg_sparse.dir/dense.cpp.o" "gcc" "src/sparse/CMakeFiles/asyncmg_sparse.dir/dense.cpp.o.d"
+  "/root/repo/src/sparse/io.cpp" "src/sparse/CMakeFiles/asyncmg_sparse.dir/io.cpp.o" "gcc" "src/sparse/CMakeFiles/asyncmg_sparse.dir/io.cpp.o.d"
+  "/root/repo/src/sparse/spgemm.cpp" "src/sparse/CMakeFiles/asyncmg_sparse.dir/spgemm.cpp.o" "gcc" "src/sparse/CMakeFiles/asyncmg_sparse.dir/spgemm.cpp.o.d"
+  "/root/repo/src/sparse/vec.cpp" "src/sparse/CMakeFiles/asyncmg_sparse.dir/vec.cpp.o" "gcc" "src/sparse/CMakeFiles/asyncmg_sparse.dir/vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/asyncmg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

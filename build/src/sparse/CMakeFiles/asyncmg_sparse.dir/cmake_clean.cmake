@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmg_sparse.dir/csr.cpp.o"
+  "CMakeFiles/asyncmg_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/asyncmg_sparse.dir/dense.cpp.o"
+  "CMakeFiles/asyncmg_sparse.dir/dense.cpp.o.d"
+  "CMakeFiles/asyncmg_sparse.dir/io.cpp.o"
+  "CMakeFiles/asyncmg_sparse.dir/io.cpp.o.d"
+  "CMakeFiles/asyncmg_sparse.dir/spgemm.cpp.o"
+  "CMakeFiles/asyncmg_sparse.dir/spgemm.cpp.o.d"
+  "CMakeFiles/asyncmg_sparse.dir/vec.cpp.o"
+  "CMakeFiles/asyncmg_sparse.dir/vec.cpp.o.d"
+  "libasyncmg_sparse.a"
+  "libasyncmg_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmg_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asyncmg_util.dir/cli.cpp.o"
+  "CMakeFiles/asyncmg_util.dir/cli.cpp.o.d"
+  "CMakeFiles/asyncmg_util.dir/partition.cpp.o"
+  "CMakeFiles/asyncmg_util.dir/partition.cpp.o.d"
+  "CMakeFiles/asyncmg_util.dir/rng.cpp.o"
+  "CMakeFiles/asyncmg_util.dir/rng.cpp.o.d"
+  "CMakeFiles/asyncmg_util.dir/stats.cpp.o"
+  "CMakeFiles/asyncmg_util.dir/stats.cpp.o.d"
+  "CMakeFiles/asyncmg_util.dir/table.cpp.o"
+  "CMakeFiles/asyncmg_util.dir/table.cpp.o.d"
+  "libasyncmg_util.a"
+  "libasyncmg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asyncmg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicolor.dir/test_multicolor.cpp.o"
+  "CMakeFiles/test_multicolor.dir/test_multicolor.cpp.o.d"
+  "test_multicolor"
+  "test_multicolor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicolor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

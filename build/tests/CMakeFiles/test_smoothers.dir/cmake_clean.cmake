@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smoothers.dir/test_smoothers.cpp.o"
+  "CMakeFiles/test_smoothers.dir/test_smoothers.cpp.o.d"
+  "test_smoothers"
+  "test_smoothers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smoothers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
