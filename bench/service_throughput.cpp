@@ -1,0 +1,172 @@
+// Solver service throughput: what the setup/solve split buys a server that
+// sees the same matrix repeatedly.
+//
+// Part 1 (warm vs cold): `repeats` solves of one 27-pt Laplacian. The cold
+// baseline pays the full AMG setup phase before every solve; the warm path
+// submits the same requests through a SolveService, whose HierarchyCache
+// builds the setup once and serves every later request from cache. Reports
+// requests/sec for both and the speedup (acceptance: >= 5x at 16 repeats,
+// with cache counters showing exactly one setup).
+//
+// Part 2 (setup amortization): batches of 1..64 random right-hand sides
+// through solve_batch, each on a cold cache, so every batch pays exactly one
+// setup; per-RHS time falls toward the pure solve cost as the batch grows.
+//
+// Writes a machine-readable summary to --json (default BENCH_service.json).
+
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "service/solve_service.hpp"
+#include "util/timer.hpp"
+
+using namespace asyncmg;
+using namespace asyncmg::bench;
+
+namespace {
+
+struct BatchPoint {
+  std::size_t num_rhs = 0;
+  double seconds = 0.0;
+  double per_rhs = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto n = static_cast<Index>(cli.get_int("n", 16));
+  const auto repeats = static_cast<std::size_t>(cli.get_int("repeats", 16));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 4));
+  // Short truncated solves by default: the setup-amortization regime (time
+  // stepping from a good initial guess, preconditioner-style applications)
+  // is where a hierarchy cache pays. Raise --t-max / tighten --tol to
+  // benchmark converged solves instead.
+  const int t_max = static_cast<int>(cli.get_int("t-max", 5));
+  const double tol = cli.get_double("tol", 1e-3);
+  const auto batches =
+      cli.get_int_list("batches", {1, 2, 4, 8, 16, 32, 64});
+  const std::string json_path = cli.get("json", "BENCH_service.json");
+
+  const MgOptions mo =
+      paper_mg_options_for(TestSet::kFD27pt, SmootherType::kWeightedJacobi, 2);
+  Problem prob = make_laplace_27pt(n);
+  const CsrMatrix& a = prob.a;
+  const auto rows = static_cast<std::size_t>(a.rows());
+
+  std::cout << "Service throughput: 27pt n=" << n << " (" << rows
+            << " rows, nnz=" << a.nnz() << "), " << repeats
+            << " repeated solves, " << threads << " worker threads\n\n";
+
+  // --- Part 1: cold baseline. Full setup phase before every solve.
+  Timer cold_timer;
+  double cold_final_res = 0.0;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    MgSetup setup(CsrMatrix(a), mo);
+    MultiplicativeMg mg(setup);
+    const Vector b = paper_rhs(rows, i);
+    Vector x(rows, 0.0);
+    const SolveStats s = mg.solve(b, x, t_max, tol);
+    cold_final_res = s.final_rel_res();
+  }
+  const double cold_seconds = cold_timer.seconds();
+
+  // --- Part 1: warm path through the service. One setup, then cache hits;
+  // requests run concurrently on the pool.
+  ServiceOptions so;
+  so.num_threads = threads;
+  so.max_queue = repeats + threads;
+  so.cache.mg = mo;
+  so.default_t_max = t_max;
+  so.default_tol = tol;
+  double warm_seconds = 0.0;
+  double warm_final_res = 0.0;
+  std::string service_json;
+  std::uint64_t setups_built = 0, cache_hits = 0;
+  {
+    SolveService svc(so);
+    Timer warm_timer;
+    std::vector<std::future<SolveResponse>> futs;
+    futs.reserve(repeats);
+    for (std::size_t i = 0; i < repeats; ++i) {
+      futs.push_back(svc.submit(a, paper_rhs(rows, i)));
+    }
+    for (auto& f : futs) {
+      warm_final_res = f.get().stats.final_rel_res();
+    }
+    warm_seconds = warm_timer.seconds();
+    const ServiceStats stats = svc.stats();
+    service_json = stats.to_json();
+    setups_built = stats.cache.setups_built;
+    cache_hits = stats.cache.hits;
+  }
+
+  const double speedup = cold_seconds / warm_seconds;
+  Table summary({"path", "seconds", "req/s", "setups", "final-relres"});
+  summary.add_row({"cold", Table::fmt(cold_seconds, 4),
+                   Table::fmt(repeats / cold_seconds, 2),
+                   Table::fmt_int(static_cast<std::int64_t>(repeats)),
+                   Table::fmt(cold_final_res, 3)});
+  summary.add_row({"service", Table::fmt(warm_seconds, 4),
+                   Table::fmt(repeats / warm_seconds, 2),
+                   Table::fmt_int(static_cast<std::int64_t>(setups_built)),
+                   Table::fmt(warm_final_res, 3)});
+  summary.emit("");
+  std::cout << "\nspeedup (cold/service): " << Table::fmt(speedup, 2) << "x, "
+            << cache_hits << " cache hits, " << setups_built
+            << " setup phase(s) run\n\n";
+
+  // --- Part 2: setup amortization across batched right-hand sides. A fresh
+  // service per batch size so each batch pays exactly one setup.
+  std::vector<BatchPoint> curve;
+  std::cout << "Setup amortization (solve_batch, cold cache per point):\n";
+  Table amort({"rhs", "seconds", "sec/rhs"});
+  for (std::int64_t nb : batches) {
+    const auto num_rhs = static_cast<std::size_t>(nb);
+    std::vector<Vector> rhs;
+    rhs.reserve(num_rhs);
+    for (std::size_t i = 0; i < num_rhs; ++i) {
+      rhs.push_back(paper_rhs(rows, 1000 + i));
+    }
+    SolveService svc(so);
+    BatchOptions bo;
+    bo.t_max = t_max;
+    bo.tol = tol;
+    Timer timer;
+    const auto results = svc.solve_batch(a, rhs, bo);
+    BatchPoint pt;
+    pt.num_rhs = results.size();
+    pt.seconds = timer.seconds();
+    pt.per_rhs = pt.seconds / static_cast<double>(num_rhs);
+    curve.push_back(pt);
+    amort.add_row({Table::fmt_int(nb), Table::fmt(pt.seconds, 4),
+                   Table::fmt(pt.per_rhs, 5)});
+  }
+  amort.emit("");
+
+  std::ofstream out(json_path);
+  out.precision(9);
+  out << "{\"problem\":{\"set\":\"27pt\",\"n\":" << n << ",\"rows\":" << rows
+      << ",\"nnz\":" << a.nnz() << "},"
+      << "\"threads\":" << threads << ",\"t_max\":" << t_max
+      << ",\"tol\":" << tol << ",\"repeats\":" << repeats << ","
+      << "\"cold_seconds\":" << cold_seconds
+      << ",\"warm_seconds\":" << warm_seconds << ",\"speedup\":" << speedup
+      << ",\"requests_per_sec\":" << repeats / warm_seconds << ","
+      << "\"service_stats\":" << service_json << ",\"amortization\":[";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (i) out << ",";
+    out << "{\"rhs\":" << curve[i].num_rhs
+        << ",\"seconds\":" << curve[i].seconds
+        << ",\"seconds_per_rhs\":" << curve[i].per_rhs << "}";
+  }
+  out << "]}\n";
+  std::cout << "\nwrote " << json_path << "\n";
+  if (speedup < 5.0) {
+    std::cout << "FAIL: speedup " << Table::fmt(speedup, 2)
+              << "x below the 5x acceptance threshold\n";
+    return 1;
+  }
+  return 0;
+}

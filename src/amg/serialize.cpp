@@ -100,4 +100,15 @@ Hierarchy load_hierarchy_file(const std::string& path) {
   return load_hierarchy(f);
 }
 
+std::string save_hierarchy_string(const Hierarchy& h) {
+  std::ostringstream out;
+  save_hierarchy(out, h);
+  return std::move(out).str();
+}
+
+Hierarchy load_hierarchy_string(const std::string& bytes) {
+  std::istringstream in(bytes);
+  return load_hierarchy(in);
+}
+
 }  // namespace asyncmg

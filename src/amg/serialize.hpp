@@ -21,4 +21,10 @@ void save_hierarchy_file(const std::string& path, const Hierarchy& h);
 Hierarchy load_hierarchy(std::istream& in);
 Hierarchy load_hierarchy_file(const std::string& path);
 
+/// In-memory round-trip: the serialized container as a string. This is the
+/// primitive the HierarchyCache spill path builds on (serialize once, then
+/// hand the bytes to whatever store backs the cache).
+std::string save_hierarchy_string(const Hierarchy& h);
+Hierarchy load_hierarchy_string(const std::string& bytes);
+
 }  // namespace asyncmg

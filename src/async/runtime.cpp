@@ -3,11 +3,13 @@
 #include <atomic>
 #include <barrier>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "service/solver_pool.hpp"
 #include "sparse/vec.hpp"
 #include "util/partition.hpp"
 
@@ -549,6 +551,25 @@ std::vector<Team> build_teams(const Shared& sh) {
   return teams;
 }
 
+/// Runs `body(0..num_threads-1)` either as a gang on an external pool or on
+/// freshly spawned threads (the historical per-solve spawn/join path).
+void dispatch_threads(SolverPool* pool, std::size_t num_threads,
+                      const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr) {
+    if (pool->size() < num_threads) {
+      throw std::invalid_argument(
+          "runtime: pool smaller than num_threads (gang would deadlock)");
+    }
+    pool->run_gang(num_threads, body);
+    return;
+  }
+  std::vector<std::jthread> workers;
+  workers.reserve(num_threads);
+  for (std::size_t id = 0; id < num_threads; ++id) {
+    workers.emplace_back(body, id);
+  }
+}
+
 }  // namespace
 
 RuntimeResult run_shared_memory(const AdditiveCorrector& corrector,
@@ -575,22 +596,26 @@ RuntimeResult run_shared_memory(const AdditiveCorrector& corrector,
 
   std::vector<Team> teams = build_teams(sh);
 
-  {
-    std::vector<std::jthread> workers;
-    workers.reserve(sh.num_threads);
-    for (Team& t : teams) {
-      for (std::size_t r = 0; r < t.nthreads; ++r) {
-        workers.emplace_back([&sh, &t, r] {
-          Ctx c{&sh, &t, r, t.first_thread + r};
-          if (sh.opts.mode == ExecMode::kSynchronous) {
-            worker_sync(c);
-          } else {
-            worker_async(c);
-          }
-        });
-      }
+  // Flat global-id -> (team, rank) map so one gang body serves both the
+  // spawn path and the pool path.
+  struct Slot {
+    Team* team = nullptr;
+    std::size_t rank = 0;
+  };
+  std::vector<Slot> slots(sh.num_threads);
+  for (Team& t : teams) {
+    for (std::size_t r = 0; r < t.nthreads; ++r) {
+      slots[t.first_thread + r] = Slot{&t, r};
     }
-  }  // join
+  }
+  dispatch_threads(opts.pool, sh.num_threads, [&](std::size_t id) {
+    Ctx c{&sh, slots[id].team, slots[id].rank, id};
+    if (sh.opts.mode == ExecMode::kSynchronous) {
+      worker_sync(c);
+    } else {
+      worker_async(c);
+    }
+  });
 
   RuntimeResult result;
   result.seconds =
@@ -610,8 +635,8 @@ RuntimeResult run_shared_memory(const AdditiveCorrector& corrector,
 }
 
 RuntimeResult run_mult_threaded(const MgSetup& setup, const Vector& b,
-                                Vector& x, int t_max,
-                                std::size_t num_threads) {
+                                Vector& x, int t_max, std::size_t num_threads,
+                                SolverPool* pool) {
   if (num_threads == 0) {
     throw std::invalid_argument("num_threads must be >= 1");
   }
@@ -722,13 +747,7 @@ RuntimeResult run_mult_threaded(const MgSetup& setup, const Vector& b,
     }
   };
 
-  {
-    std::vector<std::jthread> workers;
-    workers.reserve(num_threads);
-    for (std::size_t tid = 0; tid < num_threads; ++tid) {
-      workers.emplace_back(worker, tid);
-    }
-  }
+  dispatch_threads(pool, num_threads, worker);
 
   RuntimeResult result;
   result.seconds =

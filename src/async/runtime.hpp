@@ -36,6 +36,8 @@
 
 namespace asyncmg {
 
+class SolverPool;
+
 enum class ResComp { kGlobal, kLocal };
 enum class WritePolicy { kLockWrite, kAtomicWrite };
 /// Criterion 1: a grid stops as soon as it has done t_max corrections.
@@ -55,6 +57,11 @@ struct RuntimeOptions {
   /// Record a per-correction commit trace (grid id + seconds since the
   /// solve started). Costs one clock read per correction.
   bool record_trace = false;
+  /// When set, the solve runs as a gang on this persistent pool instead of
+  /// spawning and joining num_threads fresh std::threads per call (the
+  /// service layer's amortization lever). Requires pool->size() >=
+  /// num_threads. Not owned; must outlive the call.
+  SolverPool* pool = nullptr;
 };
 
 /// One committed correction in the execution trace.
@@ -88,9 +95,10 @@ RuntimeResult run_shared_memory(const AdditiveCorrector& corrector,
 
 /// Threaded classical multiplicative V(1,1) baseline ("Mult"): every
 /// operation uses all threads with a global barrier between phases, as an
-/// OpenMP static-schedule implementation would.
+/// OpenMP static-schedule implementation would. A non-null `pool` runs the
+/// phases as a gang on the persistent pool (see RuntimeOptions::pool).
 RuntimeResult run_mult_threaded(const MgSetup& setup, const Vector& b,
-                                Vector& x, int t_max,
-                                std::size_t num_threads);
+                                Vector& x, int t_max, std::size_t num_threads,
+                                SolverPool* pool = nullptr);
 
 }  // namespace asyncmg

@@ -1,0 +1,50 @@
+#include "service/fingerprint.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace asyncmg {
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t len,
+                          std::uint64_t seed) {
+  // FNV-1a mixing applied to 8-byte words with a byte-wise tail: the
+  // fingerprint hashes megabytes of CSR arrays on every request, and the
+  // canonical byte-at-a-time loop would cost as much as the solve it keys.
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h ^= w;
+    h *= kPrime;
+  }
+  for (; i < len; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+MatrixFingerprint matrix_fingerprint(const CsrMatrix& a) {
+  MatrixFingerprint f;
+  f.rows = a.rows();
+  f.cols = a.cols();
+  f.nnz = a.nnz();
+  std::uint64_t h = fnv1a_bytes(a.row_ptr().data(),
+                                a.row_ptr().size_bytes());
+  h = fnv1a_bytes(a.col_idx().data(), a.col_idx().size_bytes(), h);
+  h = fnv1a_bytes(a.values().data(), a.values().size_bytes(), h);
+  f.hash = h;
+  return f;
+}
+
+std::string MatrixFingerprint::to_string() const {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%dx%d-n%d-h%016llx", rows, cols, nnz,
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,44 @@
+#pragma once
+// Content fingerprint of a CSR matrix: shape + nnz + a 64-bit FNV-1a hash
+// over the row pointers, column indices, and values. The HierarchyCache
+// keys completed AMG setups by this fingerprint, so two byte-identical
+// matrices share one setup while any structural or numerical change (even a
+// single value bit) maps to a different entry.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace asyncmg {
+
+struct MatrixFingerprint {
+  Index rows = 0;
+  Index cols = 0;
+  Index nnz = 0;
+  std::uint64_t hash = 0;
+
+  bool operator==(const MatrixFingerprint&) const = default;
+
+  /// Compact key string, e.g. "3375x3375-n22475-h1a2b3c4d5e6f708"; stable
+  /// across runs, used for spill file names and JSON stats.
+  std::string to_string() const;
+};
+
+MatrixFingerprint matrix_fingerprint(const CsrMatrix& a);
+
+/// FNV-1a over an arbitrary byte range, seedable for chaining.
+std::uint64_t fnv1a_bytes(const void* data, std::size_t len,
+                          std::uint64_t seed = 14695981039346656037ull);
+
+struct MatrixFingerprintHasher {
+  std::size_t operator()(const MatrixFingerprint& f) const {
+    // The content hash already mixes everything; fold in the shape cheaply.
+    return static_cast<std::size_t>(
+        f.hash ^ (static_cast<std::uint64_t>(f.rows) << 32) ^
+        static_cast<std::uint64_t>(f.nnz));
+  }
+};
+
+}  // namespace asyncmg

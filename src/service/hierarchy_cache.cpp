@@ -1,0 +1,130 @@
+#include "service/hierarchy_cache.hpp"
+
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "amg/serialize.hpp"
+
+namespace asyncmg {
+
+namespace {
+
+std::size_t csr_bytes(const CsrMatrix& m) {
+  return static_cast<std::size_t>(m.nnz()) * (sizeof(Index) + sizeof(double)) +
+         (static_cast<std::size_t>(m.rows()) + 1) * sizeof(Index);
+}
+
+}  // namespace
+
+std::size_t estimate_setup_bytes(const MgSetup& s) {
+  std::size_t total = 0;
+  const std::size_t nl = s.num_levels();
+  for (std::size_t k = 0; k < nl; ++k) {
+    total += csr_bytes(s.a(k));
+    if (k + 1 < nl) {
+      total += csr_bytes(s.p(k)) + csr_bytes(s.pbar(k)) + csr_bytes(s.r(k)) +
+               csr_bytes(s.rbar(k));
+    }
+    // Smoother diagonals / l1 norms and per-level scratch: a few vectors.
+    total += 4 * static_cast<std::size_t>(s.a(k).rows()) * sizeof(double);
+  }
+  // Dense coarse LU (n^2 doubles) on the coarsest level, when present.
+  const auto nc = static_cast<std::size_t>(s.a(nl - 1).rows());
+  if (!s.coarse_solver().empty()) total += nc * nc * sizeof(double);
+  return total;
+}
+
+HierarchyCache::HierarchyCache(HierarchyCacheOptions opts)
+    : opts_(std::move(opts)) {}
+
+std::string HierarchyCache::spill_path(const MatrixFingerprint& key) const {
+  return opts_.spill_dir + "/" + key.to_string() + ".amgh";
+}
+
+std::shared_ptr<const MgSetup> HierarchyCache::get_or_build(
+    const CsrMatrix& a, bool* was_hit) {
+  return get_or_build(a, matrix_fingerprint(a), was_hit);
+}
+
+std::shared_ptr<const MgSetup> HierarchyCache::get_or_build(
+    const CsrMatrix& a, const MatrixFingerprint& key, bool* was_hit) {
+  const std::lock_guard<std::mutex> g(mu_);
+
+  if (auto it = map_.find(key); it != map_.end()) {
+    ++stats_.hits;
+    if (was_hit) *was_hit = true;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // touch
+    return it->second.setup;
+  }
+
+  ++stats_.misses;
+  if (was_hit) *was_hit = false;
+  std::shared_ptr<const MgSetup> setup;
+  if (auto sp = spilled_.find(key); sp != spilled_.end()) {
+    std::ifstream f(sp->second);
+    if (f) {
+      std::string bytes((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+      setup = std::make_shared<MgSetup>(load_hierarchy_string(bytes), opts_.mg);
+      ++stats_.spill_loads;
+    } else {
+      spilled_.erase(sp);  // file vanished; fall through to a full build
+    }
+  }
+  if (!setup) {
+    setup = std::make_shared<MgSetup>(
+        Hierarchy::build(a, opts_.mg.amg), opts_.mg);
+    ++stats_.setups_built;
+  }
+
+  Entry e;
+  e.setup = setup;
+  e.bytes = estimate_setup_bytes(*setup);
+  lru_.push_front(key);
+  e.lru_it = lru_.begin();
+  stats_.resident_bytes += e.bytes;
+  map_.emplace(key, std::move(e));
+  stats_.resident_entries = map_.size();
+  evict_to_budget();
+  return setup;
+}
+
+void HierarchyCache::evict_to_budget() {
+  while (map_.size() > 1 && stats_.resident_bytes > opts_.max_bytes) {
+    evict_one_locked();
+  }
+}
+
+void HierarchyCache::evict_one_locked() {
+  const MatrixFingerprint key = lru_.back();
+  auto it = map_.find(key);
+  if (!opts_.spill_dir.empty() && !spilled_.contains(key)) {
+    const std::string path = spill_path(key);
+    std::ofstream f(path);
+    if (!f) {
+      throw std::runtime_error("HierarchyCache: cannot spill to " + path);
+    }
+    f << save_hierarchy_string(it->second.setup->hierarchy());
+    spilled_.emplace(key, path);
+    ++stats_.spill_writes;
+  }
+  stats_.resident_bytes -= it->second.bytes;
+  map_.erase(it);
+  lru_.pop_back();
+  ++stats_.evictions;
+  stats_.resident_entries = map_.size();
+}
+
+HierarchyCacheStats HierarchyCache::stats() const {
+  const std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+void HierarchyCache::clear() {
+  const std::lock_guard<std::mutex> g(mu_);
+  while (!map_.empty()) evict_one_locked();
+}
+
+}  // namespace asyncmg

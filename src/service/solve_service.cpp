@@ -1,0 +1,190 @@
+#include "service/solve_service.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "sparse/vec.hpp"
+#include "util/stats.hpp"
+
+namespace asyncmg {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// V-cycle loop with a wall-clock deadline: stops after the cycle that
+/// crosses `deadline` (absolute, 0-disabled via has_deadline) and reports
+/// the best-so-far iterate in x.
+SolveStats solve_with_deadline(const MgSetup& s, const Vector& b, Vector& x,
+                               int t_max, double tol, bool has_deadline,
+                               Clock::time_point deadline, bool& timed_out) {
+  MultiplicativeMg mg(s);
+  SolveStats stats;
+  const double bnorm = norm2(b);
+  const double scale = bnorm > 0.0 ? 1.0 / bnorm : 1.0;
+  Vector r;
+  const auto t0 = Clock::now();
+  s.a(0).residual(b, x, r);
+  stats.rel_res_history.push_back(norm2(r) * scale);
+  for (int t = 0; t < t_max; ++t) {
+    if (has_deadline && Clock::now() >= deadline) {
+      timed_out = true;
+      break;
+    }
+    mg.cycle(b, x);
+    ++stats.cycles;
+    s.a(0).residual(b, x, r);
+    const double rr = norm2(r) * scale;
+    stats.rel_res_history.push_back(rr);
+    if (tol > 0.0 && rr < tol) {
+      stats.converged = true;
+      break;
+    }
+  }
+  stats.seconds = seconds_since(t0);
+  return stats;
+}
+
+}  // namespace
+
+std::string ServiceStats::to_json() const {
+  std::ostringstream o;
+  o.precision(9);
+  o << "{"
+    << "\"submitted\":" << submitted << ","
+    << "\"completed\":" << completed << ","
+    << "\"rejected\":" << rejected << ","
+    << "\"timed_out\":" << timed_out << ","
+    << "\"queue_depth\":" << queue_depth << ","
+    << "\"cache\":{"
+    << "\"hits\":" << cache.hits << ","
+    << "\"misses\":" << cache.misses << ","
+    << "\"setups_built\":" << cache.setups_built << ","
+    << "\"evictions\":" << cache.evictions << ","
+    << "\"spill_writes\":" << cache.spill_writes << ","
+    << "\"spill_loads\":" << cache.spill_loads << ","
+    << "\"resident_bytes\":" << cache.resident_bytes << ","
+    << "\"resident_entries\":" << cache.resident_entries << "},"
+    << "\"latency_p50\":" << latency_p50 << ","
+    << "\"latency_p95\":" << latency_p95 << ","
+    << "\"latency_mean\":" << latency_mean << "}";
+  return o.str();
+}
+
+SolveService::SolveService(ServiceOptions opts) : opts_(std::move(opts)) {
+  cache_ = std::make_unique<HierarchyCache>(opts_.cache);
+  pool_ = std::make_unique<SolverPool>(opts_.num_threads);
+}
+
+SolveService::~SolveService() {
+  pool_->wait_idle();
+  // pool_ is the first member destroyed; its destructor joins the workers.
+}
+
+std::future<SolveResponse> SolveService::submit(CsrMatrix a, Vector b,
+                                                RequestOptions ropts) {
+  {
+    const std::lock_guard<std::mutex> g(stats_mu_);
+    if (in_flight_ >= opts_.max_queue) {
+      ++rejected_;
+      throw ServiceOverloaded();
+    }
+    ++in_flight_;
+    ++submitted_;
+  }
+  auto promise = std::make_shared<std::promise<SolveResponse>>();
+  std::future<SolveResponse> fut = promise->get_future();
+  const auto submitted_at = Clock::now();
+  pool_->post([this, a = std::move(a), b = std::move(b), ropts, submitted_at,
+               promise]() mutable {
+    execute(std::move(a), std::move(b), ropts, submitted_at,
+            std::move(promise));
+  });
+  return fut;
+}
+
+void SolveService::execute(
+    CsrMatrix a, Vector b, RequestOptions ropts,
+    std::chrono::steady_clock::time_point submitted,
+    std::shared_ptr<std::promise<SolveResponse>> promise) {
+  SolveResponse resp;
+  std::exception_ptr error;
+  try {
+    resp.queue_seconds = seconds_since(submitted);
+
+    const bool has_deadline = ropts.timeout_seconds > 0.0;
+    const auto deadline =
+        submitted + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(ropts.timeout_seconds));
+
+    if (has_deadline && Clock::now() >= deadline) {
+      // Expired while queued: the zero initial guess is the best-so-far
+      // iterate, with exact relative residual 1. Skips the setup entirely.
+      resp.x.assign(b.size(), 0.0);
+      resp.stats.rel_res_history.push_back(1.0);
+      resp.timed_out = true;
+    } else {
+      std::shared_ptr<const MgSetup> setup =
+          cache_->get_or_build(a, &resp.cache_hit);
+      a = CsrMatrix();  // the setup owns its own copy; drop the request's
+
+      const int t_max = ropts.t_max > 0 ? ropts.t_max : opts_.default_t_max;
+      const double tol = ropts.tol > 0.0 ? ropts.tol : opts_.default_tol;
+      resp.x.assign(b.size(), 0.0);
+      resp.stats = solve_with_deadline(*setup, b, resp.x, t_max, tol,
+                                       has_deadline, deadline, resp.timed_out);
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+  // Bookkeeping strictly before the promise resolves: a client that calls
+  // stats() right after future.get() must see this request as completed.
+  const double latency = seconds_since(submitted);
+  {
+    const std::lock_guard<std::mutex> g(stats_mu_);
+    --in_flight_;
+    ++completed_;
+    if (!error && resp.timed_out) ++timed_out_;
+    latencies_.push_back(latency);
+  }
+  if (error) {
+    promise->set_exception(error);
+  } else {
+    promise->set_value(std::move(resp));
+  }
+}
+
+std::vector<BatchResult> SolveService::solve_batch(
+    const CsrMatrix& a, const std::vector<Vector>& rhs, BatchOptions opts) {
+  if (opts.t_max <= 0) opts.t_max = opts_.default_t_max;
+  if (opts.tol <= 0.0) opts.tol = opts_.default_tol;
+  BatchSolver batch(cache_->get_or_build(a), pool_.get(), opts);
+  return batch.solve_all(rhs);
+}
+
+ServiceStats SolveService::stats() const {
+  ServiceStats s;
+  std::vector<double> lat;
+  {
+    const std::lock_guard<std::mutex> g(stats_mu_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.rejected = rejected_;
+    s.timed_out = timed_out_;
+    s.queue_depth = in_flight_;
+    lat = latencies_;
+  }
+  s.cache = cache_->stats();
+  if (!lat.empty()) {
+    s.latency_mean = mean(lat);
+    s.latency_p50 = percentile(lat, 50.0);
+    s.latency_p95 = percentile(lat, 95.0);
+  }
+  return s;
+}
+
+}  // namespace asyncmg

@@ -187,9 +187,10 @@ void Smoother::sweep_transpose(const Vector& b, Vector& x) const {
     case SmootherType::kHybridJGS:
     case SmootherType::kAsyncGS:
     case SmootherType::kL1HybridJGS: {
-      a_->residual(b, x, scratch_);
+      Vector r;
+      a_->residual(b, x, r);
       Vector e;
-      upper_solve(scratch_, e);
+      upper_solve(r, e);
       for (std::size_t i = 0; i < x.size(); ++i) x[i] += e[i];
       break;
     }
@@ -197,29 +198,33 @@ void Smoother::sweep_transpose(const Vector& b, Vector& x) const {
 }
 
 void Smoother::sweep_jacobi_like(const Vector& b, Vector& x) const {
-  a_->residual(b, x, scratch_);
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] += inv_diag_[i] * scratch_[i];
+  // Local scratch keeps const methods safe to call concurrently: one
+  // Smoother per level is shared by every solver running on the setup.
+  Vector r;
+  a_->residual(b, x, r);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += inv_diag_[i] * r[i];
 }
 
 void Smoother::sweep_block_gs(const Vector& b, Vector& x) const {
-  a_->residual(b, x, scratch_);
-  // Solve blockdiag(L) e = r in place of scratch, then x += e; within a
+  Vector r;
+  a_->residual(b, x, r);
+  // Solve blockdiag(L) e = r in place of r, then x += e; within a
   // block this is a forward substitution on the block's lower triangle.
   const auto rp = a_->row_ptr();
   const auto ci = a_->col_idx();
   const auto v = a_->values();
   for (const Range& rg : blocks_) {
     for (std::size_t i = rg.begin; i < rg.end; ++i) {
-      double s = scratch_[i];
+      double s = r[i];
       const auto row = static_cast<Index>(i);
       for (Index k = rp[row]; k < rp[row + 1]; ++k) {
         const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
-        if (j >= rg.begin && j < i) s -= v[static_cast<std::size_t>(k)] * scratch_[j];
+        if (j >= rg.begin && j < i) s -= v[static_cast<std::size_t>(k)] * r[j];
       }
-      scratch_[i] = s * inv_diag_[i];
+      r[i] = s * inv_diag_[i];
     }
   }
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] += scratch_[i];
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += r[i];
 }
 
 void Smoother::async_gs_sweep_block(const Vector& b, Vector& x,

@@ -115,7 +115,6 @@ class Smoother {
   Vector inv_diag_;
   Vector diag_;  // plain matrix diagonal
   std::vector<Range> blocks_;
-  mutable Vector scratch_;
 };
 
 /// Smoothed interpolant Pbar = (I - D~^{-1} A) P where D~ is the Jacobi-type

@@ -36,6 +36,18 @@ double median(std::vector<double> xs) {
   return 0.5 * (lo + hi);
 }
 
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  if (p <= 0.0) return min_of(xs);
+  if (p >= 100.0) return max_of(xs);
+  std::sort(xs.begin(), xs.end());
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
 double geometric_mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   double s = 0.0;

@@ -73,6 +73,23 @@ TEST(Serialize, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(Serialize, StringRoundTripMatchesStreamForm) {
+  // The in-memory round-trip (the HierarchyCache spill primitive) must be
+  // byte-identical to the stream form and reload losslessly.
+  const Hierarchy h = make_hierarchy(6);
+  std::stringstream ss;
+  save_hierarchy(ss, h);
+  const std::string bytes = save_hierarchy_string(h);
+  EXPECT_EQ(bytes, ss.str());
+
+  const Hierarchy g = load_hierarchy_string(bytes);
+  ASSERT_EQ(g.num_levels(), h.num_levels());
+  for (std::size_t k = 0; k < h.num_levels(); ++k) {
+    EXPECT_TRUE(g.matrix(k).approx_equal(h.matrix(k), 1e-14)) << "A_" << k;
+  }
+  EXPECT_THROW(load_hierarchy_string("garbage"), std::runtime_error);
+}
+
 TEST(Serialize, RejectsGarbage) {
   std::stringstream ss("not-a-hierarchy at all");
   EXPECT_THROW(load_hierarchy(ss), std::runtime_error);

@@ -1,0 +1,569 @@
+// Tests for the solver service layer: persistent pool, hierarchy cache
+// (including spill-to-disk), batched multi-RHS solves, and the request API.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <filesystem>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "async/runtime.hpp"
+#include "mesh/problems.hpp"
+#include "multigrid/mult.hpp"
+#include "service/batch_solver.hpp"
+#include "service/fingerprint.hpp"
+#include "service/hierarchy_cache.hpp"
+#include "service/solve_service.hpp"
+#include "service/solver_pool.hpp"
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace asyncmg {
+namespace {
+
+MgOptions test_mg_options() {
+  MgOptions mo;
+  mo.smoother.type = SmootherType::kWeightedJacobi;
+  mo.smoother.omega = 0.9;
+  return mo;
+}
+
+Vector rhs_for(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_vector(n, rng);
+}
+
+// ---------------------------------------------------------------------------
+// SolverPool
+// ---------------------------------------------------------------------------
+
+TEST(SolverPool, RejectsZeroThreads) {
+  EXPECT_THROW(SolverPool(0), std::invalid_argument);
+}
+
+TEST(SolverPool, PostRunsEveryTask) {
+  SolverPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_EQ(pool.tasks_executed(), 100u);
+}
+
+TEST(SolverPool, ParallelForCoversEveryIndexOnce) {
+  SolverPool pool(4);
+  std::vector<std::atomic<int>> touched(257);
+  pool.parallel_for(touched.size(), [&](std::size_t, std::size_t i) {
+    touched[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(SolverPool, ParallelForSlotsAreDense) {
+  SolverPool pool(3);
+  std::atomic<std::size_t> max_slot{0};
+  pool.parallel_for(64, [&](std::size_t slot, std::size_t) {
+    std::size_t cur = max_slot.load(std::memory_order_relaxed);
+    while (slot > cur &&
+           !max_slot.compare_exchange_weak(cur, slot,
+                                           std::memory_order_relaxed)) {
+    }
+  });
+  EXPECT_LT(max_slot.load(), pool.size());
+}
+
+TEST(SolverPool, GangBodiesMaySynchronize) {
+  SolverPool pool(4);
+  // Every body must be running concurrently for the barrier to pass; a pool
+  // that ran gang members sequentially would deadlock here.
+  std::barrier<> bar(4);
+  std::atomic<int> after{0};
+  pool.run_gang(4, [&](std::size_t) {
+    bar.arrive_and_wait();
+    after.fetch_add(1, std::memory_order_relaxed);
+    bar.arrive_and_wait();
+  });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(SolverPool, GangLargerThanPoolThrows) {
+  SolverPool pool(2);
+  EXPECT_THROW(pool.run_gang(3, [](std::size_t) {}), std::invalid_argument);
+}
+
+TEST(SolverPool, GangPropagatesExceptions) {
+  SolverPool pool(2);
+  EXPECT_THROW(pool.run_gang(2,
+                             [](std::size_t i) {
+                               if (i == 1) throw std::runtime_error("boom");
+                             }),
+               std::runtime_error);
+  pool.wait_idle();  // pool stays usable
+  std::atomic<int> ran{0};
+  pool.run_gang(2, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint
+// ---------------------------------------------------------------------------
+
+TEST(Fingerprint, IdenticalMatricesShareFingerprint) {
+  Problem p1 = make_laplace_7pt(6);
+  Problem p2 = make_laplace_7pt(6);
+  EXPECT_EQ(matrix_fingerprint(p1.a), matrix_fingerprint(p2.a));
+}
+
+TEST(Fingerprint, ValueAndShapeChangesAreDetected) {
+  Problem p = make_laplace_7pt(6);
+  const MatrixFingerprint base = matrix_fingerprint(p.a);
+
+  CsrMatrix perturbed = p.a;
+  perturbed.values_mutable()[0] += 1e-13;  // one bit of one value
+  EXPECT_NE(matrix_fingerprint(perturbed), base);
+
+  Problem other = make_laplace_7pt(7);
+  EXPECT_NE(matrix_fingerprint(other.a), base);
+
+  EXPECT_NE(base.to_string().find("h"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// HierarchyCache
+// ---------------------------------------------------------------------------
+
+TEST(HierarchyCache, HitsMissesAndSingleSetup) {
+  HierarchyCacheOptions co;
+  co.mg = test_mg_options();
+  HierarchyCache cache(co);
+  Problem p = make_laplace_7pt(6);
+
+  bool hit = true;
+  auto s1 = cache.get_or_build(p.a, &hit);
+  EXPECT_FALSE(hit);
+  auto s2 = cache.get_or_build(p.a, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(s1.get(), s2.get());
+
+  const HierarchyCacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.setups_built, 1u);
+  EXPECT_EQ(st.resident_entries, 1u);
+  EXPECT_GT(st.resident_bytes, 0u);
+}
+
+TEST(HierarchyCache, EvictsLeastRecentlyUsedUnderBudget) {
+  HierarchyCacheOptions co;
+  co.mg = test_mg_options();
+  co.max_bytes = 1;  // nothing fits, but one entry is always kept
+  HierarchyCache cache(co);
+  Problem a = make_laplace_7pt(6);
+  Problem b = make_laplace_7pt(7);
+
+  auto sa = cache.get_or_build(a.a);
+  auto sb = cache.get_or_build(b.a);
+  const HierarchyCacheStats st = cache.stats();
+  EXPECT_EQ(st.resident_entries, 1u);
+  EXPECT_EQ(st.evictions, 1u);
+  // The returned shared_ptr keeps the evicted setup alive for the caller.
+  EXPECT_GT(sa->num_levels(), 0u);
+
+  // Re-requesting the evicted matrix is a miss that rebuilds.
+  bool hit = true;
+  cache.get_or_build(a.a, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.stats().setups_built, 3u);
+}
+
+TEST(HierarchyCache, SpilledHierarchyReloadsWithIdenticalConvergence) {
+  const std::string dir = "/tmp/asyncmg_cache_spill_test";
+  std::filesystem::create_directories(dir);
+
+  HierarchyCacheOptions co;
+  co.mg = test_mg_options();
+  co.max_bytes = 1;
+  co.spill_dir = dir;
+  HierarchyCache cache(co);
+
+  Problem a = make_laplace_7pt(8);
+  Problem b = make_laplace_7pt(6);
+  const Vector rhs = rhs_for(static_cast<std::size_t>(a.a.rows()), 7);
+
+  // Reference convergence history from the freshly built setup.
+  auto fresh = cache.get_or_build(a.a);
+  Vector x_ref(rhs.size(), 0.0);
+  MultiplicativeMg mg_ref(*fresh);
+  const SolveStats ref = mg_ref.solve(rhs, x_ref, 15);
+
+  // Evict A to disk, then request it again: served by spill load, no new
+  // AMG setup phase.
+  cache.get_or_build(b.a);
+  ASSERT_EQ(cache.stats().spill_writes, 1u);
+  bool hit = true;
+  auto reloaded = cache.get_or_build(a.a, &hit);
+  EXPECT_FALSE(hit);
+  const HierarchyCacheStats st = cache.stats();
+  EXPECT_EQ(st.spill_loads, 1u);
+  EXPECT_EQ(st.setups_built, 2u);  // one per matrix; the reload built none
+
+  Vector x2(rhs.size(), 0.0);
+  MultiplicativeMg mg2(*reloaded);
+  const SolveStats again = mg2.solve(rhs, x2, 15);
+  ASSERT_EQ(again.rel_res_history.size(), ref.rel_res_history.size());
+  for (std::size_t t = 0; t < ref.rel_res_history.size(); ++t) {
+    EXPECT_NEAR(again.rel_res_history[t], ref.rel_res_history[t], 1e-13)
+        << "cycle " << t;
+  }
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    EXPECT_NEAR(x2[i], x_ref[i], 1e-12);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// BatchSolver
+// ---------------------------------------------------------------------------
+
+TEST(BatchSolver, MatchesIndependentSolves) {
+  Problem p = make_laplace_7pt(8);
+  const auto n = static_cast<std::size_t>(p.a.rows());
+  auto setup = std::make_shared<const MgSetup>(
+      Hierarchy::build(p.a, test_mg_options().amg), test_mg_options());
+
+  std::vector<Vector> rhs;
+  for (std::uint64_t i = 0; i < 9; ++i) rhs.push_back(rhs_for(n, 100 + i));
+
+  BatchOptions bo;
+  bo.t_max = 20;
+  bo.tol = 1e-10;
+  SolverPool pool(4);
+  BatchSolver batch(setup, &pool, bo);
+  const std::vector<BatchResult> got = batch.solve_all(rhs);
+  ASSERT_EQ(got.size(), rhs.size());
+
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    Vector x(n, 0.0);
+    MultiplicativeMg mg(*setup);
+    const SolveStats ref = mg.solve(rhs[i], x, bo.t_max, bo.tol);
+    EXPECT_NEAR(got[i].stats.final_rel_res(), ref.final_rel_res(), 1e-12);
+    EXPECT_LT(got[i].stats.final_rel_res(), 1e-5);
+    for (std::size_t j = 0; j < n; ++j) EXPECT_NEAR(got[i].x[j], x[j], 1e-12);
+  }
+}
+
+TEST(BatchSolver, NullPoolRunsSequentially) {
+  Problem p = make_laplace_7pt(6);
+  const auto n = static_cast<std::size_t>(p.a.rows());
+  auto setup = std::make_shared<const MgSetup>(
+      Hierarchy::build(p.a, test_mg_options().amg), test_mg_options());
+  BatchSolver batch(setup, nullptr, BatchOptions{10, 1e-8});
+  const auto got = batch.solve_all({rhs_for(n, 1), rhs_for(n, 2)});
+  ASSERT_EQ(got.size(), 2u);
+  for (const BatchResult& r : got) EXPECT_LT(r.stats.final_rel_res(), 1e-3);
+}
+
+TEST(BatchSolver, RejectsMismatchedRhs) {
+  Problem p = make_laplace_7pt(6);
+  auto setup = std::make_shared<const MgSetup>(
+      Hierarchy::build(p.a, test_mg_options().amg), test_mg_options());
+  BatchSolver batch(setup, nullptr);
+  EXPECT_THROW(batch.solve_all({Vector(3, 1.0)}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Pool-backed runtimes
+// ---------------------------------------------------------------------------
+
+TEST(PoolRuntime, SyncModeOnPoolMatchesSequentialAdditive) {
+  Problem p = make_laplace_7pt(10);
+  MgOptions mo = test_mg_options();
+  MgSetup setup(std::move(p.a), mo);
+  AdditiveCorrector corr(setup, AdditiveOptions{});
+  const Vector b = rhs_for(static_cast<std::size_t>(setup.a(0).rows()), 13);
+
+  Vector x_seq(b.size(), 0.0);
+  AdditiveMg mg(setup, corr.options());
+  const double seq = mg.solve(b, x_seq, 15).final_rel_res();
+
+  SolverPool pool(8);
+  RuntimeOptions ro;
+  ro.mode = ExecMode::kSynchronous;
+  ro.t_max = 15;
+  ro.num_threads = 8;
+  ro.pool = &pool;
+  Vector x_par(b.size(), 0.0);
+  const RuntimeResult rr = run_shared_memory(corr, b, x_par, ro);
+  EXPECT_NEAR(rr.final_rel_res / seq, 1.0, 1e-6);
+}
+
+TEST(PoolRuntime, AsyncSolveOnPoolConvergesLikeSpawnPath) {
+  Problem p = make_laplace_7pt(10);
+  MgOptions mo = test_mg_options();
+  MgSetup setup(std::move(p.a), mo);
+  AdditiveCorrector corr(setup, AdditiveOptions{});
+  const Vector b = rhs_for(static_cast<std::size_t>(setup.a(0).rows()), 17);
+
+  RuntimeOptions ro;
+  ro.t_max = 30;
+  ro.num_threads = 8;
+  Vector x_spawn(b.size(), 0.0);
+  const RuntimeResult spawn = run_shared_memory(corr, b, x_spawn, ro);
+
+  SolverPool pool(8);
+  ro.pool = &pool;
+  Vector x_pool(b.size(), 0.0);
+  const RuntimeResult pooled = run_shared_memory(corr, b, x_pool, ro);
+
+  // Asynchronous schedules are stochastic; both paths must converge to the
+  // same quality band (the spawn path's own test threshold).
+  EXPECT_LT(spawn.final_rel_res, 0.05);
+  EXPECT_LT(pooled.final_rel_res, 0.05);
+  for (int c : pooled.corrections) EXPECT_GE(c, ro.t_max);
+
+  // The pool is reusable: a second solve on the same workers.
+  Vector x_again(b.size(), 0.0);
+  const RuntimeResult again = run_shared_memory(corr, b, x_again, ro);
+  EXPECT_LT(again.final_rel_res, 0.05);
+}
+
+TEST(PoolRuntime, MultThreadedOnPoolMatchesSequential) {
+  Problem p = make_laplace_7pt(10);
+  MgOptions mo = test_mg_options();
+  MgSetup setup(std::move(p.a), mo);
+  const Vector b = rhs_for(static_cast<std::size_t>(setup.a(0).rows()), 19);
+
+  Vector x_seq(b.size(), 0.0);
+  MultiplicativeMg mg(setup);
+  const double seq = mg.solve(b, x_seq, 12).final_rel_res();
+
+  SolverPool pool(6);
+  Vector x_par(b.size(), 0.0);
+  const RuntimeResult rr = run_mult_threaded(setup, b, x_par, 12, 6, &pool);
+  EXPECT_NEAR(rr.final_rel_res / seq, 1.0, 1e-9);
+}
+
+TEST(PoolRuntime, PoolSmallerThanGangThrows) {
+  Problem p = make_laplace_7pt(6);
+  MgSetup setup(std::move(p.a), test_mg_options());
+  AdditiveCorrector corr(setup, AdditiveOptions{});
+  const Vector b = rhs_for(static_cast<std::size_t>(setup.a(0).rows()), 3);
+  SolverPool pool(2);
+  RuntimeOptions ro;
+  ro.num_threads = 4;
+  ro.pool = &pool;
+  Vector x(b.size(), 0.0);
+  EXPECT_THROW(run_shared_memory(corr, b, x, ro), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// SolveService
+// ---------------------------------------------------------------------------
+
+ServiceOptions small_service_options(std::size_t threads = 4) {
+  ServiceOptions so;
+  so.num_threads = threads;
+  so.cache.mg = test_mg_options();
+  so.default_t_max = 30;
+  so.default_tol = 1e-9;
+  return so;
+}
+
+TEST(SolveService, SubmitSolvesAndHitsCacheOnRepeat) {
+  SolveService svc(small_service_options());
+  Problem p = make_laplace_7pt(8);
+  const auto n = static_cast<std::size_t>(p.a.rows());
+
+  auto f1 = svc.submit(p.a, rhs_for(n, 1));
+  const SolveResponse r1 = f1.get();
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_FALSE(r1.timed_out);
+  EXPECT_LT(r1.stats.final_rel_res(), 1e-8);
+
+  auto f2 = svc.submit(p.a, rhs_for(n, 2));
+  const SolveResponse r2 = f2.get();
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_LT(r2.stats.final_rel_res(), 1e-8);
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.submitted, 2u);
+  EXPECT_EQ(st.completed, 2u);
+  EXPECT_EQ(st.cache.setups_built, 1u);
+  EXPECT_GE(st.latency_p95, st.latency_p50);
+  EXPECT_GT(st.latency_mean, 0.0);
+}
+
+TEST(SolveService, ConcurrentClientsMatchIndependentSolves) {
+  SolveService svc(small_service_options());
+  Problem p = make_laplace_7pt(8);
+  const auto n = static_cast<std::size_t>(p.a.rows());
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 6;
+  std::vector<std::vector<std::future<SolveResponse>>> futs(kClients);
+  {
+    std::vector<std::jthread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < kPerClient; ++i) {
+          futs[c].push_back(svc.submit(
+              p.a, rhs_for(n, static_cast<std::uint64_t>(c * 100 + i))));
+        }
+      });
+    }
+  }
+
+  // Reference solves against the very setup the service cached.
+  auto setup = svc.cache().get_or_build(p.a);
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      const SolveResponse got = futs[c][i].get();
+      Vector x(n, 0.0);
+      MultiplicativeMg mg(*setup);
+      const SolveStats ref =
+          mg.solve(rhs_for(n, static_cast<std::uint64_t>(c * 100 + i)), x, 30,
+                   1e-9);
+      EXPECT_NEAR(got.stats.final_rel_res(), ref.final_rel_res(), 1e-12);
+      for (std::size_t j = 0; j < n; ++j) EXPECT_NEAR(got.x[j], x[j], 1e-12);
+    }
+  }
+  EXPECT_EQ(svc.stats().cache.setups_built, 1u);
+}
+
+TEST(SolveService, BatchedSolvesMatchIndependentUnderConcurrentClients) {
+  SolveService svc(small_service_options());
+  Problem p = make_laplace_7pt(8);
+  const auto n = static_cast<std::size_t>(p.a.rows());
+  BatchOptions bo;
+  bo.t_max = 20;
+  bo.tol = 1e-10;
+
+  constexpr int kClients = 3;
+  constexpr int kRhs = 5;
+  std::vector<std::vector<BatchResult>> got(kClients);
+  {
+    std::vector<std::jthread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<Vector> rhs;
+        for (int i = 0; i < kRhs; ++i) {
+          rhs.push_back(rhs_for(n, static_cast<std::uint64_t>(c * 50 + i)));
+        }
+        got[c] = svc.solve_batch(p.a, rhs, bo);
+      });
+    }
+  }
+
+  auto setup = svc.cache().get_or_build(p.a);
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(got[c].size(), static_cast<std::size_t>(kRhs));
+    for (int i = 0; i < kRhs; ++i) {
+      Vector x(n, 0.0);
+      MultiplicativeMg mg(*setup);
+      const SolveStats ref =
+          mg.solve(rhs_for(n, static_cast<std::uint64_t>(c * 50 + i)), x,
+                   bo.t_max, bo.tol);
+      EXPECT_NEAR(got[c][i].stats.final_rel_res(), ref.final_rel_res(),
+                  1e-12);
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(got[c][i].x[j], x[j], 1e-12);
+      }
+    }
+  }
+  EXPECT_EQ(svc.stats().cache.setups_built, 1u);
+}
+
+TEST(SolveService, DeadlineReturnsBestSoFarWithTimedOutFlag) {
+  SolveService svc(small_service_options(2));
+  Problem p = make_laplace_27pt(12);
+  const auto n = static_cast<std::size_t>(p.a.rows());
+
+  RequestOptions ro;
+  ro.t_max = 1000000;
+  ro.tol = 1e-300;  // unreachable: only the deadline can stop the solve
+  ro.timeout_seconds = 0.15;
+  auto fut = svc.submit(p.a, rhs_for(n, 5), ro);
+  const SolveResponse resp = fut.get();
+  EXPECT_TRUE(resp.timed_out);
+  EXPECT_FALSE(resp.stats.converged);
+  ASSERT_FALSE(resp.stats.rel_res_history.empty());
+  // Best-so-far iterate: the residual improved over the initial guess
+  // whenever at least one cycle fit in the budget.
+  if (resp.stats.cycles > 0) {
+    EXPECT_LT(resp.stats.final_rel_res(), resp.stats.rel_res_history.front());
+  }
+  EXPECT_EQ(svc.stats().timed_out, 1u);
+}
+
+TEST(SolveService, DeadlineExpiredInQueueShortCircuits) {
+  SolveService svc(small_service_options(1));
+  Problem p = make_laplace_7pt(8);
+  const auto n = static_cast<std::size_t>(p.a.rows());
+
+  // Occupy the single worker so the request's deadline lapses while queued.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  svc.pool().post([gate] { gate.wait(); });
+
+  RequestOptions ro;
+  ro.timeout_seconds = 1e-6;
+  auto fut = svc.submit(p.a, rhs_for(n, 6), ro);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.set_value();
+  const SolveResponse resp = fut.get();
+  EXPECT_TRUE(resp.timed_out);
+  EXPECT_EQ(resp.stats.cycles, 0);
+  EXPECT_DOUBLE_EQ(resp.stats.final_rel_res(), 1.0);
+  // The short-circuit path never touches the cache.
+  EXPECT_EQ(svc.stats().cache.misses, 0u);
+}
+
+TEST(SolveService, BoundedAdmissionQueueRejectsOverload) {
+  ServiceOptions so = small_service_options(1);
+  so.max_queue = 2;
+  SolveService svc(so);
+  Problem p = make_laplace_7pt(6);
+  const auto n = static_cast<std::size_t>(p.a.rows());
+
+  // Block the pool so admitted requests cannot finish.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  svc.pool().post([gate] { gate.wait(); });
+
+  auto f1 = svc.submit(p.a, rhs_for(n, 1));
+  auto f2 = svc.submit(p.a, rhs_for(n, 2));
+  EXPECT_THROW(svc.submit(p.a, rhs_for(n, 3)), ServiceOverloaded);
+  EXPECT_EQ(svc.stats().queue_depth, 2u);
+
+  release.set_value();
+  EXPECT_LT(f1.get().stats.final_rel_res(), 1e-8);
+  EXPECT_LT(f2.get().stats.final_rel_res(), 1e-8);
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.rejected, 1u);
+  EXPECT_EQ(st.completed, 2u);
+  EXPECT_EQ(st.queue_depth, 0u);
+}
+
+TEST(SolveService, StatsExportAsJson) {
+  SolveService svc(small_service_options());
+  Problem p = make_laplace_7pt(6);
+  const auto n = static_cast<std::size_t>(p.a.rows());
+  svc.submit(p.a, rhs_for(n, 1)).get();
+
+  const std::string json = svc.stats().to_json();
+  for (const char* key :
+       {"\"submitted\":1", "\"completed\":1", "\"rejected\":0",
+        "\"cache\":", "\"setups_built\":1", "\"latency_p50\":",
+        "\"latency_p95\":", "\"queue_depth\":0"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+}  // namespace
+}  // namespace asyncmg

@@ -150,6 +150,16 @@ TEST(Stats, BasicMoments) {
   EXPECT_DOUBLE_EQ(max_of(xs), 4.0);
 }
 
+TEST(Stats, PercentileInterpolatesOrderStatistics) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);    // matches median
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.75);   // between 1 and 2
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 95.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
 TEST(Stats, EmptyAndDegenerate) {
   EXPECT_DOUBLE_EQ(mean({}), 0.0);
   EXPECT_DOUBLE_EQ(variance({5.0}), 0.0);
