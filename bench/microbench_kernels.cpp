@@ -85,20 +85,56 @@ BENCHMARK(BM_SmootherSweep)
     ->Arg(static_cast<int>(SmootherType::kHybridJGS))
     ->Arg(static_cast<int>(SmootherType::kAsyncGS));
 
+void BM_SpGemmMultiply(benchmark::State& state) {
+  const CsrMatrix& a = matrix27(static_cast<int>(state.range(0)));
+  const int threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    CsrMatrix aa = multiply(a, a, threads);
+    benchmark::DoNotOptimize(aa.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpGemmMultiply)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->Args({24, 1})
+    ->Args({24, 4});
+
+void BM_Transpose(benchmark::State& state) {
+  const CsrMatrix& a = matrix27(static_cast<int>(state.range(0)));
+  const int threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    CsrMatrix at = a.transpose(threads);
+    benchmark::DoNotOptimize(at.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Transpose)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->Args({24, 1})
+    ->Args({24, 4});
+
 void BM_SpGemmGalerkin(benchmark::State& state) {
-  Problem prob = make_laplace_27pt(static_cast<Index>(state.range(0)));
-  AmgOptions opts;
-  const CsrMatrix& a = prob.a;
+  const CsrMatrix& a = matrix27(static_cast<int>(state.range(0)));
+  const int threads = static_cast<int>(state.range(1));
   const CsrMatrix s = strength_matrix(a, 0.25);
   Rng rng(5);
   const Splitting split = coarsen_hmis(s, rng);
   const CsrMatrix p = interp_classical_modified(a, s, split);
   for (auto _ : state) {
-    CsrMatrix rap = galerkin_product(a, p);
+    CsrMatrix rap = galerkin_product(a, p, threads);
     benchmark::DoNotOptimize(rap.nnz());
   }
 }
-BENCHMARK(BM_SpGemmGalerkin)->Arg(8)->Arg(12);
+BENCHMARK(BM_SpGemmGalerkin)
+    ->Args({8, 1})
+    ->Args({12, 1})
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4});
 
 void BM_HierarchySetup(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,154 @@
+// AMG setup-phase thread-scaling bench: wall time of the full setup and a
+// per-phase breakdown (strength / coarsen / interp / RAP) as a function of
+// the setup thread count. Writes a machine-readable summary to --json
+// (default BENCH_setup.json).
+//
+// The per-phase numbers come from re-running the build loop phase by phase
+// through the public kernel APIs with the same options Hierarchy::build
+// uses, so they add up to (slightly less than) the end-to-end build time.
+//
+// Speedup is whatever the hardware gives: on a single-core container every
+// thread count measures ~1x, and that is reported honestly rather than
+// failing the run.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sparse/spgemm.hpp"
+#include "util/timer.hpp"
+
+namespace asyncmg {
+namespace {
+
+struct PhaseTimes {
+  double strength = 0.0;
+  double coarsen = 0.0;
+  double interp = 0.0;
+  double rap = 0.0;
+  double total = 0.0;  // end-to-end Hierarchy::build, measured separately
+};
+
+/// Mirrors Hierarchy::build level by level, timing each phase. Options match
+/// bench::paper_mg_options (HMIS + classical modified interpolation).
+PhaseTimes run_setup(const CsrMatrix& a_fine, const AmgOptions& opts) {
+  PhaseTimes pt;
+  Timer timer;
+  {
+    Hierarchy h = Hierarchy::build(a_fine, opts);
+    pt.total = timer.seconds();
+    if (h.num_levels() < 2) {
+      std::cerr << "warning: hierarchy degenerated to one level\n";
+    }
+  }
+
+  Rng rng(opts.seed);
+  CsrMatrix a = a_fine;
+  for (Index lvl = 0; lvl + 1 < opts.max_levels; ++lvl) {
+    if (a.rows() <= opts.coarse_size) break;
+
+    timer.reset();
+    const CsrMatrix s = strength_matrix(a, opts.strength_theta,
+                                        opts.strength_norm, opts.num_functions,
+                                        opts.setup_threads);
+    pt.strength += timer.seconds();
+
+    timer.reset();
+    Splitting split = coarsen(opts.coarsening, s, rng);
+    const bool aggressive =
+        lvl < static_cast<Index>(opts.num_aggressive_levels);
+    if (aggressive) {
+      split = coarsen_aggressive(opts.coarsening, s, split, rng,
+                                 opts.setup_threads);
+    }
+    pt.coarsen += timer.seconds();
+
+    const Index nc = count_coarse(split);
+    if (nc == 0 || nc >= a.rows() ||
+        static_cast<double>(nc) >
+            opts.max_coarsen_ratio * static_cast<double>(a.rows())) {
+      break;
+    }
+
+    timer.reset();
+    const InterpAlgo interp_algo =
+        aggressive ? InterpAlgo::kMultipass : opts.interpolation;
+    CsrMatrix p = build_interpolation(interp_algo, a, s, split,
+                                      opts.setup_threads);
+    p = truncate_interpolation(p, opts.trunc_factor, opts.setup_threads);
+    pt.interp += timer.seconds();
+
+    timer.reset();
+    a = galerkin_product(a, p, opts.setup_threads);
+    pt.rap += timer.seconds();
+  }
+  return pt;
+}
+
+}  // namespace
+}  // namespace asyncmg
+
+int main(int argc, char** argv) {
+  using namespace asyncmg;
+
+  Cli cli(argc, argv);
+  const Index n = static_cast<Index>(cli.get_int("n", 32));
+  const auto threads = cli.get_int_list("threads", {1, 2, 4, 8});
+  const int repeats = static_cast<int>(cli.get_int("repeats", 3));
+  const int aggressive = static_cast<int>(cli.get_int("aggressive", 1));
+  const std::string json_path = cli.get("json", "BENCH_setup.json");
+
+  std::cout << "setup_scaling: 27pt Laplacian n=" << n << " ("
+            << n * n * n << " dofs), " << repeats << " repeats\n";
+  const CsrMatrix a = make_laplace_27pt(n).a;
+
+  AmgOptions opts =
+      bench::paper_mg_options(SmootherType::kWeightedJacobi, 0.9, aggressive)
+          .amg;
+
+  struct Row {
+    int threads;
+    PhaseTimes best;
+  };
+  std::vector<Row> rows;
+  for (std::int64_t t : threads) {
+    opts.setup_threads = static_cast<int>(t);
+    PhaseTimes best;
+    for (int r = 0; r < repeats; ++r) {
+      const PhaseTimes pt = run_setup(a, opts);
+      if (r == 0 || pt.total < best.total) best = pt;
+    }
+    rows.push_back({static_cast<int>(t), best});
+    std::cout << "  threads=" << t << ": total " << best.total << " s"
+              << "  (strength " << best.strength << ", coarsen "
+              << best.coarsen << ", interp " << best.interp << ", RAP "
+              << best.rap << ")\n";
+  }
+
+  const double base = rows.empty() ? 0.0 : rows.front().best.total;
+  for (const Row& r : rows) {
+    std::cout << "  speedup x" << r.threads << " = "
+              << (r.best.total > 0.0 ? base / r.best.total : 0.0) << "\n";
+  }
+
+  std::ofstream out(json_path);
+  out << "{\"bench\":\"setup_scaling\",\"problem\":\"27pt\",\"n\":" << n
+      << ",\"dofs\":" << n * n * n << ",\"repeats\":" << repeats
+      << ",\"aggressive\":" << aggressive << ",\"runs\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    if (i) out << ",";
+    out << "{\"threads\":" << r.threads << ",\"total_seconds\":"
+        << r.best.total << ",\"speedup\":"
+        << (r.best.total > 0.0 ? base / r.best.total : 0.0)
+        << ",\"phases\":{\"strength\":" << r.best.strength << ",\"coarsen\":"
+        << r.best.coarsen << ",\"interp\":" << r.best.interp << ",\"rap\":"
+        << r.best.rap << "}}";
+  }
+  out << "]}\n";
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

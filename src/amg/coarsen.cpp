@@ -213,7 +213,8 @@ Splitting coarsen(CoarsenAlgo algo, const CsrMatrix& s, Rng& rng) {
 }
 
 Splitting coarsen_aggressive(CoarsenAlgo algo, const CsrMatrix& s,
-                             const Splitting& first, Rng& rng) {
+                             const Splitting& first, Rng& rng,
+                             int num_threads) {
   const Index n = s.rows();
   // Compress the first-stage C points and build their distance-2 strength
   // subgraph.
@@ -227,7 +228,7 @@ Splitting coarsen_aggressive(CoarsenAlgo algo, const CsrMatrix& s,
     }
   }
 
-  const CsrMatrix s2 = strength_distance2(s);
+  const CsrMatrix s2 = strength_distance2(s, num_threads);
   std::vector<Index> row_ptr(static_cast<std::size_t>(nc) + 1, 0);
   std::vector<Index> col_idx;
   std::vector<double> values;

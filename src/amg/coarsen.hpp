@@ -35,9 +35,12 @@ Splitting coarsen(CoarsenAlgo algo, const CsrMatrix& s, Rng& rng);
 
 /// Aggressive coarsening stage: re-coarsens the C points of `first` using
 /// distance-2 strength, demoting most of them to F. Returns the combined
-/// splitting (C set is a subset of first's C set).
+/// splitting (C set is a subset of first's C set). `num_threads` only
+/// parallelizes the distance-2 strength pattern; the splitting itself is
+/// serial and identical for every thread count.
 Splitting coarsen_aggressive(CoarsenAlgo algo, const CsrMatrix& s,
-                             const Splitting& first, Rng& rng);
+                             const Splitting& first, Rng& rng,
+                             int num_threads = 0);
 
 /// Number of coarse points.
 Index count_coarse(const Splitting& split);

@@ -28,11 +28,14 @@ Hierarchy Hierarchy::build(CsrMatrix a_fine, const AmgOptions& opts) {
     const Index n = a.rows();
     if (n <= opts.coarse_size) break;
 
-    const CsrMatrix s = strength_matrix_mapped(a, opts.strength_theta,
-                                               opts.strength_norm, funcs);
+    const CsrMatrix s = strength_matrix_mapped(
+        a, opts.strength_theta, opts.strength_norm, funcs, opts.setup_threads);
     Splitting split = coarsen(opts.coarsening, s, rng);
     const bool aggressive = lvl < static_cast<Index>(opts.num_aggressive_levels);
-    if (aggressive) split = coarsen_aggressive(opts.coarsening, s, split, rng);
+    if (aggressive) {
+      split =
+          coarsen_aggressive(opts.coarsening, s, split, rng, opts.setup_threads);
+    }
 
     const Index nc = count_coarse(split);
     if (nc == 0 || nc >= n ||
@@ -45,10 +48,11 @@ Hierarchy Hierarchy::build(CsrMatrix a_fine, const AmgOptions& opts) {
     // it always pairs with multipass interpolation (as in BoomerAMG).
     const InterpAlgo interp_algo =
         aggressive ? InterpAlgo::kMultipass : opts.interpolation;
-    CsrMatrix p = build_interpolation(interp_algo, a, s, split);
-    p = truncate_interpolation(p, opts.trunc_factor);
+    CsrMatrix p =
+        build_interpolation(interp_algo, a, s, split, opts.setup_threads);
+    p = truncate_interpolation(p, opts.trunc_factor, opts.setup_threads);
 
-    CsrMatrix ac = galerkin_product(a, p);
+    CsrMatrix ac = galerkin_product(a, p, opts.setup_threads);
 
     if (!funcs.empty()) {
       std::vector<int> coarse_funcs;

@@ -36,6 +36,12 @@ struct AmgOptions {
   /// Stop when coarsening stalls (nc/n above this ratio).
   double max_coarsen_ratio = 0.9;
   std::uint64_t seed = 42;
+  /// Thread count for the setup-phase kernels (strength, interpolation,
+  /// transpose, SpGEMM/RAP). 0 means the OpenMP default; the SolveService
+  /// defaults it to its pool size so cache-miss setups use the pool's
+  /// budget instead of oversubscribing. Every value yields a bit-identical
+  /// hierarchy (see DESIGN.md on setup determinism).
+  int setup_threads = 0;
 };
 
 /// One level of the hierarchy. `p` interpolates from level k+1 to level k

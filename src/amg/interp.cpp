@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sparse/parallel.hpp"
+
 namespace asyncmg {
 
 namespace {
@@ -22,29 +24,7 @@ inline double guarded_diag(double lumped, double aii) {
   return std::min(lumped, -floor_mag);
 }
 
-struct RowBuilder {
-  std::vector<Index> row_ptr;
-  std::vector<Index> col_idx;
-  std::vector<double> values;
-
-  explicit RowBuilder(Index rows) : row_ptr(static_cast<std::size_t>(rows) + 1, 0) {}
-
-  void push(Index col, double v) {
-    col_idx.push_back(col);
-    values.push_back(v);
-  }
-
-  void finish_row(Index i) {
-    row_ptr[static_cast<std::size_t>(i) + 1] = static_cast<Index>(col_idx.size());
-  }
-
-  CsrMatrix take(Index rows, Index cols) {
-    return CsrMatrix::from_csr(rows, cols, std::move(row_ptr),
-                               std::move(col_idx), std::move(values));
-  }
-};
-
-/// Marks the strong columns of row i of S in `strong` using stamp `i`.
+/// Marks the strong columns of row i of S in `stamp` using stamp `i`.
 void stamp_strong(const CsrMatrix& s, Index i, std::vector<Index>& stamp) {
   const auto rp = s.row_ptr();
   const auto ci = s.col_idx();
@@ -56,7 +36,7 @@ void stamp_strong(const CsrMatrix& s, Index i, std::vector<Index>& stamp) {
 }  // namespace
 
 CsrMatrix interp_direct(const CsrMatrix& a, const CsrMatrix& s,
-                        const Splitting& split) {
+                        const Splitting& split, int num_threads) {
   const Index n = a.rows();
   const std::vector<Index> cnum = coarse_numbering(split);
   const Index nc = count_coarse(split);
@@ -65,68 +45,71 @@ CsrMatrix interp_direct(const CsrMatrix& a, const CsrMatrix& s,
   const auto aci = a.col_idx();
   const auto av = a.values();
 
-  std::vector<Index> strong_stamp(static_cast<std::size_t>(n), -1);
-  RowBuilder out(n);
+  std::vector<Index> row_ptr;
+  std::vector<Index> col_idx;
+  std::vector<double> values;
+  assemble_rows_blocked(
+      n, num_threads, "interp_direct", row_ptr, col_idx, values, [&] {
+        return [&, strong_stamp =
+                       std::vector<Index>(static_cast<std::size_t>(n), -1)](
+                   Index i, std::vector<Index>& cols,
+                   std::vector<double>& vals) mutable {
+          if (split[static_cast<std::size_t>(i)] == PointType::kCoarse) {
+            cols.push_back(cnum[static_cast<std::size_t>(i)]);
+            vals.push_back(1.0);
+            return;
+          }
+          stamp_strong(s, i, strong_stamp);
 
-  for (Index i = 0; i < n; ++i) {
-    if (split[static_cast<std::size_t>(i)] == PointType::kCoarse) {
-      out.push(cnum[static_cast<std::size_t>(i)], 1.0);
-      out.finish_row(i);
-      continue;
-    }
-    stamp_strong(s, i, strong_stamp);
-
-    // Sum positive/negative off-diagonals over the whole row and over the
-    // strong C subset.
-    double diag = 0.0, sum_n = 0.0, sum_p = 0.0, sum_cn = 0.0, sum_cp = 0.0;
-    for (Index k = arp[i]; k < arp[i + 1]; ++k) {
-      const Index j = aci[static_cast<std::size_t>(k)];
-      const double v = av[static_cast<std::size_t>(k)];
-      if (j == i) {
-        diag = v;
-        continue;
-      }
-      (v < 0 ? sum_n : sum_p) += v;
-      const bool strong_c =
-          strong_stamp[static_cast<std::size_t>(j)] == i &&
-          split[static_cast<std::size_t>(j)] == PointType::kCoarse;
-      if (strong_c) (v < 0 ? sum_cn : sum_cp) += v;
-    }
-    // No strong C neighbors: this F point gets no coarse correction.
-    if (std::abs(sum_cn) < kTiny && std::abs(sum_cp) < kTiny) {
-      out.finish_row(i);
-      continue;
-    }
-    const double alpha = std::abs(sum_cn) > kTiny ? sum_n / sum_cn : 0.0;
-    double beta = 0.0;
-    if (std::abs(sum_cp) > kTiny) {
-      beta = sum_p / sum_cp;
-    } else {
-      diag += sum_p;  // no positive C entries: lump positives into diagonal
-    }
-    if (std::abs(diag) < kTiny) {
-      out.finish_row(i);
-      continue;
-    }
-    for (Index k = arp[i]; k < arp[i + 1]; ++k) {
-      const Index j = aci[static_cast<std::size_t>(k)];
-      const double v = av[static_cast<std::size_t>(k)];
-      if (j == i) continue;
-      const bool strong_c =
-          strong_stamp[static_cast<std::size_t>(j)] == i &&
-          split[static_cast<std::size_t>(j)] == PointType::kCoarse;
-      if (!strong_c) continue;
-      const double w = -((v < 0 ? alpha : beta) * v) / diag;
-      if (w != 0.0) out.push(cnum[static_cast<std::size_t>(j)], w);
-    }
-    out.finish_row(i);
-  }
-  CsrMatrix p = out.take(n, nc);
-  return p;
+          // Sum positive/negative off-diagonals over the whole row and over
+          // the strong C subset.
+          double diag = 0.0, sum_n = 0.0, sum_p = 0.0, sum_cn = 0.0,
+                 sum_cp = 0.0;
+          for (Index k = arp[i]; k < arp[i + 1]; ++k) {
+            const Index j = aci[static_cast<std::size_t>(k)];
+            const double v = av[static_cast<std::size_t>(k)];
+            if (j == i) {
+              diag = v;
+              continue;
+            }
+            (v < 0 ? sum_n : sum_p) += v;
+            const bool strong_c =
+                strong_stamp[static_cast<std::size_t>(j)] == i &&
+                split[static_cast<std::size_t>(j)] == PointType::kCoarse;
+            if (strong_c) (v < 0 ? sum_cn : sum_cp) += v;
+          }
+          // No strong C neighbors: this F point gets no coarse correction.
+          if (std::abs(sum_cn) < kTiny && std::abs(sum_cp) < kTiny) return;
+          const double alpha = std::abs(sum_cn) > kTiny ? sum_n / sum_cn : 0.0;
+          double beta = 0.0;
+          if (std::abs(sum_cp) > kTiny) {
+            beta = sum_p / sum_cp;
+          } else {
+            diag += sum_p;  // no positive C entries: lump into diagonal
+          }
+          if (std::abs(diag) < kTiny) return;
+          for (Index k = arp[i]; k < arp[i + 1]; ++k) {
+            const Index j = aci[static_cast<std::size_t>(k)];
+            const double v = av[static_cast<std::size_t>(k)];
+            if (j == i) continue;
+            const bool strong_c =
+                strong_stamp[static_cast<std::size_t>(j)] == i &&
+                split[static_cast<std::size_t>(j)] == PointType::kCoarse;
+            if (!strong_c) continue;
+            const double w = -((v < 0 ? alpha : beta) * v) / diag;
+            if (w != 0.0) {
+              cols.push_back(cnum[static_cast<std::size_t>(j)]);
+              vals.push_back(w);
+            }
+          }
+        };
+      });
+  return CsrMatrix::from_csr(n, nc, std::move(row_ptr), std::move(col_idx),
+                             std::move(values));
 }
 
 CsrMatrix interp_classical_modified(const CsrMatrix& a, const CsrMatrix& s,
-                                    const Splitting& split) {
+                                    const Splitting& split, int num_threads) {
   const Index n = a.rows();
   const std::vector<Index> cnum = coarse_numbering(split);
   const Index nc = count_coarse(split);
@@ -135,109 +118,124 @@ CsrMatrix interp_classical_modified(const CsrMatrix& a, const CsrMatrix& s,
   const auto aci = a.col_idx();
   const auto av = a.values();
 
-  std::vector<Index> strong_stamp(static_cast<std::size_t>(n), -1);
-  // Accumulator over coarse columns for the numerators, stamped per row.
-  std::vector<double> num(static_cast<std::size_t>(n), 0.0);
-  std::vector<Index> num_stamp(static_cast<std::size_t>(n), -1);
-  std::vector<Index> row_cols;
+  struct Scratch {
+    std::vector<Index> strong_stamp;
+    // Accumulator over coarse columns for the numerators, stamped per row.
+    std::vector<double> num;
+    std::vector<Index> num_stamp;
+    std::vector<Index> row_cols;
+  };
 
-  RowBuilder out(n);
-
-  for (Index i = 0; i < n; ++i) {
-    if (split[static_cast<std::size_t>(i)] == PointType::kCoarse) {
-      out.push(cnum[static_cast<std::size_t>(i)], 1.0);
-      out.finish_row(i);
-      continue;
-    }
-    stamp_strong(s, i, strong_stamp);
-    row_cols.clear();
-
-    auto is_strong = [&](Index j) {
-      return strong_stamp[static_cast<std::size_t>(j)] == i;
-    };
-    auto is_strong_c = [&](Index j) {
-      return is_strong(j) && split[static_cast<std::size_t>(j)] == PointType::kCoarse;
-    };
-
-    auto add_num = [&](Index j, double v) {
-      if (num_stamp[static_cast<std::size_t>(j)] != i) {
-        num_stamp[static_cast<std::size_t>(j)] = i;
-        num[static_cast<std::size_t>(j)] = 0.0;
-        row_cols.push_back(j);
-      }
-      num[static_cast<std::size_t>(j)] += v;
-    };
-
-    double diag = 0.0;
-    double aii = 0.0;
-    // First pass over the row: direct C contributions, weak lumping, and the
-    // list of strong F neighbors to distribute.
-    for (Index k = arp[i]; k < arp[i + 1]; ++k) {
-      const Index j = aci[static_cast<std::size_t>(k)];
-      const double v = av[static_cast<std::size_t>(k)];
-      if (j == i) {
-        diag += v;
-        aii = v;
-      } else if (is_strong_c(j)) {
-        add_num(j, v);
-      } else if (is_strong(j)) {
-        // Strong F neighbor m: distribute a_im over the C points common to
-        // rows i and m; if none, lump into the diagonal (the "modified"
-        // classical rule). Only common entries whose sign opposes m's
-        // diagonal participate: summing mixed-sign entries can cancel to
-        // (near) zero and produce unbounded weights (this bites on the
-        // elasticity set, whose rows have both signs). For M-matrices the
-        // restriction is a no-op.
-        const Index m = j;
-        double m_diag = 0.0;
-        for (Index k2 = arp[m]; k2 < arp[m + 1]; ++k2) {
-          if (aci[static_cast<std::size_t>(k2)] == m) {
-            m_diag = av[static_cast<std::size_t>(k2)];
-            break;
+  std::vector<Index> row_ptr;
+  std::vector<Index> col_idx;
+  std::vector<double> values;
+  assemble_rows_blocked(
+      n, num_threads, "interp_classical_modified", row_ptr, col_idx, values,
+      [&] {
+        Scratch sc;
+        sc.strong_stamp.assign(static_cast<std::size_t>(n), -1);
+        sc.num.assign(static_cast<std::size_t>(n), 0.0);
+        sc.num_stamp.assign(static_cast<std::size_t>(n), -1);
+        return [&, sc = std::move(sc)](Index i, std::vector<Index>& cols,
+                                       std::vector<double>& vals) mutable {
+          if (split[static_cast<std::size_t>(i)] == PointType::kCoarse) {
+            cols.push_back(cnum[static_cast<std::size_t>(i)]);
+            vals.push_back(1.0);
+            return;
           }
-        }
-        auto participates = [&](double amk) {
-          return m_diag > 0.0 ? amk < 0.0 : amk > 0.0;
-        };
-        double common = 0.0;
-        for (Index k2 = arp[m]; k2 < arp[m + 1]; ++k2) {
-          const Index c = aci[static_cast<std::size_t>(k2)];
-          const double amk = av[static_cast<std::size_t>(k2)];
-          if (c != m && is_strong_c(c) && participates(amk)) common += amk;
-        }
-        if (std::abs(common) < kTiny) {
-          diag += v;
-        } else {
-          for (Index k2 = arp[m]; k2 < arp[m + 1]; ++k2) {
-            const Index c = aci[static_cast<std::size_t>(k2)];
-            const double amk = av[static_cast<std::size_t>(k2)];
-            if (c != m && is_strong_c(c) && participates(amk)) {
-              add_num(c, v * amk / common);
+          stamp_strong(s, i, sc.strong_stamp);
+          sc.row_cols.clear();
+
+          auto is_strong = [&](Index j) {
+            return sc.strong_stamp[static_cast<std::size_t>(j)] == i;
+          };
+          auto is_strong_c = [&](Index j) {
+            return is_strong(j) &&
+                   split[static_cast<std::size_t>(j)] == PointType::kCoarse;
+          };
+
+          auto add_num = [&](Index j, double v) {
+            if (sc.num_stamp[static_cast<std::size_t>(j)] != i) {
+              sc.num_stamp[static_cast<std::size_t>(j)] = i;
+              sc.num[static_cast<std::size_t>(j)] = 0.0;
+              sc.row_cols.push_back(j);
+            }
+            sc.num[static_cast<std::size_t>(j)] += v;
+          };
+
+          double diag = 0.0;
+          double aii = 0.0;
+          // First pass over the row: direct C contributions, weak lumping,
+          // and the list of strong F neighbors to distribute.
+          for (Index k = arp[i]; k < arp[i + 1]; ++k) {
+            const Index j = aci[static_cast<std::size_t>(k)];
+            const double v = av[static_cast<std::size_t>(k)];
+            if (j == i) {
+              diag += v;
+              aii = v;
+            } else if (is_strong_c(j)) {
+              add_num(j, v);
+            } else if (is_strong(j)) {
+              // Strong F neighbor m: distribute a_im over the C points common
+              // to rows i and m; if none, lump into the diagonal (the
+              // "modified" classical rule). Only common entries whose sign
+              // opposes m's diagonal participate: summing mixed-sign entries
+              // can cancel to (near) zero and produce unbounded weights (this
+              // bites on the elasticity set, whose rows have both signs). For
+              // M-matrices the restriction is a no-op.
+              const Index m = j;
+              double m_diag = 0.0;
+              for (Index k2 = arp[m]; k2 < arp[m + 1]; ++k2) {
+                if (aci[static_cast<std::size_t>(k2)] == m) {
+                  m_diag = av[static_cast<std::size_t>(k2)];
+                  break;
+                }
+              }
+              auto participates = [&](double amk) {
+                return m_diag > 0.0 ? amk < 0.0 : amk > 0.0;
+              };
+              double common = 0.0;
+              for (Index k2 = arp[m]; k2 < arp[m + 1]; ++k2) {
+                const Index c = aci[static_cast<std::size_t>(k2)];
+                const double amk = av[static_cast<std::size_t>(k2)];
+                if (c != m && is_strong_c(c) && participates(amk)) {
+                  common += amk;
+                }
+              }
+              if (std::abs(common) < kTiny) {
+                diag += v;
+              } else {
+                for (Index k2 = arp[m]; k2 < arp[m + 1]; ++k2) {
+                  const Index c = aci[static_cast<std::size_t>(k2)];
+                  const double amk = av[static_cast<std::size_t>(k2)];
+                  if (c != m && is_strong_c(c) && participates(amk)) {
+                    add_num(c, v * amk / common);
+                  }
+                }
+              }
+            } else {
+              diag += v;  // weak connection: lump into the diagonal
             }
           }
-        }
-      } else {
-        diag += v;  // weak connection: lump into the diagonal
-      }
-    }
 
-    diag = guarded_diag(diag, aii);
-    if (std::abs(diag) < kTiny || row_cols.empty()) {
-      out.finish_row(i);
-      continue;
-    }
-    std::sort(row_cols.begin(), row_cols.end());
-    for (Index j : row_cols) {
-      const double w = -num[static_cast<std::size_t>(j)] / diag;
-      if (w != 0.0) out.push(cnum[static_cast<std::size_t>(j)], w);
-    }
-    out.finish_row(i);
-  }
-  return out.take(n, nc);
+          diag = guarded_diag(diag, aii);
+          if (std::abs(diag) < kTiny || sc.row_cols.empty()) return;
+          std::sort(sc.row_cols.begin(), sc.row_cols.end());
+          for (Index j : sc.row_cols) {
+            const double w = -sc.num[static_cast<std::size_t>(j)] / diag;
+            if (w != 0.0) {
+              cols.push_back(cnum[static_cast<std::size_t>(j)]);
+              vals.push_back(w);
+            }
+          }
+        };
+      });
+  return CsrMatrix::from_csr(n, nc, std::move(row_ptr), std::move(col_idx),
+                             std::move(values));
 }
 
 CsrMatrix interp_multipass(const CsrMatrix& a, const CsrMatrix& s,
-                           const Splitting& split) {
+                           const Splitting& split, int num_threads) {
   const Index n = a.rows();
   const std::vector<Index> cnum = coarse_numbering(split);
   const Index nc = count_coarse(split);
@@ -247,6 +245,8 @@ CsrMatrix interp_multipass(const CsrMatrix& a, const CsrMatrix& s,
   const auto av = a.values();
   const auto srp = s.row_ptr();
   const auto sci = s.col_idx();
+  const int nt =
+      n >= kSetupSerialCutoff ? resolve_setup_threads(num_threads) : 1;
 
   // Per-row interpolation stencils built pass by pass.
   std::vector<std::vector<std::pair<Index, double>>> rows(
@@ -256,13 +256,14 @@ CsrMatrix interp_multipass(const CsrMatrix& a, const CsrMatrix& s,
   // Pass 0: C points.
   for (Index i = 0; i < n; ++i) {
     if (split[static_cast<std::size_t>(i)] == PointType::kCoarse) {
-      rows[static_cast<std::size_t>(i)] = {{cnum[static_cast<std::size_t>(i)], 1.0}};
+      rows[static_cast<std::size_t>(i)] = {
+          {cnum[static_cast<std::size_t>(i)], 1.0}};
       assigned[static_cast<std::size_t>(i)] = 1;
     }
   }
 
   // Pass 1: F points with at least one strong C neighbor -> direct interp.
-  const CsrMatrix p_direct = interp_direct(a, s, split);
+  const CsrMatrix p_direct = interp_direct(a, s, split, num_threads);
   const auto drp = p_direct.row_ptr();
   const auto dci = p_direct.col_idx();
   const auto dv = p_direct.values();
@@ -279,125 +280,161 @@ CsrMatrix interp_multipass(const CsrMatrix& a, const CsrMatrix& s,
   }
 
   // Later passes: distribute through already-assigned strong neighbors.
-  std::vector<double> acc(static_cast<std::size_t>(nc), 0.0);
-  std::vector<Index> stamp(static_cast<std::size_t>(nc), -1);
-  std::vector<Index> cols;
+  // Each pass reads the previous passes' `assigned`/`rows` and writes only
+  // its own candidates' rows, so candidates are independent within a pass;
+  // the `pending` flags commit after the pass to keep passes identical to
+  // the serial schedule.
+  std::vector<char> pending(static_cast<std::size_t>(n), 0);
   bool progress = true;
   while (progress) {
     progress = false;
-    std::vector<Index> newly;
-    for (Index i = 0; i < n; ++i) {
-      if (assigned[static_cast<std::size_t>(i)]) continue;
-      // Strong neighbors already assigned?
-      bool any = false;
-      for (Index k = srp[i]; k < srp[i + 1]; ++k) {
-        if (assigned[static_cast<std::size_t>(sci[static_cast<std::size_t>(k)])]) {
-          any = true;
-          break;
-        }
-      }
-      if (!any) continue;
-
-      cols.clear();
-      double diag = 0.0;
-      double aii = 0.0;
-      for (Index k = arp[i]; k < arp[i + 1]; ++k) {
-        const Index j = aci[static_cast<std::size_t>(k)];
-        const double v = av[static_cast<std::size_t>(k)];
-        if (j == i) {
-          diag += v;
-          aii = v;
-          continue;
-        }
-        // Strong assigned neighbor: distribute through its stencil.
-        bool strong = false;
-        for (Index k2 = srp[i]; k2 < srp[i + 1]; ++k2) {
-          if (sci[static_cast<std::size_t>(k2)] == j) {
-            strong = true;
+#pragma omp parallel num_threads(nt)
+    {
+      std::vector<double> acc(static_cast<std::size_t>(nc), 0.0);
+      std::vector<Index> stamp(static_cast<std::size_t>(nc), -1);
+      std::vector<Index> cols;
+#pragma omp for schedule(static)
+      for (Index i = 0; i < n; ++i) {
+        if (assigned[static_cast<std::size_t>(i)]) continue;
+        // Strong neighbors already assigned?
+        bool any = false;
+        for (Index k = srp[i]; k < srp[i + 1]; ++k) {
+          if (assigned[static_cast<std::size_t>(
+                  sci[static_cast<std::size_t>(k)])]) {
+            any = true;
             break;
           }
         }
-        if (strong && assigned[static_cast<std::size_t>(j)]) {
-          for (const auto& [c, w] : rows[static_cast<std::size_t>(j)]) {
-            if (stamp[static_cast<std::size_t>(c)] != i) {
-              stamp[static_cast<std::size_t>(c)] = i;
-              acc[static_cast<std::size_t>(c)] = 0.0;
-              cols.push_back(c);
-            }
-            acc[static_cast<std::size_t>(c)] += v * w;
+        if (!any) continue;
+
+        cols.clear();
+        double diag = 0.0;
+        double aii = 0.0;
+        for (Index k = arp[i]; k < arp[i + 1]; ++k) {
+          const Index j = aci[static_cast<std::size_t>(k)];
+          const double v = av[static_cast<std::size_t>(k)];
+          if (j == i) {
+            diag += v;
+            aii = v;
+            continue;
           }
-        } else {
-          diag += v;  // weak or unassigned: lump
+          // Strong assigned neighbor: distribute through its stencil.
+          bool strong = false;
+          for (Index k2 = srp[i]; k2 < srp[i + 1]; ++k2) {
+            if (sci[static_cast<std::size_t>(k2)] == j) {
+              strong = true;
+              break;
+            }
+          }
+          if (strong && assigned[static_cast<std::size_t>(j)]) {
+            for (const auto& [c, w] : rows[static_cast<std::size_t>(j)]) {
+              if (stamp[static_cast<std::size_t>(c)] != i) {
+                stamp[static_cast<std::size_t>(c)] = i;
+                acc[static_cast<std::size_t>(c)] = 0.0;
+                cols.push_back(c);
+              }
+              acc[static_cast<std::size_t>(c)] += v * w;
+            }
+          } else {
+            diag += v;  // weak or unassigned: lump
+          }
         }
+        diag = guarded_diag(diag, aii);
+        if (std::abs(diag) < kTiny || cols.empty()) continue;
+        auto& r = rows[static_cast<std::size_t>(i)];
+        std::sort(cols.begin(), cols.end());
+        for (Index c : cols) {
+          const double w = -acc[static_cast<std::size_t>(c)] / diag;
+          if (w != 0.0) r.emplace_back(c, w);
+        }
+        pending[static_cast<std::size_t>(i)] = 1;
       }
-      diag = guarded_diag(diag, aii);
-      if (std::abs(diag) < kTiny || cols.empty()) continue;
-      auto& r = rows[static_cast<std::size_t>(i)];
-      std::sort(cols.begin(), cols.end());
-      for (Index c : cols) {
-        const double w = -acc[static_cast<std::size_t>(c)] / diag;
-        if (w != 0.0) r.emplace_back(c, w);
-      }
-      newly.push_back(i);
-      progress = true;
     }
-    for (Index i : newly) assigned[static_cast<std::size_t>(i)] = 1;
+    for (Index i = 0; i < n; ++i) {
+      if (pending[static_cast<std::size_t>(i)]) {
+        pending[static_cast<std::size_t>(i)] = 0;
+        assigned[static_cast<std::size_t>(i)] = 1;
+        progress = true;
+      }
+    }
   }
 
-  RowBuilder out(n);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(n));
   for (Index i = 0; i < n; ++i) {
-    for (const auto& [c, w] : rows[static_cast<std::size_t>(i)]) out.push(c, w);
-    out.finish_row(i);
+    counts[static_cast<std::size_t>(i)] = rows[static_cast<std::size_t>(i)].size();
   }
-  return out.take(n, nc);
+  std::vector<Index> row_ptr;
+  const std::size_t total =
+      prefix_sum_row_counts(counts, row_ptr, "interp_multipass");
+  std::vector<Index> col_idx(total);
+  std::vector<double> values(total);
+  for (Index i = 0; i < n; ++i) {
+    auto out = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
+    for (const auto& [c, w] : rows[static_cast<std::size_t>(i)]) {
+      col_idx[out] = c;
+      values[out] = w;
+      ++out;
+    }
+  }
+  return CsrMatrix::from_csr(n, nc, std::move(row_ptr), std::move(col_idx),
+                             std::move(values));
 }
 
 CsrMatrix build_interpolation(InterpAlgo algo, const CsrMatrix& a,
-                              const CsrMatrix& s, const Splitting& split) {
+                              const CsrMatrix& s, const Splitting& split,
+                              int num_threads) {
   switch (algo) {
     case InterpAlgo::kDirect:
-      return interp_direct(a, s, split);
+      return interp_direct(a, s, split, num_threads);
     case InterpAlgo::kClassicalModified:
-      return interp_classical_modified(a, s, split);
+      return interp_classical_modified(a, s, split, num_threads);
     case InterpAlgo::kMultipass:
-      return interp_multipass(a, s, split);
+      return interp_multipass(a, s, split, num_threads);
   }
   throw std::invalid_argument("unknown interpolation algorithm");
 }
 
-CsrMatrix truncate_interpolation(const CsrMatrix& p, double trunc) {
+CsrMatrix truncate_interpolation(const CsrMatrix& p, double trunc,
+                                 int num_threads) {
   if (trunc <= 0.0) return p;
   const Index n = p.rows();
   const auto rp = p.row_ptr();
   const auto ci = p.col_idx();
   const auto v = p.values();
 
-  RowBuilder out(n);
-  for (Index i = 0; i < n; ++i) {
-    double maxabs = 0.0, pos = 0.0, neg = 0.0;
-    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-      const double val = v[static_cast<std::size_t>(k)];
-      maxabs = std::max(maxabs, std::abs(val));
-      (val > 0 ? pos : neg) += val;
-    }
-    const double cut = trunc * maxabs;
-    double kept_pos = 0.0, kept_neg = 0.0;
-    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-      const double val = v[static_cast<std::size_t>(k)];
-      if (std::abs(val) >= cut) (val > 0 ? kept_pos : kept_neg) += val;
-    }
-    const double scale_pos = kept_pos > kTiny ? pos / kept_pos : 1.0;
-    const double scale_neg = kept_neg < -kTiny ? neg / kept_neg : 1.0;
-    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-      const double val = v[static_cast<std::size_t>(k)];
-      if (std::abs(val) >= cut) {
-        out.push(ci[static_cast<std::size_t>(k)],
-                 val * (val > 0 ? scale_pos : scale_neg));
-      }
-    }
-    out.finish_row(i);
-  }
-  return out.take(n, p.cols());
+  std::vector<Index> row_ptr;
+  std::vector<Index> col_idx;
+  std::vector<double> values;
+  assemble_rows_blocked(
+      n, num_threads, "truncate_interpolation", row_ptr, col_idx, values,
+      [&] {
+        return [&](Index i, std::vector<Index>& cols,
+                   std::vector<double>& vals) {
+          double maxabs = 0.0, pos = 0.0, neg = 0.0;
+          for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+            const double val = v[static_cast<std::size_t>(k)];
+            maxabs = std::max(maxabs, std::abs(val));
+            (val > 0 ? pos : neg) += val;
+          }
+          const double cut = trunc * maxabs;
+          double kept_pos = 0.0, kept_neg = 0.0;
+          for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+            const double val = v[static_cast<std::size_t>(k)];
+            if (std::abs(val) >= cut) (val > 0 ? kept_pos : kept_neg) += val;
+          }
+          const double scale_pos = kept_pos > kTiny ? pos / kept_pos : 1.0;
+          const double scale_neg = kept_neg < -kTiny ? neg / kept_neg : 1.0;
+          for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+            const double val = v[static_cast<std::size_t>(k)];
+            if (std::abs(val) >= cut) {
+              cols.push_back(ci[static_cast<std::size_t>(k)]);
+              vals.push_back(val * (val > 0 ? scale_pos : scale_neg));
+            }
+          }
+        };
+      });
+  return CsrMatrix::from_csr(n, p.cols(), std::move(row_ptr),
+                             std::move(col_idx), std::move(values));
 }
 
 }  // namespace asyncmg

@@ -3,6 +3,10 @@
 // classical "modified" (Ruge-Stuben with lumping of strong F-F connections
 // lacking a common C point), and multipass (for aggressive coarsening).
 // These mirror the BoomerAMG interpolation options used in the paper.
+//
+// Assembly is row-parallel (rows are independent given the splitting);
+// `num_threads` 0 means the OpenMP default, and every kernel returns an
+// identical matrix for every thread count.
 
 #include "amg/coarsen.hpp"
 #include "sparse/csr.hpp"
@@ -15,27 +19,31 @@ enum class InterpAlgo { kDirect, kClassicalModified, kMultipass };
 /// strong C neighbors, with positive/negative parts treated separately
 /// (hypre's scheme). C-point rows are identity.
 CsrMatrix interp_direct(const CsrMatrix& a, const CsrMatrix& s,
-                        const Splitting& split);
+                        const Splitting& split, int num_threads = 0);
 
 /// Classical modified interpolation: strong F-F connections are distributed
 /// through common strong C points; when an F neighbor shares no C point with
 /// the row, its coefficient is lumped into the diagonal ("modified").
 CsrMatrix interp_classical_modified(const CsrMatrix& a, const CsrMatrix& s,
-                                    const Splitting& split);
+                                    const Splitting& split,
+                                    int num_threads = 0);
 
 /// Multipass interpolation: C points first, then F points with strong C
 /// neighbors (direct), then remaining F points through already-interpolated
 /// strong neighbors, pass by pass. Required after aggressive coarsening,
-/// where many F points have no direct strong C neighbor.
+/// where many F points have no direct strong C neighbor. Passes are
+/// sequential but each pass's candidate rows are computed in parallel.
 CsrMatrix interp_multipass(const CsrMatrix& a, const CsrMatrix& s,
-                           const Splitting& split);
+                           const Splitting& split, int num_threads = 0);
 
 CsrMatrix build_interpolation(InterpAlgo algo, const CsrMatrix& a,
-                              const CsrMatrix& s, const Splitting& split);
+                              const CsrMatrix& s, const Splitting& split,
+                              int num_threads = 0);
 
 /// Truncates interpolation rows: drops entries below `trunc * max|row|` and
 /// rescales the survivors to preserve the row sum (positive and negative
 /// parts rescaled separately). trunc <= 0 is a no-op.
-CsrMatrix truncate_interpolation(const CsrMatrix& p, double trunc);
+CsrMatrix truncate_interpolation(const CsrMatrix& p, double trunc,
+                                 int num_threads = 0);
 
 }  // namespace asyncmg

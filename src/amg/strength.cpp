@@ -4,10 +4,12 @@
 #include <cmath>
 #include <vector>
 
+#include "sparse/parallel.hpp"
+
 namespace asyncmg {
 
 CsrMatrix strength_matrix(const CsrMatrix& a, double theta, StrengthNorm norm,
-                          int num_functions) {
+                          int num_functions, int num_threads) {
   std::vector<int> map;
   if (num_functions > 1) {
     map.resize(static_cast<std::size_t>(a.rows()));
@@ -15,92 +17,97 @@ CsrMatrix strength_matrix(const CsrMatrix& a, double theta, StrengthNorm norm,
       map[i] = static_cast<int>(i % static_cast<std::size_t>(num_functions));
     }
   }
-  return strength_matrix_mapped(a, theta, norm, map);
+  return strength_matrix_mapped(a, theta, norm, map, num_threads);
 }
 
 CsrMatrix strength_matrix_mapped(const CsrMatrix& a, double theta,
                                  StrengthNorm norm,
-                                 const std::vector<int>& function_map) {
+                                 const std::vector<int>& function_map,
+                                 int num_threads) {
   const Index n = a.rows();
   const auto rp = a.row_ptr();
   const auto ci = a.col_idx();
   const auto v = a.values();
   const bool mapped = !function_map.empty();
 
-  std::vector<Index> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Index> row_ptr;
   std::vector<Index> col_idx;
   std::vector<double> values;
-  col_idx.reserve(static_cast<std::size_t>(a.nnz()));
-
-  for (Index i = 0; i < n; ++i) {
-    auto same_function = [&](Index j) {
-      return !mapped || function_map[static_cast<std::size_t>(j)] ==
-                            function_map[static_cast<std::size_t>(i)];
-    };
-    double strongest = 0.0;
-    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-      const Index j = ci[static_cast<std::size_t>(k)];
-      if (j == i || !same_function(j)) continue;
-      const double val = v[static_cast<std::size_t>(k)];
-      const double mag = norm == StrengthNorm::kNegative ? -val : std::abs(val);
-      strongest = std::max(strongest, mag);
-    }
-    const double cut = theta * strongest;
-    if (strongest > 0.0) {
-      for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-        const Index j = ci[static_cast<std::size_t>(k)];
-        if (j == i || !same_function(j)) continue;
-        const double val = v[static_cast<std::size_t>(k)];
-        const double mag =
-            norm == StrengthNorm::kNegative ? -val : std::abs(val);
-        if (mag >= cut && mag > 0.0) {
-          col_idx.push_back(j);
-          values.push_back(1.0);
-        }
-      }
-    }
-    row_ptr[static_cast<std::size_t>(i) + 1] =
-        static_cast<Index>(col_idx.size());
-  }
+  assemble_rows_blocked(
+      n, num_threads, "strength", row_ptr, col_idx, values, [&] {
+        return [&](Index i, std::vector<Index>& cols,
+                   std::vector<double>& vals) {
+          auto same_function = [&](Index j) {
+            return !mapped || function_map[static_cast<std::size_t>(j)] ==
+                                  function_map[static_cast<std::size_t>(i)];
+          };
+          double strongest = 0.0;
+          for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+            const Index j = ci[static_cast<std::size_t>(k)];
+            if (j == i || !same_function(j)) continue;
+            const double val = v[static_cast<std::size_t>(k)];
+            const double mag =
+                norm == StrengthNorm::kNegative ? -val : std::abs(val);
+            strongest = std::max(strongest, mag);
+          }
+          const double cut = theta * strongest;
+          if (strongest > 0.0) {
+            for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+              const Index j = ci[static_cast<std::size_t>(k)];
+              if (j == i || !same_function(j)) continue;
+              const double val = v[static_cast<std::size_t>(k)];
+              const double mag =
+                  norm == StrengthNorm::kNegative ? -val : std::abs(val);
+              if (mag >= cut && mag > 0.0) {
+                cols.push_back(j);
+                vals.push_back(1.0);
+              }
+            }
+          }
+        };
+      });
   return CsrMatrix::from_csr(n, n, std::move(row_ptr), std::move(col_idx),
                              std::move(values));
 }
 
-CsrMatrix strength_distance2(const CsrMatrix& s) {
+CsrMatrix strength_distance2(const CsrMatrix& s, int num_threads) {
   const Index n = s.rows();
   const auto rp = s.row_ptr();
   const auto ci = s.col_idx();
 
-  std::vector<Index> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Index> row_ptr;
   std::vector<Index> col_idx;
   std::vector<double> values;
-  std::vector<Index> marker(static_cast<std::size_t>(n), -1);
-  std::vector<Index> row_cols;
-
-  for (Index i = 0; i < n; ++i) {
-    row_cols.clear();
-    auto visit = [&](Index j) {
-      if (j == i) return;
-      if (marker[static_cast<std::size_t>(j)] != i) {
-        marker[static_cast<std::size_t>(j)] = i;
-        row_cols.push_back(j);
-      }
-    };
-    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-      const Index m = ci[static_cast<std::size_t>(k)];
-      visit(m);
-      for (Index k2 = rp[m]; k2 < rp[m + 1]; ++k2) {
-        visit(ci[static_cast<std::size_t>(k2)]);
-      }
-    }
-    std::sort(row_cols.begin(), row_cols.end());
-    for (Index j : row_cols) {
-      col_idx.push_back(j);
-      values.push_back(1.0);
-    }
-    row_ptr[static_cast<std::size_t>(i) + 1] =
-        static_cast<Index>(col_idx.size());
-  }
+  assemble_rows_blocked(
+      n, num_threads, "strength_distance2", row_ptr, col_idx, values, [&] {
+        // Per-block scratch: row stamps are the row index, which is unique
+        // across the whole matrix, so reuse within a block is safe.
+        return [&, marker = std::vector<Index>(static_cast<std::size_t>(n), -1),
+                row_cols = std::vector<Index>()](
+                   Index i, std::vector<Index>& cols,
+                   std::vector<double>& vals) mutable {
+          row_cols.clear();
+          auto visit = [&](Index j) {
+            if (j == i) return;
+            if (marker[static_cast<std::size_t>(j)] != i) {
+              marker[static_cast<std::size_t>(j)] = i;
+              row_cols.push_back(j);
+            }
+          };
+          for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+            const Index m = ci[static_cast<std::size_t>(k)];
+            visit(m);
+            for (Index k2 = rp[m]; k2 < rp[m + 1]; ++k2) {
+              visit(ci[static_cast<std::size_t>(k2)]);
+            }
+          }
+          std::sort(row_cols.begin(), row_cols.end());
+          for (Index j : row_cols) {
+            cols.push_back(j);
+            vals.push_back(1.0);
+          }
+        };
+      });
   return CsrMatrix::from_csr(n, n, std::move(row_ptr), std::move(col_idx),
                              std::move(values));
 }

@@ -15,7 +15,9 @@ namespace asyncmg {
 enum class StrengthNorm { kNegative, kAbsolute };
 
 /// Strength matrix S: S(i,j) = 1 iff i strongly depends on j (j != i).
-/// Shape of A; values are all 1.0, pattern only.
+/// Shape of A; values are all 1.0, pattern only. Row-parallel assembly;
+/// `num_threads` 0 means the OpenMP default, and the result is identical
+/// for every thread count.
 ///
 /// `num_functions` enables unknown-based AMG for systems of PDEs with
 /// interleaved components (dof = num_functions*node + component): only
@@ -23,18 +25,19 @@ enum class StrengthNorm { kNegative, kAbsolute };
 /// BoomerAMG treats elasticity (num_functions = 3).
 CsrMatrix strength_matrix(const CsrMatrix& a, double theta,
                           StrengthNorm norm = StrengthNorm::kNegative,
-                          int num_functions = 1);
+                          int num_functions = 1, int num_threads = 0);
 
 /// Variant with an explicit per-dof function map (used on coarse levels,
 /// where C-point renumbering destroys the interleaving). Empty map means
 /// scalar behaviour.
 CsrMatrix strength_matrix_mapped(const CsrMatrix& a, double theta,
                                  StrengthNorm norm,
-                                 const std::vector<int>& function_map);
+                                 const std::vector<int>& function_map,
+                                 int num_threads = 0);
 
 /// Distance-2 strength pattern S2 = pattern(S + S*S) with zero diagonal;
 /// used by aggressive coarsening (a point is distance-2 strongly connected
 /// to another if a strong path of length <= 2 joins them).
-CsrMatrix strength_distance2(const CsrMatrix& s);
+CsrMatrix strength_distance2(const CsrMatrix& s, int num_threads = 0);
 
 }  // namespace asyncmg

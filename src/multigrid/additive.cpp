@@ -147,7 +147,7 @@ AdditiveMg::AdditiveMg(const MgSetup& setup, AdditiveOptions opts)
 
 void AdditiveMg::cycle(const Vector& b, Vector& x) {
   const MgSetup& s = corrector_.setup();
-  s.a(0).residual(b, x, r_);
+  s.a(0).residual_omp(b, x, r_);
   for (std::size_t k = 0; k < corrector_.num_grids(); ++k) {
     corrector_.correction(k, r_, c_);
     axpy(1.0, c_, x);
@@ -162,12 +162,12 @@ SolveStats AdditiveMg::solve(const Vector& b, Vector& x, int t_max,
   const double bnorm = norm2(b);
   const double scale = bnorm > 0.0 ? 1.0 / bnorm : 1.0;
   Vector r;
-  s.a(0).residual(b, x, r);
+  s.a(0).residual_omp(b, x, r);
   stats.rel_res_history.push_back(norm2(r) * scale);
   for (int t = 0; t < t_max; ++t) {
     cycle(b, x);
     ++stats.cycles;
-    s.a(0).residual(b, x, r);
+    s.a(0).residual_omp(b, x, r);
     const double rr = norm2(r) * scale;
     stats.rel_res_history.push_back(rr);
     if (tol > 0.0 && rr < tol) {

@@ -24,7 +24,7 @@ SolveStats pcg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
   const double scale = bnorm > 0.0 ? 1.0 / bnorm : 1.0;
 
   Vector r;
-  a.residual(b, x, r);
+  a.residual_omp(b, x, r);
   stats.rel_res_history.push_back(norm2(r) * scale);
 
   Vector z(n);
@@ -38,7 +38,7 @@ SolveStats pcg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
   double rz = dot(r, z);
 
   for (int it = 0; it < opts.max_iterations; ++it) {
-    a.spmv(p, ap);
+    a.spmv_omp(p, ap);
     const double pap = dot(p, ap);
     if (pap <= 0.0) {
       // Loss of positive definiteness (numerically), stop with what we have.

@@ -25,16 +25,16 @@ void MgSetup::init() {
   // from the Jacobi-type iteration matrix of the configured smoother.
   pbar_.reserve(nl > 0 ? nl - 1 : 0);
   for (std::size_t k = 0; k + 1 < nl; ++k) {
-    pbar_.push_back(smoothed_interpolant(h_.matrix(k), h_.interpolation(k),
-                                         opts_.smoother.type,
-                                         opts_.smoother.omega));
+    pbar_.push_back(smoothed_interpolant(
+        h_.matrix(k), h_.interpolation(k), opts_.smoother.type,
+        opts_.smoother.omega, opts_.amg.setup_threads));
   }
 
   rt_.reserve(pbar_.size());
   rbart_.reserve(pbar_.size());
   for (std::size_t k = 0; k + 1 < nl; ++k) {
-    rt_.push_back(h_.interpolation(k).transpose());
-    rbart_.push_back(pbar_[k].transpose());
+    rt_.push_back(h_.interpolation(k).transpose(opts_.amg.setup_threads));
+    rbart_.push_back(pbar_[k].transpose(opts_.amg.setup_threads));
   }
 
   const CsrMatrix& ac = h_.matrix(nl - 1);

@@ -76,6 +76,11 @@ std::string ServiceStats::to_json() const {
 }
 
 SolveService::SolveService(ServiceOptions opts) : opts_(std::move(opts)) {
+  // Cache-miss setups run under the cache mutex (one at a time), so they may
+  // use the pool's whole thread budget without oversubscribing the machine.
+  if (opts_.cache.mg.amg.setup_threads == 0) {
+    opts_.cache.mg.amg.setup_threads = static_cast<int>(opts_.num_threads);
+  }
   cache_ = std::make_unique<HierarchyCache>(opts_.cache);
   pool_ = std::make_unique<SolverPool>(opts_.num_threads);
 }

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/thread_context.hpp"
+
 namespace asyncmg {
 
 SolverPool::SolverPool(std::size_t num_threads) {
@@ -28,6 +30,10 @@ SolverPool::~SolverPool() {
 }
 
 void SolverPool::worker_loop() {
+  // Each worker is one concurrency lane: solve-phase OpenMP kernels consult
+  // this flag and stay serial on pool workers, so N workers never become
+  // N x omp_get_max_threads() threads (see DESIGN.md, thread ownership).
+  set_this_thread_pool_worker(true);
   for (;;) {
     std::function<void()> task;
     {

@@ -345,7 +345,8 @@ void Smoother::apply_symmetrized(const Vector& r, Vector& e) const {
 }
 
 CsrMatrix smoothed_interpolant(const CsrMatrix& a, const CsrMatrix& p,
-                               SmootherType smoother_type, double omega) {
+                               SmootherType smoother_type, double omega,
+                               int num_threads) {
   Vector dtilde(static_cast<std::size_t>(a.rows()));
   if (smoother_type == SmootherType::kL1Jacobi) {
     const Vector l1 = a.l1_row_norms();
@@ -356,9 +357,9 @@ CsrMatrix smoothed_interpolant(const CsrMatrix& a, const CsrMatrix& p,
     const Vector d = a.diag();
     for (std::size_t i = 0; i < dtilde.size(); ++i) dtilde[i] = omega / d[i];
   }
-  CsrMatrix ap = multiply(a, p);
+  CsrMatrix ap = multiply(a, p, num_threads);
   ap.scale_rows(dtilde);
-  return add(p, ap, 1.0, -1.0);  // P - D~^{-1} A P
+  return add(p, ap, 1.0, -1.0, num_threads);  // P - D~^{-1} A P
 }
 
 }  // namespace asyncmg

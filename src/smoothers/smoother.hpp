@@ -121,6 +121,7 @@ class Smoother {
 /// diagonal of `smoother_type` (omega-Jacobi or l1-Jacobi; the paper keeps
 /// Jacobi-type interpolants even for hybrid/async smoothing, for sparsity).
 CsrMatrix smoothed_interpolant(const CsrMatrix& a, const CsrMatrix& p,
-                               SmootherType smoother_type, double omega);
+                               SmootherType smoother_type, double omega,
+                               int num_threads = 0);
 
 }  // namespace asyncmg

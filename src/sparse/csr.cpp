@@ -7,7 +7,21 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sparse/parallel.hpp"
+#include "util/thread_context.hpp"
+
 namespace asyncmg {
+
+namespace {
+
+/// Solve-phase OpenMP kernels only fan out on client threads over matrices
+/// large enough to amortize a team start; SolverPool workers are one
+/// execution lane each (see util/thread_context.hpp).
+bool use_solve_omp(Index rows) {
+  return rows >= kSetupSerialCutoff && !this_thread_is_pool_worker();
+}
+
+}  // namespace
 
 CsrMatrix::CsrMatrix(Index rows, Index cols)
     : rows_(rows), cols_(cols), row_ptr_(static_cast<std::size_t>(rows) + 1, 0) {
@@ -156,7 +170,8 @@ void CsrMatrix::spmv_rows(const Vector& x, Vector& y, Index row_begin,
 void CsrMatrix::spmv_omp(const Vector& x, Vector& y) const {
   assert(static_cast<Index>(x.size()) == cols_);
   y.resize(static_cast<std::size_t>(rows_));
-#pragma omp parallel for schedule(static)
+  const bool par = use_solve_omp(rows_);
+#pragma omp parallel for schedule(static) if (par)
   for (Index i = 0; i < rows_; ++i) {
     double s = 0.0;
     for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
@@ -180,9 +195,41 @@ void CsrMatrix::spmv_add(const Vector& x, Vector& y, double alpha) const {
   }
 }
 
+void CsrMatrix::spmv_add_omp(const Vector& x, Vector& y, double alpha) const {
+  assert(static_cast<Index>(x.size()) == cols_ &&
+         static_cast<Index>(y.size()) == rows_);
+  const bool par = use_solve_omp(rows_);
+#pragma omp parallel for schedule(static) if (par)
+  for (Index i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      s += values_[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(i)] += alpha * s;
+  }
+}
+
 void CsrMatrix::residual(const Vector& b, const Vector& x, Vector& r) const {
   r.resize(static_cast<std::size_t>(rows_));
   residual_rows(b, x, r, 0, rows_);
+}
+
+void CsrMatrix::residual_omp(const Vector& b, const Vector& x,
+                             Vector& r) const {
+  assert(static_cast<Index>(b.size()) == rows_ &&
+         static_cast<Index>(x.size()) == cols_);
+  r.resize(static_cast<std::size_t>(rows_));
+  const bool par = use_solve_omp(rows_);
+#pragma omp parallel for schedule(static) if (par)
+  for (Index i = 0; i < rows_; ++i) {
+    double s = b[static_cast<std::size_t>(i)];
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      s -= values_[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    r[static_cast<std::size_t>(i)] = s;
+  }
 }
 
 void CsrMatrix::residual_rows(const Vector& b, const Vector& x, Vector& r,
@@ -199,26 +246,79 @@ void CsrMatrix::residual_rows(const Vector& b, const Vector& x, Vector& r,
   }
 }
 
-CsrMatrix CsrMatrix::transpose() const {
+CsrMatrix CsrMatrix::transpose(int num_threads) const {
   CsrMatrix t(cols_, rows_);
   t.col_idx_.resize(values_.size());
   t.values_.resize(values_.size());
-  // Count entries per column.
-  for (Index c : col_idx_) ++t.row_ptr_[static_cast<std::size_t>(c) + 1];
-  for (std::size_t r = 0; r < static_cast<std::size_t>(cols_); ++r) {
-    t.row_ptr_[r + 1] += t.row_ptr_[r];
+  const int nt =
+      rows_ >= kSetupSerialCutoff ? resolve_setup_threads(num_threads) : 1;
+  if (nt == 1) {
+    // Count entries per column.
+    for (Index c : col_idx_) ++t.row_ptr_[static_cast<std::size_t>(c) + 1];
+    for (std::size_t r = 0; r < static_cast<std::size_t>(cols_); ++r) {
+      t.row_ptr_[r + 1] += t.row_ptr_[r];
+    }
+    std::vector<Index> next(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+    for (Index i = 0; i < rows_; ++i) {
+      for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        const Index c = col_idx_[static_cast<std::size_t>(k)];
+        const Index pos = next[static_cast<std::size_t>(c)]++;
+        t.col_idx_[static_cast<std::size_t>(pos)] = i;
+        t.values_[static_cast<std::size_t>(pos)] =
+            values_[static_cast<std::size_t>(k)];
+      }
+    }
+    return t;  // rows visited in increasing i => columns sorted per row
   }
-  std::vector<Index> next(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
-  for (Index i = 0; i < rows_; ++i) {
-    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      const Index c = col_idx_[static_cast<std::size_t>(k)];
-      const Index pos = next[static_cast<std::size_t>(c)]++;
-      t.col_idx_[static_cast<std::size_t>(pos)] = i;
-      t.values_[static_cast<std::size_t>(pos)] =
-          values_[static_cast<std::size_t>(k)];
+
+  // Parallel path: split source rows into contiguous blocks, bucket-count
+  // each block's entries per output row, turn the counts into per-block
+  // starting offsets with one prefix sweep, then let each block scatter into
+  // its reserved slots. Blocks are stitched in source-row order, so the
+  // result is entry-for-entry the serial transpose.
+  const std::vector<Range> blocks = static_chunks(
+      static_cast<std::size_t>(rows_), static_cast<std::size_t>(nt));
+  const int nb = static_cast<int>(blocks.size());
+  const auto ncols = static_cast<std::size_t>(cols_);
+  std::vector<Index> offsets(static_cast<std::size_t>(nb) * ncols, 0);
+#pragma omp parallel for schedule(static, 1) num_threads(nt)
+  for (int b = 0; b < nb; ++b) {
+    Index* cnt = offsets.data() + static_cast<std::size_t>(b) * ncols;
+    const Range rg = blocks[static_cast<std::size_t>(b)];
+    for (std::size_t i = rg.begin; i < rg.end; ++i) {
+      for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        ++cnt[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+      }
     }
   }
-  return t;  // rows visited in increasing i => columns sorted per row
+  // counts -> starting offsets (and the output row_ptr), column-major over
+  // (column, block) so each block's slot range lands after every earlier
+  // block's entries for that column.
+  Index pos = 0;
+  for (std::size_t c = 0; c < ncols; ++c) {
+    for (int b = 0; b < nb; ++b) {
+      Index& slot = offsets[static_cast<std::size_t>(b) * ncols + c];
+      const Index n_entries = slot;
+      slot = pos;
+      pos += n_entries;
+    }
+    t.row_ptr_[c + 1] = pos;
+  }
+#pragma omp parallel for schedule(static, 1) num_threads(nt)
+  for (int b = 0; b < nb; ++b) {
+    Index* next = offsets.data() + static_cast<std::size_t>(b) * ncols;
+    const Range rg = blocks[static_cast<std::size_t>(b)];
+    for (std::size_t i = rg.begin; i < rg.end; ++i) {
+      for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        const Index c = col_idx_[static_cast<std::size_t>(k)];
+        const Index p = next[static_cast<std::size_t>(c)]++;
+        t.col_idx_[static_cast<std::size_t>(p)] = static_cast<Index>(i);
+        t.values_[static_cast<std::size_t>(p)] =
+            values_[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  return t;
 }
 
 void CsrMatrix::spmv_transpose(const Vector& x, Vector& y) const {

@@ -73,21 +73,32 @@ class CsrMatrix {
   void spmv_rows(const Vector& x, Vector& y, Index row_begin,
                  Index row_end) const;
 
-  /// y = A x with an OpenMP parallel loop (static schedule).
+  /// y = A x with an OpenMP parallel loop (static schedule). Falls back to
+  /// the serial body on SolverPool workers and small matrices; results are
+  /// identical to spmv either way.
   void spmv_omp(const Vector& x, Vector& y) const;
 
   /// y += alpha * A x.
   void spmv_add(const Vector& x, Vector& y, double alpha = 1.0) const;
 
+  /// OpenMP variant of spmv_add (same pool-worker fallback as spmv_omp).
+  void spmv_add_omp(const Vector& x, Vector& y, double alpha = 1.0) const;
+
   /// r = b - A x.
   void residual(const Vector& b, const Vector& x, Vector& r) const;
+
+  /// OpenMP variant of residual (same pool-worker fallback as spmv_omp).
+  void residual_omp(const Vector& b, const Vector& x, Vector& r) const;
 
   /// r = b - A x restricted to rows [row_begin, row_end).
   void residual_rows(const Vector& b, const Vector& x, Vector& r,
                      Index row_begin, Index row_end) const;
 
-  /// Transpose (explicit).
-  CsrMatrix transpose() const;
+  /// Transpose (explicit). Parallelized over contiguous source-row blocks
+  /// (per-block bucket counts + prefix-sum scatter); the output is identical
+  /// to the serial transpose for every thread count. `num_threads` 0 means
+  /// the OpenMP default.
+  CsrMatrix transpose(int num_threads = 0) const;
 
   /// y = A^T x (without forming the transpose).
   void spmv_transpose(const Vector& x, Vector& y) const;

@@ -1,0 +1,33 @@
+#include "sparse/parallel.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace asyncmg {
+
+int resolve_setup_threads(int requested) {
+  if (requested >= 1) return requested;
+  return std::max(1, omp_get_max_threads());
+}
+
+std::size_t prefix_sum_row_counts(const std::vector<std::size_t>& counts,
+                                  std::vector<Index>& row_ptr,
+                                  const char* what) {
+  constexpr auto kMax =
+      static_cast<std::size_t>(std::numeric_limits<Index>::max());
+  row_ptr.assign(counts.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    if (total > kMax) {
+      throw std::overflow_error(std::string(what) + ": output nnz " +
+                                std::to_string(total) +
+                                " exceeds Index range");
+    }
+    row_ptr[i + 1] = static_cast<Index>(total);
+  }
+  return total;
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,92 @@
+#pragma once
+// Shared plumbing for the threaded AMG setup kernels: thread-count
+// resolution, overflow-checked CSR prefix sums, and deterministic
+// row-blocked parallel assembly.
+//
+// Every setup kernel built on these helpers produces bit-identical output
+// for every thread count: rows are computed independently, each row's
+// entries are accumulated in a fixed order, and blocked results are
+// concatenated in row order. Parallelism only changes which thread computes
+// a row, never the arithmetic inside it.
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sparse/types.hpp"
+#include "util/partition.hpp"
+
+namespace asyncmg {
+
+/// Resolve a requested setup-phase team size: values >= 1 are used as given,
+/// 0 means the OpenMP default (OMP_NUM_THREADS / hardware concurrency).
+int resolve_setup_threads(int requested);
+
+/// Row count below which the setup kernels run their serial path; OpenMP
+/// team startup costs more than these matrices (the coarse tail of every
+/// hierarchy) take to process.
+inline constexpr Index kSetupSerialCutoff = 1 << 11;
+
+/// Exclusive prefix sum of per-row entry counts into a CSR row_ptr.
+/// Accumulates in std::size_t and throws std::overflow_error (tagged with
+/// `what`) before narrowing a total nnz that Index cannot represent.
+/// Returns the total nnz.
+std::size_t prefix_sum_row_counts(const std::vector<std::size_t>& counts,
+                                  std::vector<Index>& row_ptr,
+                                  const char* what);
+
+/// Deterministic row-blocked parallel CSR assembly for kernels whose rows
+/// are expensive to compute (strength, interpolation): [0, n_rows) is split
+/// into resolve_setup_threads(num_threads) contiguous blocks, each built
+/// left-to-right by one task into private buffers, then stitched in block
+/// order after an overflow-checked prefix sum. `make_worker()` runs once per
+/// block and returns a callable `worker(Index row, cols, vals)` that appends
+/// the row's (sorted) entries -- per-block workers let row bodies keep
+/// stamp/accumulator scratch without sharing it across threads.
+template <class WorkerFactory>
+void assemble_rows_blocked(Index n_rows, int num_threads, const char* what,
+                           std::vector<Index>& row_ptr,
+                           std::vector<Index>& col_idx,
+                           std::vector<double>& values,
+                           WorkerFactory&& make_worker) {
+  const int nt =
+      n_rows >= kSetupSerialCutoff ? resolve_setup_threads(num_threads) : 1;
+  const std::vector<Range> blocks =
+      static_chunks(static_cast<std::size_t>(n_rows),
+                    static_cast<std::size_t>(nt));
+  const int nb = static_cast<int>(blocks.size());
+  std::vector<std::vector<Index>> block_cols(blocks.size());
+  std::vector<std::vector<double>> block_vals(blocks.size());
+  std::vector<std::size_t> counts(static_cast<std::size_t>(n_rows), 0);
+
+#pragma omp parallel for schedule(static, 1) num_threads(nt)
+  for (int b = 0; b < nb; ++b) {
+    auto worker = make_worker();
+    auto& cols = block_cols[static_cast<std::size_t>(b)];
+    auto& vals = block_vals[static_cast<std::size_t>(b)];
+    const Range rg = blocks[static_cast<std::size_t>(b)];
+    for (std::size_t i = rg.begin; i < rg.end; ++i) {
+      const std::size_t before = cols.size();
+      worker(static_cast<Index>(i), cols, vals);
+      counts[i] = cols.size() - before;
+    }
+  }
+
+  const std::size_t total = prefix_sum_row_counts(counts, row_ptr, what);
+  col_idx.resize(total);
+  values.resize(total);
+#pragma omp parallel for schedule(static, 1) num_threads(nt)
+  for (int b = 0; b < nb; ++b) {
+    const Range rg = blocks[static_cast<std::size_t>(b)];
+    if (rg.empty()) continue;
+    const auto dst = static_cast<std::size_t>(row_ptr[rg.begin]);
+    const auto& cols = block_cols[static_cast<std::size_t>(b)];
+    const auto& vals = block_vals[static_cast<std::size_t>(b)];
+    std::copy(cols.begin(), cols.end(), col_idx.begin() + dst);
+    std::copy(vals.begin(), vals.end(), values.begin() + dst);
+  }
+}
+
+}  // namespace asyncmg

@@ -6,9 +6,11 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sparse/parallel.hpp"
+
 namespace asyncmg {
 
-CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b) {
+CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b, int num_threads) {
   if (a.cols() != b.rows()) {
     throw std::invalid_argument("multiply: inner dimension mismatch");
   }
@@ -20,68 +22,118 @@ CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b) {
   const auto brp = b.row_ptr();
   const auto bci = b.col_idx();
   const auto bv = b.values();
+  const int nt =
+      m >= kSetupSerialCutoff ? resolve_setup_threads(num_threads) : 1;
 
-  // Gustavson: one dense accumulator + "seen" marker reused across rows.
-  std::vector<double> acc(static_cast<std::size_t>(n), 0.0);
-  std::vector<Index> marker(static_cast<std::size_t>(n), -1);
-  std::vector<Index> row_cols;
-
-  std::vector<Index> row_ptr(static_cast<std::size_t>(m) + 1, 0);
-  std::vector<Index> col_idx;
-  std::vector<double> values;
-  col_idx.reserve(static_cast<std::size_t>(a.nnz()) + b.nnz());
-  values.reserve(static_cast<std::size_t>(a.nnz()) + b.nnz());
-
-  for (Index i = 0; i < m; ++i) {
-    row_cols.clear();
-    for (Index ka = arp[i]; ka < arp[i + 1]; ++ka) {
-      const Index k = aci[static_cast<std::size_t>(ka)];
-      const double aval = av[static_cast<std::size_t>(ka)];
-      for (Index kb = brp[k]; kb < brp[k + 1]; ++kb) {
-        const Index j = bci[static_cast<std::size_t>(kb)];
-        if (marker[static_cast<std::size_t>(j)] != i) {
-          marker[static_cast<std::size_t>(j)] = i;
-          acc[static_cast<std::size_t>(j)] = 0.0;
-          row_cols.push_back(j);
+  // Symbolic pass: per-row output nnz via a per-thread "seen" marker.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(m), 0);
+#pragma omp parallel num_threads(nt)
+  {
+    std::vector<Index> marker(static_cast<std::size_t>(n), -1);
+#pragma omp for schedule(static)
+    for (Index i = 0; i < m; ++i) {
+      std::size_t c = 0;
+      for (Index ka = arp[i]; ka < arp[i + 1]; ++ka) {
+        const Index k = aci[static_cast<std::size_t>(ka)];
+        for (Index kb = brp[k]; kb < brp[k + 1]; ++kb) {
+          const Index j = bci[static_cast<std::size_t>(kb)];
+          if (marker[static_cast<std::size_t>(j)] != i) {
+            marker[static_cast<std::size_t>(j)] = i;
+            ++c;
+          }
         }
-        acc[static_cast<std::size_t>(j)] +=
-            aval * bv[static_cast<std::size_t>(kb)];
+      }
+      counts[static_cast<std::size_t>(i)] = c;
+    }
+  }
+
+  std::vector<Index> row_ptr;
+  const std::size_t total = prefix_sum_row_counts(counts, row_ptr, "multiply");
+  std::vector<Index> col_idx(total);
+  std::vector<double> values(total);
+
+  // Numeric pass: Gustavson dense accumulator per thread, filling each row's
+  // preallocated [row_ptr[i], row_ptr[i+1]) slice. The accumulation order
+  // within a row is the serial one for every thread count.
+#pragma omp parallel num_threads(nt)
+  {
+    std::vector<double> acc(static_cast<std::size_t>(n), 0.0);
+    std::vector<Index> marker(static_cast<std::size_t>(n), -1);
+    std::vector<Index> row_cols;
+#pragma omp for schedule(static)
+    for (Index i = 0; i < m; ++i) {
+      row_cols.clear();
+      for (Index ka = arp[i]; ka < arp[i + 1]; ++ka) {
+        const Index k = aci[static_cast<std::size_t>(ka)];
+        const double aval = av[static_cast<std::size_t>(ka)];
+        for (Index kb = brp[k]; kb < brp[k + 1]; ++kb) {
+          const Index j = bci[static_cast<std::size_t>(kb)];
+          if (marker[static_cast<std::size_t>(j)] != i) {
+            marker[static_cast<std::size_t>(j)] = i;
+            acc[static_cast<std::size_t>(j)] = 0.0;
+            row_cols.push_back(j);
+          }
+          acc[static_cast<std::size_t>(j)] +=
+              aval * bv[static_cast<std::size_t>(kb)];
+        }
+      }
+      std::sort(row_cols.begin(), row_cols.end());
+      auto out = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
+      for (Index j : row_cols) {
+        col_idx[out] = j;
+        values[out] = acc[static_cast<std::size_t>(j)];
+        ++out;
       }
     }
-    std::sort(row_cols.begin(), row_cols.end());
-    for (Index j : row_cols) {
-      col_idx.push_back(j);
-      values.push_back(acc[static_cast<std::size_t>(j)]);
-    }
-    row_ptr[static_cast<std::size_t>(i) + 1] =
-        static_cast<Index>(col_idx.size());
   }
   return CsrMatrix::from_csr(m, n, std::move(row_ptr), std::move(col_idx),
                              std::move(values));
 }
 
 CsrMatrix add(const CsrMatrix& a, const CsrMatrix& b, double alpha,
-              double beta) {
+              double beta, int num_threads) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) {
     throw std::invalid_argument("add: shape mismatch");
   }
   const Index m = a.rows();
-  std::vector<Index> row_ptr(static_cast<std::size_t>(m) + 1, 0);
-  std::vector<Index> col_idx;
-  std::vector<double> values;
-  col_idx.reserve(static_cast<std::size_t>(a.nnz()) + b.nnz());
-  values.reserve(static_cast<std::size_t>(a.nnz()) + b.nnz());
-
   const auto arp = a.row_ptr();
   const auto aci = a.col_idx();
   const auto av = a.values();
   const auto brp = b.row_ptr();
   const auto bci = b.col_idx();
   const auto bv = b.values();
+  const int nt =
+      m >= kSetupSerialCutoff ? resolve_setup_threads(num_threads) : 1;
 
+  // Symbolic pass: merged row sizes.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(m), 0);
+#pragma omp parallel for schedule(static) num_threads(nt)
   for (Index i = 0; i < m; ++i) {
     Index ka = arp[i], kb = brp[i];
     const Index ea = arp[i + 1], eb = brp[i + 1];
+    std::size_t c = 0;
+    while (ka < ea || kb < eb) {
+      const Index ca = ka < ea ? aci[static_cast<std::size_t>(ka)]
+                               : std::numeric_limits<Index>::max();
+      const Index cb = kb < eb ? bci[static_cast<std::size_t>(kb)]
+                               : std::numeric_limits<Index>::max();
+      if (ca <= cb) ++ka;
+      if (cb <= ca) ++kb;
+      ++c;
+    }
+    counts[static_cast<std::size_t>(i)] = c;
+  }
+
+  std::vector<Index> row_ptr;
+  const std::size_t total = prefix_sum_row_counts(counts, row_ptr, "add");
+  std::vector<Index> col_idx(total);
+  std::vector<double> values(total);
+
+#pragma omp parallel for schedule(static) num_threads(nt)
+  for (Index i = 0; i < m; ++i) {
+    Index ka = arp[i], kb = brp[i];
+    const Index ea = arp[i + 1], eb = brp[i + 1];
+    auto out = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
     while (ka < ea || kb < eb) {
       const Index ca = ka < ea ? aci[static_cast<std::size_t>(ka)]
                                : std::numeric_limits<Index>::max();
@@ -100,20 +152,160 @@ CsrMatrix add(const CsrMatrix& a, const CsrMatrix& b, double alpha,
         v = alpha * av[static_cast<std::size_t>(ka++)] +
             beta * bv[static_cast<std::size_t>(kb++)];
       }
-      col_idx.push_back(c);
-      values.push_back(v);
+      col_idx[out] = c;
+      values[out] = v;
+      ++out;
     }
-    row_ptr[static_cast<std::size_t>(i) + 1] =
-        static_cast<Index>(col_idx.size());
   }
   return CsrMatrix::from_csr(m, a.cols(), std::move(row_ptr),
                              std::move(col_idx), std::move(values));
 }
 
-CsrMatrix galerkin_product(const CsrMatrix& a, const CsrMatrix& p) {
-  const CsrMatrix ap = multiply(a, p);
-  const CsrMatrix pt = p.transpose();
-  return multiply(pt, ap);
+CsrMatrix galerkin_product(const CsrMatrix& a, const CsrMatrix& p,
+                           int num_threads) {
+  if (a.rows() != a.cols() || a.cols() != p.rows()) {
+    throw std::invalid_argument("galerkin_product: shape mismatch");
+  }
+  const Index n = a.rows();
+  const Index nc = p.cols();
+  const auto arp = a.row_ptr();
+  const auto aci = a.col_idx();
+  const auto av = a.values();
+  const auto prp = p.row_ptr();
+  const auto pci = p.col_idx();
+  const auto pv = p.values();
+  const auto pnnz = static_cast<std::size_t>(p.nnz());
+
+  // Coarse-row -> fine-row adjacency of P (raw arrays, fine rows ascending
+  // within each coarse row): coarse row I of the product reads exactly the
+  // fine rows i with P(i, I) != 0. O(nnz(P)) counting scatter; no explicit
+  // P^T CsrMatrix and no A*P intermediate are ever materialized.
+  std::vector<Index> tptr(static_cast<std::size_t>(nc) + 1, 0);
+  std::vector<Index> tfine(pnnz);
+  std::vector<double> tval(pnnz);
+  for (std::size_t k = 0; k < pnnz; ++k) {
+    ++tptr[static_cast<std::size_t>(pci[k]) + 1];
+  }
+  for (std::size_t c = 0; c < static_cast<std::size_t>(nc); ++c) {
+    tptr[c + 1] += tptr[c];
+  }
+  {
+    std::vector<Index> next(tptr.begin(), tptr.end() - 1);
+    for (Index i = 0; i < n; ++i) {
+      for (Index k = prp[i]; k < prp[i + 1]; ++k) {
+        const Index c = pci[static_cast<std::size_t>(k)];
+        const auto pos =
+            static_cast<std::size_t>(next[static_cast<std::size_t>(c)]++);
+        tfine[pos] = i;
+        tval[pos] = pv[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+
+  const int nt =
+      nc >= kSetupSerialCutoff ? resolve_setup_threads(num_threads) : 1;
+
+  // Symbolic pass: row I's nnz by merging the fine-column pattern of
+  // (P^T A)(I, :) first (marker over fine columns), then expanding each
+  // distinct fine column once through P (marker over coarse columns). Same
+  // association as the numeric pass, so total work matches the two-product
+  // chain without its intermediates.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(nc), 0);
+#pragma omp parallel num_threads(nt)
+  {
+    std::vector<Index> fmark(static_cast<std::size_t>(n), -1);
+    std::vector<Index> cmark(static_cast<std::size_t>(nc), -1);
+    std::vector<Index> fcols;
+#pragma omp for schedule(static)
+    for (Index ic = 0; ic < nc; ++ic) {
+      fcols.clear();
+      for (Index t = tptr[static_cast<std::size_t>(ic)];
+           t < tptr[static_cast<std::size_t>(ic) + 1]; ++t) {
+        const Index i = tfine[static_cast<std::size_t>(t)];
+        for (Index ka = arp[i]; ka < arp[i + 1]; ++ka) {
+          const Index k = aci[static_cast<std::size_t>(ka)];
+          if (fmark[static_cast<std::size_t>(k)] != ic) {
+            fmark[static_cast<std::size_t>(k)] = ic;
+            fcols.push_back(k);
+          }
+        }
+      }
+      std::size_t c = 0;
+      for (Index k : fcols) {
+        for (Index kp = prp[k]; kp < prp[k + 1]; ++kp) {
+          const Index j = pci[static_cast<std::size_t>(kp)];
+          if (cmark[static_cast<std::size_t>(j)] != ic) {
+            cmark[static_cast<std::size_t>(j)] = ic;
+            ++c;
+          }
+        }
+      }
+      counts[static_cast<std::size_t>(ic)] = c;
+    }
+  }
+
+  std::vector<Index> row_ptr;
+  const std::size_t total =
+      prefix_sum_row_counts(counts, row_ptr, "galerkin_product");
+  std::vector<Index> col_idx(total);
+  std::vector<double> values(total);
+
+  // Numeric pass: row I of P^T A into a fine-column accumulator, then one
+  // expansion through P into a coarse-column accumulator. Accumulation
+  // order per row is fixed (fine rows ascending, then A-row and P-row
+  // order), so values are bit-identical across thread counts.
+#pragma omp parallel num_threads(nt)
+  {
+    std::vector<Index> fmark(static_cast<std::size_t>(n), -1);
+    std::vector<Index> cmark(static_cast<std::size_t>(nc), -1);
+    std::vector<double> facc(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> cacc(static_cast<std::size_t>(nc), 0.0);
+    std::vector<Index> fcols;
+    std::vector<Index> ccols;
+#pragma omp for schedule(static)
+    for (Index ic = 0; ic < nc; ++ic) {
+      fcols.clear();
+      ccols.clear();
+      for (Index t = tptr[static_cast<std::size_t>(ic)];
+           t < tptr[static_cast<std::size_t>(ic) + 1]; ++t) {
+        const Index i = tfine[static_cast<std::size_t>(t)];
+        const double w = tval[static_cast<std::size_t>(t)];
+        for (Index ka = arp[i]; ka < arp[i + 1]; ++ka) {
+          const Index k = aci[static_cast<std::size_t>(ka)];
+          if (fmark[static_cast<std::size_t>(k)] != ic) {
+            fmark[static_cast<std::size_t>(k)] = ic;
+            facc[static_cast<std::size_t>(k)] = 0.0;
+            fcols.push_back(k);
+          }
+          facc[static_cast<std::size_t>(k)] +=
+              w * av[static_cast<std::size_t>(ka)];
+        }
+      }
+      for (Index k : fcols) {
+        const double v = facc[static_cast<std::size_t>(k)];
+        for (Index kp = prp[k]; kp < prp[k + 1]; ++kp) {
+          const Index j = pci[static_cast<std::size_t>(kp)];
+          if (cmark[static_cast<std::size_t>(j)] != ic) {
+            cmark[static_cast<std::size_t>(j)] = ic;
+            cacc[static_cast<std::size_t>(j)] = 0.0;
+            ccols.push_back(j);
+          }
+          cacc[static_cast<std::size_t>(j)] +=
+              v * pv[static_cast<std::size_t>(kp)];
+        }
+      }
+      std::sort(ccols.begin(), ccols.end());
+      auto out =
+          static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(ic)]);
+      for (Index j : ccols) {
+        col_idx[out] = j;
+        values[out] = cacc[static_cast<std::size_t>(j)];
+        ++out;
+      }
+    }
+  }
+  return CsrMatrix::from_csr(nc, nc, std::move(row_ptr), std::move(col_idx),
+                             std::move(values));
 }
 
 CsrMatrix drop_small(const CsrMatrix& a, double tol) {

@@ -1,22 +1,35 @@
 #pragma once
-// Sparse matrix-matrix kernels: SpGEMM (Gustavson's row-wise algorithm),
-// sparse addition, and the Galerkin triple product P^T A P used to build
-// coarse-grid operators (Section II-A) and the smoothed interpolants
-// Pbar = G P of Multadd (Section II-B1).
+// Sparse matrix-matrix kernels: SpGEMM (Gustavson's row-wise algorithm,
+// two-pass and row-parallel), sparse addition, and the Galerkin triple
+// product P^T A P used to build coarse-grid operators (Section II-A) and the
+// smoothed interpolants Pbar = G P of Multadd (Section II-B1).
+//
+// All kernels take an optional setup-team size (`num_threads`, 0 = OpenMP
+// default) and produce bit-identical results for every thread count: rows
+// of the output are computed independently with a fixed per-row
+// accumulation order, so parallelism never changes the arithmetic.
 
 #include "sparse/csr.hpp"
 
 namespace asyncmg {
 
-/// C = A * B.
-CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b);
+/// C = A * B. Two-pass Gustavson SpGEMM: a symbolic pass counts each output
+/// row's nnz (accumulated in std::size_t, overflow-checked against Index),
+/// then a numeric pass fills preallocated arrays; both passes are
+/// parallelized over row blocks with per-thread accumulators.
+CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b,
+                   int num_threads = 0);
 
-/// C = alpha * A + beta * B (same shape).
+/// C = alpha * A + beta * B (same shape). Two-pass and row-parallel.
 CsrMatrix add(const CsrMatrix& a, const CsrMatrix& b, double alpha = 1.0,
-              double beta = 1.0);
+              double beta = 1.0, int num_threads = 0);
 
-/// Galerkin coarse operator A_c = P^T A P.
-CsrMatrix galerkin_product(const CsrMatrix& a, const CsrMatrix& p);
+/// Galerkin coarse operator A_c = P^T A P, built all-at-once: one parallel
+/// sweep over coarse rows forms row I as (P^T A)(I, :) merged through P,
+/// using only a coarse-to-fine adjacency of P -- no A*P or explicit P^T
+/// matrix is materialized (Kong 2019's memory-efficient triple product).
+CsrMatrix galerkin_product(const CsrMatrix& a, const CsrMatrix& p,
+                           int num_threads = 0);
 
 /// Drop entries with |value| <= tol (keeps the diagonal of square matrices).
 CsrMatrix drop_small(const CsrMatrix& a, double tol);

@@ -1,0 +1,13 @@
+#include "util/thread_context.hpp"
+
+namespace asyncmg {
+
+namespace {
+thread_local bool t_pool_worker = false;
+}  // namespace
+
+bool this_thread_is_pool_worker() { return t_pool_worker; }
+
+void set_this_thread_pool_worker(bool worker) { t_pool_worker = worker; }
+
+}  // namespace asyncmg

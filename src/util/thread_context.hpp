@@ -1,0 +1,21 @@
+#pragma once
+// Per-thread execution-context marker shared across layers.
+//
+// The thread-ownership rule for the library (DESIGN.md section 7): the
+// SolverPool owns solve-phase concurrency -- each worker is one execution
+// lane and must not fan out further -- while the AMG setup phase sizes its
+// own OpenMP teams explicitly. Solve kernels with OpenMP variants consult
+// this flag and fall back to their serial body on pool workers, so a client
+// thread gets a parallel SpMV but a pool running N concurrent solves never
+// multiplies into N OpenMP teams.
+
+namespace asyncmg {
+
+/// True when the calling thread is a SolverPool worker.
+bool this_thread_is_pool_worker();
+
+/// Marks (or unmarks) the calling thread as a pool worker. Called by
+/// SolverPool::worker_loop on entry; user code should not need it.
+void set_this_thread_pool_worker(bool worker);
+
+}  // namespace asyncmg
