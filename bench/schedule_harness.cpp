@@ -1,0 +1,165 @@
+// Harness overhead + fault-sweep bench: cost of the deterministic scripted
+// driver relative to free-running async and synchronized execution, and the
+// convergence impact of injected faults (stalls, dropped reads, killed
+// teams) at increasing severity.
+//
+// Scripted replays pay global barriers per time instant plus a history
+// ring-buffer push; this bench quantifies that price so "run the harness in
+// CI" decisions are informed. The fault sweep doubles as a demonstration
+// that Criterion-2 recovery keeps runs terminating under dead teams.
+
+#include <iostream>
+
+#include "async/runtime.hpp"
+#include "async/schedule.hpp"
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace asyncmg;
+using namespace asyncmg::bench;
+
+namespace {
+
+RuntimeOptions base_options(std::size_t threads, int t_max) {
+  RuntimeOptions ro;
+  ro.write = WritePolicy::kAtomicWrite;
+  ro.criterion = StopCriterion::kIndependent;
+  ro.t_max = t_max;
+  ro.num_threads = threads;
+  return ro;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto sizes = cli.get_int_list("sizes", {10, 14});
+  const int runs = static_cast<int>(cli.get_int("runs", 5));
+  const int cycles = static_cast<int>(cli.get_int("cycles", 20));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 8));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+  std::cout << "Schedule-harness overhead and fault sweep: Multadd, "
+            << "w-Jacobi, 7pt, " << threads << " threads, t_max=" << cycles
+            << ", mean of " << runs << " runs\n\n";
+
+  Table overhead({"grid-length", "rows", "mode", "seconds", "vs-async",
+                  "rel-res"});
+
+  for (std::int64_t n : sizes) {
+    Problem prob = make_problem(TestSet::kFD7pt, static_cast<Index>(n));
+    const MgSetup setup(std::move(prob.a),
+                        paper_mg_options_for(TestSet::kFD7pt,
+                                             SmootherType::kWeightedJacobi,
+                                             0));
+    const auto rows = static_cast<std::size_t>(setup.a(0).rows());
+    AdditiveOptions ao;
+    ao.kind = AdditiveKind::kMultadd;
+    const AdditiveCorrector corr(setup, ao);
+
+    struct ModeRow {
+      std::string name;
+      ExecMode mode;
+      double alpha = 1.0;
+      int delay = 0;
+    };
+    const std::vector<ModeRow> modes = {
+        {"async free-run", ExecMode::kAsynchronous},
+        {"sync", ExecMode::kSynchronous},
+        {"scripted a=1 d=0", ExecMode::kScripted, 1.0, 0},
+        {"scripted a=.7 d=2", ExecMode::kScripted, 0.7, 2},
+    };
+
+    double async_secs = 0.0;
+    for (const ModeRow& m : modes) {
+      std::vector<double> secs, rres;
+      for (int run = 0; run < runs; ++run) {
+        const Vector b = paper_rhs(rows, static_cast<std::uint64_t>(run));
+        Vector x(rows, 0.0);
+        RuntimeOptions ro = base_options(threads, cycles);
+        ro.mode = m.mode;
+        ro.script_alpha = m.alpha;
+        ro.script_max_delay = m.delay;
+        ro.seed = seed;
+        const RuntimeResult rr = run_shared_memory(corr, b, x, ro);
+        secs.push_back(rr.seconds);
+        rres.push_back(rr.final_rel_res);
+      }
+      const double s = mean(secs);
+      if (m.mode == ExecMode::kAsynchronous) async_secs = s;
+      overhead.add_row(
+          {std::to_string(n), std::to_string(rows), m.name,
+           Table::fmt(s, 4),
+           async_secs > 0.0 ? Table::fmt(s / async_secs, 3) + "x" : "1x",
+           Table::fmt(mean(rres), 4)});
+    }
+  }
+  overhead.emit();
+
+  // Fault sweep on the largest size: stalls of increasing length on the
+  // finest grid, dropped reads on a middle grid, and a killed coarse team
+  // under Criterion 2 (master must recover, not hang).
+  std::cout << "\nFault sweep (async free-run, Criterion 2, largest size)\n\n";
+  Table faults({"fault", "seconds", "rel-res", "stalls", "drops", "killed"});
+
+  Problem prob = make_problem(TestSet::kFD7pt,
+                              static_cast<Index>(sizes.back()));
+  const MgSetup setup(std::move(prob.a),
+                      paper_mg_options_for(TestSet::kFD7pt,
+                                           SmootherType::kWeightedJacobi, 0));
+  const auto rows = static_cast<std::size_t>(setup.a(0).rows());
+  AdditiveOptions ao;
+  ao.kind = AdditiveKind::kMultadd;
+  const AdditiveCorrector corr(setup, ao);
+  const std::size_t ng = corr.num_grids();
+
+  struct FaultRow {
+    std::string name;
+    FaultPlan plan;
+  };
+  std::vector<FaultRow> sweep;
+  sweep.push_back({"none", {}});
+  for (double ms : {0.5, 2.0}) {
+    FaultPlan fp;
+    fp.stalls.push_back({0, 2, 4, ms});
+    sweep.push_back({"stall grid0 " + Table::fmt(ms, 2) + "ms", fp});
+  }
+  {
+    FaultPlan fp;
+    fp.dropped_reads.push_back({std::size_t{ng > 1 ? 1u : 0u}, 1, cycles});
+    sweep.push_back({"drop reads grid1", fp});
+  }
+  {
+    FaultPlan fp;
+    fp.kills.push_back({ng - 1, cycles / 4});
+    sweep.push_back({"kill coarsest team", fp});
+  }
+
+  for (const FaultRow& f : sweep) {
+    std::vector<double> secs, rres;
+    RuntimeResult last;
+    for (int run = 0; run < runs; ++run) {
+      const Vector b = paper_rhs(rows, static_cast<std::uint64_t>(run));
+      Vector x(rows, 0.0);
+      RuntimeOptions ro = base_options(threads, cycles);
+      ro.criterion = StopCriterion::kMaster;
+      ro.faults = &f.plan;
+      ro.check_invariants = true;
+      last = run_shared_memory(corr, b, x, ro);
+      if (!last.invariants.conservation_ok) {
+        std::cerr << "conservation FAILED for fault '" << f.name << "'\n";
+        return 1;
+      }
+      secs.push_back(last.seconds);
+      rres.push_back(last.final_rel_res);
+    }
+    faults.add_row({f.name, Table::fmt(mean(secs), 4),
+                    Table::fmt(mean(rres), 4),
+                    std::to_string(last.invariants.stalls_applied),
+                    std::to_string(last.invariants.reads_dropped),
+                    std::to_string(last.invariants.killed_grids.size())});
+  }
+  faults.emit();
+  return 0;
+}

@@ -1,0 +1,388 @@
+#include "async/driver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "async/model.hpp"
+#include "sparse/vec.hpp"
+
+namespace asyncmg {
+
+// ---------------------------------------------------------------------------
+// Base: fault counters + conservation check shared by all drivers.
+// ---------------------------------------------------------------------------
+
+void ScheduleDriver::finalize(RuntimeResult& out) {
+  InvariantReport& inv = out.invariants;
+  inv.stalls_applied = sh_.stalls_applied.load(std::memory_order_relaxed);
+  inv.reads_dropped = sh_.reads_dropped.load(std::memory_order_relaxed);
+  if (sh_.dead) {
+    for (std::size_t g = 0; g < sh_.num_grids; ++g) {
+      if (sh_.dead[g].load(std::memory_order_relaxed)) {
+        inv.killed_grids.push_back(g);
+      }
+    }
+  }
+  if (!sh_.opts.check_invariants) return;
+  inv.checked = true;
+  // x_final - x_0 must equal the sum of every committed correction; the two
+  // sides accumulate in different orders, so the bound is rounding-level,
+  // not exact.
+  Vector expected = sh_.x0;
+  sum_commits(expected);
+  const Vector& x = *sh_.x;
+  double err = 0.0;
+  double xmax = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    err = std::max(err, std::abs(x[i] - expected[i]));
+    xmax = std::max(xmax, std::abs(x[i]));
+  }
+  inv.conservation_error = err / (1.0 + xmax);
+  inv.conservation_ok = inv.conservation_error <= 1e-8;
+}
+
+void ScheduleDriver::sum_commits(Vector& into) const {
+  for (const Team& t : teams_) {
+    if (t.commit_acc.empty()) continue;
+    for (std::size_t i = 0; i < into.size(); ++i) into[i] += t.commit_acc[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FreeRunDriver: the paper's free-running asynchronous teams, with the
+// FaultPlan hooks. Fault decisions are made from the grid's commit count
+// read once at the top of the grid iteration; only this team's rank 0
+// increments it, and the increment is separated from the next read by team
+// barriers, so every rank computes the same kill/stall/drop verdicts.
+// ---------------------------------------------------------------------------
+
+void FreeRunDriver::worker(const Ctx& c) {
+  Team& t = *c.team;
+  Shared& sh = *c.sh;
+  const int t_max = sh.opts.t_max;
+  const FaultPlan* fp = sh.opts.faults;
+
+  // Initialize the team-local fine residual (and, via run_shared_memory,
+  // the shared r was already filled before threads started).
+  {
+    const CsrMatrix& a = sh.s->a(0);
+    const Range rg = c.chunk(t.rchain[0].size());
+    a.residual_rows(*sh.b, *sh.x, t.rchain[0], static_cast<Index>(rg.begin),
+                    static_cast<Index>(rg.end));
+  }
+  c.gbar();  // also publishes x for relaxed readers and starts the clock
+  if (c.global_id == 0) sh.t0 = std::chrono::steady_clock::now();
+  c.gbar();
+
+  while (true) {
+    bool all_done = true;
+    for (std::size_t g = 0; g < t.num_grids; ++g) {
+      const std::size_t grid = t.first_grid + g;
+      auto& count = sh.counts[grid];
+      const int done = count.load(std::memory_order_relaxed);
+      if (fp != nullptr && fp->kills_grid(grid, done)) {
+        // Dead grid: treated as finished by both stop criteria (all_done
+        // stays true), which is what lets a Criterion-2 run recover.
+        if (c.rank == 0 && !sh.dead[grid].load(std::memory_order_relaxed)) {
+          sh.dead[grid].store(true, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      if (sh.opts.criterion == StopCriterion::kIndependent && done >= t_max) {
+        continue;
+      }
+      all_done = false;
+
+      if (fp != nullptr) {
+        const double ms = fp->stall_ms(grid, done);
+        if (ms > 0.0) {
+          if (c.rank == 0) {
+            sh.stalls_applied.fetch_add(1, std::memory_order_relaxed);
+          }
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(ms));
+        }
+      }
+
+      team_correction(c, g);
+      team_add_shared(c, *sh.x, t.echain[0]);
+      if (sh.opts.check_invariants) {
+        team_accumulate(c, t.echain[0], t.commit_acc);
+      }
+      if (c.rank == 0) {
+        count.fetch_add(1, std::memory_order_relaxed);
+        sh.record_commit(grid);
+      }
+      // `done` is the 0-based index of the correction just committed.
+      const bool drop = fp != nullptr && fp->drops_read(grid, done);
+      if (drop && c.rank == 0) {
+        sh.reads_dropped.fetch_add(1, std::memory_order_relaxed);
+      }
+      team_refresh_residual(c, drop);
+      // Encourage the OS to interleave teams when cores are oversubscribed;
+      // without this, one team can burn through many corrections per
+      // timeslice while the others' residual views go completely stale.
+      std::this_thread::yield();
+    }
+    // A team whose grids are all finished/dead under Criterion 2 spins on
+    // the master's stop flag; don't spin hot.
+    if (all_done) std::this_thread::yield();
+
+    // Collective termination: rank 0 decides, the team barrier publishes
+    // the verdict, everyone acts on the same value.
+    if (c.rank == 0) {
+      if (sh.opts.criterion == StopCriterion::kIndependent) {
+        t.stop_verdict = all_done;
+      } else {
+        if (c.global_id == 0) {
+          bool done = true;
+          for (std::size_t g = 0; g < sh.num_grids; ++g) {
+            if (sh.dead[g].load(std::memory_order_relaxed)) continue;
+            if (sh.counts[g].load(std::memory_order_relaxed) < t_max) {
+              done = false;
+              break;
+            }
+          }
+          if (done) sh.stop.store(true, std::memory_order_relaxed);
+        }
+        t.stop_verdict = sh.stop.load(std::memory_order_relaxed);
+      }
+    }
+    c.tbar();
+    // Read the verdict into a local and re-synchronize: without the second
+    // barrier, rank 0 could loop around and overwrite stop_verdict for the
+    // next iteration while a slow teammate is still reading this one's
+    // value -- the teammate would exit on the future verdict and leave
+    // rank 0 stranded at a team barrier.
+    const bool stop_now = t.stop_verdict;
+    c.tbar();
+    if (stop_now) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SyncDriver: one global residual phase + one correction per grid per
+// cycle, global barriers between. FaultPlan does not apply here.
+// ---------------------------------------------------------------------------
+
+void SyncDriver::worker(const Ctx& c) {
+  Team& t = *c.team;
+  Shared& sh = *c.sh;
+  const CsrMatrix& a = sh.s->a(0);
+
+  c.gbar();
+  if (c.global_id == 0) sh.t0 = std::chrono::steady_clock::now();
+  c.gbar();
+
+  for (int cycle = 0; cycle < sh.opts.t_max; ++cycle) {
+    // All threads: shared r = b - A x (x is stable during this phase).
+    {
+      const Range rg = static_chunk(static_cast<std::size_t>(a.rows()),
+                                    sh.num_threads, c.global_id);
+      a.residual_rows(*sh.b, *sh.x, sh.r, static_cast<Index>(rg.begin),
+                      static_cast<Index>(rg.end));
+    }
+    c.gbar();
+
+    for (std::size_t g = 0; g < t.num_grids; ++g) {
+      // Team-local copy of the (stable) shared residual, then correct.
+      {
+        const Range rg = c.chunk(t.rchain[0].size());
+        for (std::size_t i = rg.begin; i < rg.end; ++i) {
+          t.rchain[0][i] = sh.r[i];
+        }
+        c.tbar();
+      }
+      team_correction(c, g);
+      team_add_shared(c, *sh.x, t.echain[0]);
+      if (sh.opts.check_invariants) {
+        team_accumulate(c, t.echain[0], t.commit_acc);
+      }
+      if (c.rank == 0) {
+        sh.counts[t.first_grid + g].fetch_add(1, std::memory_order_relaxed);
+        sh.record_commit(t.first_grid + g);
+      }
+    }
+    c.gbar();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ScriptedDriver: deterministic replay. Each instant runs in three
+// globally-barriered phases so every value a thread reads is stable while
+// it reads it:
+//
+//   A  each team computes the corrections of its scheduled events from
+//      history snapshots into per-grid staging vectors (snapshots are only
+//      written in phase B of a *later* point of the ring, see depth_);
+//   B  all threads jointly apply the instant's corrections to x in event
+//      order (element-wise: tot = sum of staged corrections, x += tot --
+//      the same summation order as the sequential model's axpy chain, so
+//      iterates match bitwise) and push the new snapshot;
+//   C  global thread 0 does the bookkeeping: commit counts, trace, kill
+//      marking, and the divergence sentinel. Counts are stable during A/B,
+//      so the dead-grid predicate is consistent across threads.
+// ---------------------------------------------------------------------------
+
+ScriptedDriver::ScriptedDriver(Shared& sh, std::vector<Team>& teams)
+    : ScheduleDriver(sh, teams) {
+  const RuntimeOptions& o = sh.opts;
+  if (o.schedule != nullptr) {
+    sched_ = o.schedule;
+  } else {
+    AsyncModelOptions mo;
+    mo.alpha = o.script_alpha;
+    mo.max_delay = o.script_max_delay;
+    mo.updates_per_grid = o.t_max;
+    mo.seed = o.seed;
+    owned_ = sample_schedule(sh.num_grids, mo);
+    sched_ = &owned_;
+  }
+  check_ = validate_schedule(*sched_, sh.num_grids);
+  if (!check_.ok) {
+    throw std::invalid_argument("scripted schedule invalid: " + check_.error);
+  }
+  depth_ = static_cast<std::size_t>(check_.max_staleness) + 1;
+  const std::size_t n = sh.b->size();
+  hist_.assign(depth_, *sh.x);
+  staging_.assign(sh.num_grids, Vector(n, 0.0));
+  if (o.check_invariants) applied_sum_.assign(n, 0.0);
+  rtmp_.assign(n, 0.0);
+  const double bnorm = norm2(*sh.b);
+  res_scale_ = bnorm > 0.0 ? 1.0 / bnorm : 1.0;
+}
+
+bool ScriptedDriver::grid_dead(std::size_t grid) const {
+  const FaultPlan* fp = sh_.opts.faults;
+  return fp != nullptr &&
+         fp->kills_grid(grid, sh_.counts[grid].load(std::memory_order_relaxed));
+}
+
+void ScriptedDriver::worker(const Ctx& c) {
+  Team& t = *c.team;
+  Shared& sh = *c.sh;
+  const CsrMatrix& a = sh.s->a(0);
+  const std::size_t n = sh.b->size();
+  const int num_instants = static_cast<int>(sched_->num_instants());
+
+  c.gbar();
+  if (c.global_id == 0) {
+    sh.t0 = std::chrono::steady_clock::now();
+    // Report grids that a FaultPlan kills before their first correction.
+    if (sh.opts.faults != nullptr) {
+      for (std::size_t g = 0; g < sh.num_grids; ++g) {
+        if (sh.opts.faults->kills_grid(g, 0)) {
+          sh.dead[g].store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  c.gbar();
+
+  for (int ti = 0; ti < num_instants; ++ti) {
+    const std::vector<ScheduleEvent>& inst =
+        sched_->instants[static_cast<std::size_t>(ti)];
+
+    // Phase A: correction computation from snapshots.
+    for (const ScheduleEvent& ev : inst) {
+      if (!t.owns(ev.grid) || grid_dead(ev.grid)) continue;
+      const Vector& snap = hist_[slot(ev.read_instant)];
+      const Range rg = c.chunk(n);
+      a.residual_rows(*sh.b, snap, t.rchain[0], static_cast<Index>(rg.begin),
+                      static_cast<Index>(rg.end));
+      c.tbar();
+      team_correction(c, ev.grid - t.first_grid);
+      for (std::size_t i = rg.begin; i < rg.end; ++i) {
+        staging_[ev.grid][i] = t.echain[0][i];
+      }
+      c.tbar();  // staging complete before the next event reuses echain
+    }
+    c.gbar();
+
+    // Phase B: joint apply + snapshot push over global static chunks.
+    std::size_t live = 0;
+    for (const ScheduleEvent& ev : inst) {
+      if (!grid_dead(ev.grid)) ++live;
+    }
+    {
+      const Range rg = static_chunk(n, sh.num_threads, c.global_id);
+      Vector& snap_next = hist_[slot(ti + 1)];
+      Vector& x = *sh.x;
+      for (std::size_t i = rg.begin; i < rg.end; ++i) {
+        if (live > 0) {
+          double tot = 0.0;
+          for (const ScheduleEvent& ev : inst) {
+            if (!grid_dead(ev.grid)) tot += staging_[ev.grid][i];
+          }
+          x[i] += tot;
+          if (!applied_sum_.empty()) applied_sum_[i] += tot;
+        }
+        snap_next[i] = x[i];
+      }
+    }
+    c.gbar();
+
+    // Phase C: bookkeeping by global thread 0 (counts are written only
+    // here, between the phase-B and phase-D barriers).
+    if (c.global_id == 0) {
+      for (const ScheduleEvent& ev : inst) {
+        if (grid_dead(ev.grid)) continue;
+        sh.counts[ev.grid].fetch_add(1, std::memory_order_relaxed);
+        if (sh.opts.record_trace) {
+          sh.trace.push_back({ev.grid, static_cast<double>(ti)});
+        }
+      }
+      if (sh.opts.faults != nullptr) {
+        for (std::size_t g = 0; g < sh.num_grids; ++g) {
+          if (!sh.dead[g].load(std::memory_order_relaxed) &&
+              sh.opts.faults->kills_grid(
+                  g, sh.counts[g].load(std::memory_order_relaxed))) {
+            sh.dead[g].store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+      instants_done_ = ti + 1;
+      if (sh.opts.check_invariants) {
+        a.residual(*sh.b, *sh.x, rtmp_);
+        const double rel = norm2(rtmp_) * res_scale_;
+        max_rel_res_ = std::max(max_rel_res_, rel);
+        if (rel > sh.opts.divergence_threshold) {
+          diverged_ = true;
+          divergence_instant_ = ti;
+          halt_ = true;
+        }
+      }
+    }
+    c.gbar();
+    if (halt_) break;
+  }
+}
+
+void ScriptedDriver::finalize(RuntimeResult& out) {
+  ScheduleDriver::finalize(out);
+  out.instants = instants_done_;
+  out.invariants.diverged = diverged_;
+  out.invariants.divergence_instant = divergence_instant_;
+  out.invariants.max_rel_res = max_rel_res_;
+  out.invariants.max_read_staleness = check_.max_staleness;
+}
+
+void ScriptedDriver::sum_commits(Vector& into) const {
+  for (std::size_t i = 0; i < into.size(); ++i) into[i] += applied_sum_[i];
+}
+
+std::unique_ptr<ScheduleDriver> make_driver(Shared& sh,
+                                            std::vector<Team>& teams) {
+  switch (sh.opts.mode) {
+    case ExecMode::kSynchronous:
+      return std::make_unique<SyncDriver>(sh, teams);
+    case ExecMode::kScripted:
+      return std::make_unique<ScriptedDriver>(sh, teams);
+    case ExecMode::kAsynchronous:
+      break;
+  }
+  return std::make_unique<FreeRunDriver>(sh, teams);
+}
+
+}  // namespace asyncmg

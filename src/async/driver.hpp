@@ -1,0 +1,111 @@
+#pragma once
+// ScheduleDriver: the execution-order policy of the threaded runtime. The
+// team/worker substrate (async/team.hpp) is fixed; what varies between the
+// paper's real asynchronous solver and the correctness harness is *who runs
+// when*, and that policy lives behind this interface:
+//
+//   FreeRunDriver    the paper's Section-IV solver: teams loop at their own
+//                    pace, never synchronizing across teams; ordering comes
+//                    from the OS scheduler. Honors FaultPlan stalls,
+//                    dropped reads, and kills.
+//   SyncDriver       the synchronous additive baseline (global barriers
+//                    between residual and correction phases).
+//   ScriptedDriver   deterministic replay of a Schedule: per time instant,
+//                    scheduled teams compute corrections from history
+//                    snapshots, then all threads apply them jointly in
+//                    event order and push the new snapshot. Iterates are
+//                    reproducible across runs and -- for Jacobi-type
+//                    smoothers, whose per-row arithmetic is independent of
+//                    the block partition -- across thread counts, and equal
+//                    the sequential semi-async simulator's on the same
+//                    schedule.
+//
+// Internal header: include async/runtime.hpp instead.
+
+#include <memory>
+#include <vector>
+
+#include "async/team.hpp"
+
+namespace asyncmg {
+
+class ScheduleDriver {
+ public:
+  ScheduleDriver(Shared& sh, std::vector<Team>& teams)
+      : sh_(sh), teams_(teams) {}
+  virtual ~ScheduleDriver() = default;
+
+  /// Worker body, called once per thread with that thread's context; the
+  /// entire step loop of the run happens in here.
+  virtual void worker(const Ctx& c) = 0;
+
+  /// Called on the main thread after all workers joined: fills the
+  /// invariant report (fault counters, killed grids, conservation) and any
+  /// driver-owned result fields.
+  virtual void finalize(RuntimeResult& out);
+
+ protected:
+  /// into += every committed correction (conservation check). The default
+  /// sums the per-team accumulators the free-running/sync workers fill.
+  virtual void sum_commits(Vector& into) const;
+
+  Shared& sh_;
+  std::vector<Team>& teams_;
+};
+
+/// Free-running asynchronous teams (ExecMode::kAsynchronous).
+class FreeRunDriver final : public ScheduleDriver {
+ public:
+  using ScheduleDriver::ScheduleDriver;
+  void worker(const Ctx& c) override;
+};
+
+/// Synchronous additive baseline (ExecMode::kSynchronous).
+class SyncDriver final : public ScheduleDriver {
+ public:
+  using ScheduleDriver::ScheduleDriver;
+  void worker(const Ctx& c) override;
+};
+
+/// Deterministic scripted replay (ExecMode::kScripted). The constructor
+/// validates the schedule (throws std::invalid_argument on a structural
+/// violation) and samples one from RuntimeOptions::{script_alpha,
+/// script_max_delay, seed, t_max} when none was supplied.
+class ScriptedDriver final : public ScheduleDriver {
+ public:
+  ScriptedDriver(Shared& sh, std::vector<Team>& teams);
+  void worker(const Ctx& c) override;
+  void finalize(RuntimeResult& out) override;
+
+ private:
+  void sum_commits(Vector& into) const override;
+  std::size_t slot(int instant) const {
+    return static_cast<std::size_t>(instant) % depth_;
+  }
+  /// True when a FaultPlan kill has retired this grid (counts are stable
+  /// while the predicate is evaluated; see worker()).
+  bool grid_dead(std::size_t grid) const;
+
+  Schedule owned_;            // backing storage when sampled internally
+  const Schedule* sched_ = nullptr;
+  ScheduleCheck check_;
+  std::size_t depth_ = 1;     // history ring depth (max staleness + 1)
+  std::vector<Vector> hist_;  // snapshot ring, indexed by instant % depth_
+  std::vector<Vector> staging_;  // per-grid corrections of the instant
+  Vector applied_sum_;        // conservation accumulator (check_invariants)
+  Vector rtmp_;               // residual scratch for the sentinel
+  double res_scale_ = 1.0;    // 1 / ||b|| (1 when b = 0)
+  // Written by global thread 0 between global barriers, read by everyone
+  // after the barrier that follows.
+  bool halt_ = false;
+  bool diverged_ = false;
+  int divergence_instant_ = -1;
+  double max_rel_res_ = 0.0;
+  int instants_done_ = 0;
+};
+
+/// Factory keyed on RuntimeOptions::mode (and ::schedule).
+std::unique_ptr<ScheduleDriver> make_driver(Shared& sh,
+                                            std::vector<Team>& teams);
+
+}  // namespace asyncmg

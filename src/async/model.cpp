@@ -56,6 +56,56 @@ int sample_instant(Rng& rng, int lo, int t) {
 
 }  // namespace
 
+AsyncModelResult replay_semiasync_schedule(const AdditiveCorrector& corrector,
+                                           const Vector& b, Vector& x,
+                                           const Schedule& schedule,
+                                           bool record_history) {
+  const ScheduleCheck check =
+      validate_schedule(schedule, corrector.num_grids());
+  if (!check.ok) {
+    throw std::invalid_argument("replay: schedule invalid: " + check.error);
+  }
+
+  const MgSetup& s = corrector.setup();
+  const CsrMatrix& a = s.a(0);
+  const std::size_t n = b.size();
+
+  AsyncModelResult result;
+  result.probabilities = schedule.probabilities;
+
+  History hist(check.max_staleness + 1, x);
+  Vector r_read(n), correction, total(n);
+  const double bnorm = norm2(b);
+  const double scale = bnorm > 0.0 ? 1.0 / bnorm : 1.0;
+
+  int t = 0;
+  for (const std::vector<ScheduleEvent>& inst : schedule.instants) {
+    fill(total, 0.0);
+    bool any = false;
+    for (const ScheduleEvent& ev : inst) {
+      const Vector& read_state = hist.at(ev.read_instant);
+      a.residual(b, read_state, r_read);
+      corrector.correction(ev.grid, r_read, correction);
+      axpy(1.0, correction, total);
+      any = true;
+    }
+    ++t;
+    if (any) axpy(1.0, total, x);
+    hist.push(t, x);
+    if (record_history) {
+      Vector r;
+      a.residual(b, x, r);
+      result.rel_res_history.push_back(norm2(r) * scale);
+    }
+  }
+
+  result.time_instants = t;
+  Vector r;
+  a.residual(b, x, r);
+  result.final_rel_res = norm2(r) * scale;
+  return result;
+}
+
 AsyncModelResult run_async_model(const AdditiveCorrector& corrector,
                                  const Vector& b, Vector& x,
                                  const AsyncModelOptions& opts) {
@@ -64,13 +114,21 @@ AsyncModelResult run_async_model(const AdditiveCorrector& corrector,
   }
   if (opts.max_delay < 0) throw std::invalid_argument("max_delay must be >= 0");
 
+  if (opts.kind == AsyncModelKind::kSemiAsync) {
+    // One sampling path for simulator and scripted runtime: draw the
+    // trajectory, then replay it. RNG consumption matches the historical
+    // inline loop draw for draw, so results are unchanged bitwise.
+    const Schedule sched = sample_schedule(corrector.num_grids(), opts);
+    return replay_semiasync_schedule(corrector, b, x, sched,
+                                     opts.record_history);
+  }
+
   const MgSetup& s = corrector.setup();
   const CsrMatrix& a = s.a(0);
   const std::size_t n = b.size();
   const std::size_t grids = corrector.num_grids();
   const int delta = opts.max_delay;
   const bool residual_based = opts.kind == AsyncModelKind::kFullAsyncResidual;
-  const bool per_component = opts.kind != AsyncModelKind::kSemiAsync;
 
   Rng rng(opts.seed);
 
@@ -89,12 +147,8 @@ AsyncModelResult run_async_model(const AdditiveCorrector& corrector,
   History hist(delta + 1, state);
 
   // Read-instant bookkeeping (assumption 1 of Section III: reads are
-  // monotone in time).
-  std::vector<int> last_z(grids, 0);                 // semi-async
-  std::vector<std::vector<int>> last_z_comp;         // full-async
-  if (per_component) {
-    last_z_comp.assign(grids, std::vector<int>(n, 0));
-  }
+  // monotone in time), per component in the full-async models.
+  std::vector<std::vector<int>> last_z_comp(grids, std::vector<int>(n, 0));
 
   std::vector<int> updates(grids, 0);
   std::size_t grids_done = 0;
@@ -111,20 +165,13 @@ AsyncModelResult run_async_model(const AdditiveCorrector& corrector,
       if (updates[k] >= opts.updates_per_grid) continue;
       if (!rng.bernoulli(result.probabilities[k])) continue;
 
-      // Assemble this grid's read of the state.
-      if (per_component) {
-        auto& zk = last_z_comp[k];
-        for (std::size_t i = 0; i < n; ++i) {
-          const int lo = std::max(zk[i], t - delta);
-          const int z = sample_instant(rng, lo, t);
-          zk[i] = z;
-          read_state[i] = hist.at(z)[i];
-        }
-      } else {
-        const int lo = std::max(last_z[k], t - delta);
+      // Assemble this grid's read of the state, component by component.
+      auto& zk = last_z_comp[k];
+      for (std::size_t i = 0; i < n; ++i) {
+        const int lo = std::max(zk[i], t - delta);
         const int z = sample_instant(rng, lo, t);
-        last_z[k] = z;
-        read_state = hist.at(z);
+        zk[i] = z;
+        read_state[i] = hist.at(z)[i];
       }
 
       // B_k / C_k: the grid's fine-level correction from its read.

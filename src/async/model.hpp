@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "async/schedule.hpp"
 #include "multigrid/additive.hpp"
 #include "multigrid/solve_stats.hpp"
 
@@ -59,9 +60,22 @@ struct AsyncModelResult {
 };
 
 /// Runs one simulated asynchronous solve of A x = b with the additive
-/// method wrapped by `corrector`. `x` is updated in place.
+/// method wrapped by `corrector`. `x` is updated in place. The semi-async
+/// path is sample_schedule + replay_semiasync_schedule, so it walks exactly
+/// the trajectory the scripted runtime driver replays for the same seed.
 AsyncModelResult run_async_model(const AdditiveCorrector& corrector,
                                  const Vector& b, Vector& x,
                                  const AsyncModelOptions& opts);
+
+/// Sequentially replays an explicit semi-async interleaving (Eq. 6): at
+/// each instant every scheduled grid reads the snapshot of its read
+/// instant, and the corrections are applied jointly in event order. Throws
+/// std::invalid_argument when the schedule violates the model's structural
+/// assumptions (see validate_schedule). This is the sequential reference
+/// the scripted runtime driver (ExecMode::kScripted) is tested against.
+AsyncModelResult replay_semiasync_schedule(const AdditiveCorrector& corrector,
+                                           const Vector& b, Vector& x,
+                                           const Schedule& schedule,
+                                           bool record_history = false);
 
 }  // namespace asyncmg

@@ -1,14 +1,13 @@
 #include "async/runtime.hpp"
 
-#include <atomic>
-#include <barrier>
 #include <chrono>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "async/driver.hpp"
+#include "async/team.hpp"
 #include "service/solver_pool.hpp"
 #include "sparse/vec.hpp"
 #include "util/partition.hpp"
@@ -16,7 +15,9 @@
 namespace asyncmg {
 
 std::string runtime_config_name(const RuntimeOptions& o) {
-  std::string s = o.mode == ExecMode::kSynchronous ? "sync" : "async";
+  std::string s = o.mode == ExecMode::kSynchronous ? "sync"
+                  : o.mode == ExecMode::kScripted  ? "scripted"
+                                                   : "async";
   s += o.write == WritePolicy::kLockWrite ? " lock-write" : " atomic-write";
   if (o.mode == ExecMode::kAsynchronous) {
     s += o.rescomp == ResComp::kLocal ? " local-res" : " global-res";
@@ -33,523 +34,6 @@ double RuntimeResult::mean_corrections() const {
 }
 
 namespace {
-
-inline double relaxed_load(const double& v) {
-  return std::atomic_ref<const double>(v).load(std::memory_order_relaxed);
-}
-inline void relaxed_store(double& v, double val) {
-  std::atomic_ref<double>(v).store(val, std::memory_order_relaxed);
-}
-inline void relaxed_add(double& v, double d) {
-  std::atomic_ref<double>(v).fetch_add(d, std::memory_order_relaxed);
-}
-
-/// State shared by every thread of a run.
-struct Shared {
-  const AdditiveCorrector* corr = nullptr;
-  const MgSetup* s = nullptr;
-  const Vector* b = nullptr;
-  Vector* x = nullptr;
-  Vector r;  // shared residual (global-res / residual-based / sync modes)
-  std::mutex lock;
-  std::atomic<bool> stop{false};
-  std::unique_ptr<std::atomic<int>[]> counts;  // per grid
-  RuntimeOptions opts;
-  std::size_t num_grids = 0;
-  std::size_t num_threads = 0;
-  std::unique_ptr<std::barrier<>> global_barrier;
-  std::chrono::steady_clock::time_point t0;
-  // Commit trace (record_trace): protected by trace_lock, not the main
-  // lock-write mutex (tracing must not perturb the write-policy contention
-  // being measured more than necessary).
-  std::mutex trace_lock;
-  std::vector<TraceEvent> trace;
-
-  void record_commit(std::size_t grid) {
-    if (!opts.record_trace) return;
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    const std::lock_guard<std::mutex> g(trace_lock);
-    trace.push_back({grid, secs});
-  }
-
-  bool uses_shared_r() const {
-    return opts.mode == ExecMode::kSynchronous ||
-           opts.rescomp == ResComp::kGlobal || opts.residual_based;
-  }
-};
-
-/// One per-grid (or per-grid-range) thread team and its workspaces.
-struct Team {
-  std::size_t first_grid = 0;
-  std::size_t num_grids = 0;  // contiguous grids owned by this team
-  std::size_t nthreads = 0;
-  std::size_t first_thread = 0;  // global id of this team's rank 0
-  std::unique_ptr<std::barrier<>> barrier;
-
-  // Per-owned-grid smoothers: at the grid's own level and (AFACx) at the
-  // next level, both with block count = team size.
-  std::vector<std::unique_ptr<Smoother>> smooth_k;
-  std::vector<std::unique_ptr<Smoother>> smooth_k1;
-
-  /// Team-collective stop verdict: written by rank 0, published to the
-  /// team by the barrier that follows. Without this, threads of one team
-  /// could read the global stop flag at different times, disagree, and
-  /// deadlock the team barrier.
-  bool stop_verdict = false;
-
-  // Workspaces, indexed by hierarchy level (sized lazily at build).
-  std::vector<Vector> rchain;   // restricted residuals; level 0 = rloc
-  std::vector<Vector> echain;   // corrections on the way up
-  std::vector<Vector> scratch;  // per-level scratch for sweeps / AFACx
-  Vector xk;                    // local copy of shared x (local-res)
-  Vector u, pu;                 // AFACx: e_{k+1} and P e_{k+1}
-};
-
-/// Everything a worker needs: shared state + its team + its rank.
-struct Ctx {
-  Shared* sh;
-  Team* team;
-  std::size_t rank;        // rank within team
-  std::size_t global_id;   // global thread id
-
-  Range chunk(std::size_t n) const {
-    return static_chunk(n, team->nthreads, rank);
-  }
-  void tbar() const { team->barrier->arrive_and_wait(); }
-  void gbar() const { sh->global_barrier->arrive_and_wait(); }
-};
-
-// ---------------------------------------------------------------------------
-// Shared-vector access under the configured write policy.
-// ---------------------------------------------------------------------------
-
-/// dst (team-local) = src (shared), team-parallel.
-void team_read_shared(const Ctx& c, const Vector& src, Vector& dst) {
-  const Range rg = c.chunk(src.size());
-  if (c.sh->opts.write == WritePolicy::kLockWrite) {
-    // Align the team before rank 0 takes the global mutex: a teammate may
-    // still be inside its own lock-taking code (e.g. the non-blocking
-    // global-res refresh); locking before it finishes would deadlock the
-    // team barrier below against the mutex.
-    c.tbar();
-    if (c.rank == 0) c.sh->lock.lock();
-    c.tbar();
-    for (std::size_t i = rg.begin; i < rg.end; ++i) dst[i] = src[i];
-    c.tbar();
-    if (c.rank == 0) c.sh->lock.unlock();
-  } else {
-    for (std::size_t i = rg.begin; i < rg.end; ++i) dst[i] = relaxed_load(src[i]);
-    c.tbar();
-  }
-}
-
-/// shared dst += e, team-parallel.
-void team_add_shared(const Ctx& c, Vector& dst, const Vector& e) {
-  const Range rg = c.chunk(dst.size());
-  if (c.sh->opts.write == WritePolicy::kLockWrite) {
-    c.tbar();  // see team_read_shared
-    if (c.rank == 0) c.sh->lock.lock();
-    c.tbar();
-    for (std::size_t i = rg.begin; i < rg.end; ++i) dst[i] += e[i];
-    c.tbar();
-    if (c.rank == 0) c.sh->lock.unlock();
-  } else {
-    for (std::size_t i = rg.begin; i < rg.end; ++i) relaxed_add(dst[i], e[i]);
-    c.tbar();
-  }
-}
-
-/// shared r -= A e, team-parallel over all rows (r-Multadd update).
-void team_residual_update_shared(const Ctx& c, const CsrMatrix& a,
-                                 const Vector& e, Vector& r) {
-  const Range rg = c.chunk(static_cast<std::size_t>(a.rows()));
-  const auto rb = static_cast<Index>(rg.begin);
-  const auto re = static_cast<Index>(rg.end);
-  if (c.sh->opts.write == WritePolicy::kLockWrite) {
-    c.tbar();  // see team_read_shared
-    if (c.rank == 0) c.sh->lock.lock();
-    c.tbar();
-    for (Index i = rb; i < re; ++i) {
-      double s = 0.0;
-      const auto rp = a.row_ptr();
-      const auto ci = a.col_idx();
-      const auto v = a.values();
-      for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-        s += v[static_cast<std::size_t>(k)] *
-             e[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
-      }
-      r[static_cast<std::size_t>(i)] -= s;
-    }
-    c.tbar();
-    if (c.rank == 0) c.sh->lock.unlock();
-  } else {
-    for (Index i = rb; i < re; ++i) {
-      double s = 0.0;
-      const auto rp = a.row_ptr();
-      const auto ci = a.col_idx();
-      const auto v = a.values();
-      for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-        s += v[static_cast<std::size_t>(k)] *
-             e[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
-      }
-      relaxed_add(r[static_cast<std::size_t>(i)], -s);
-    }
-    c.tbar();
-  }
-}
-
-/// Non-blocking ("No Wait") refresh of this *thread's* static chunk of the
-/// shared residual from the shared x: r_i = b_i - sum_j a_ij x_j.
-void thread_refresh_global_residual(const Ctx& c) {
-  const CsrMatrix& a = c.sh->s->a(0);
-  const Vector& b = *c.sh->b;
-  const Vector& x = *c.sh->x;
-  Vector& r = c.sh->r;
-  const Range rg = static_chunk(static_cast<std::size_t>(a.rows()),
-                                c.sh->num_threads, c.global_id);
-  const bool locking = c.sh->opts.write == WritePolicy::kLockWrite;
-  if (locking) c.sh->lock.lock();
-  const auto rp = a.row_ptr();
-  const auto ci = a.col_idx();
-  const auto v = a.values();
-  for (std::size_t i = rg.begin; i < rg.end; ++i) {
-    double s = b[i];
-    const auto row = static_cast<Index>(i);
-    for (Index k = rp[row]; k < rp[row + 1]; ++k) {
-      const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
-      s -= v[static_cast<std::size_t>(k)] * (locking ? x[j] : relaxed_load(x[j]));
-    }
-    if (locking) {
-      r[i] = s;
-    } else {
-      relaxed_store(r[i], s);
-    }
-  }
-  if (locking) c.sh->lock.unlock();
-}
-
-// ---------------------------------------------------------------------------
-// Team-parallel numerical kernels.
-// ---------------------------------------------------------------------------
-
-/// y = M v over the team (rows of y chunked by rank), with a trailing
-/// team barrier.
-void team_spmv(const Ctx& c, const CsrMatrix& m, const Vector& v, Vector& y) {
-  const Range rg = c.chunk(static_cast<std::size_t>(m.rows()));
-  m.spmv_rows(v, y, static_cast<Index>(rg.begin), static_cast<Index>(rg.end));
-  c.tbar();
-}
-
-/// out = `sweeps` smoothing sweeps on A out = rhs from a zero initial
-/// guess, team-parallel. `lvl_scratch` is a level-sized scratch vector.
-void team_smooth_zero(const Ctx& c, const Smoother& sm, const Vector& rhs,
-                      Vector& out, Vector& lvl_scratch, int sweeps) {
-  const std::size_t n = rhs.size();
-  const Range rg = c.chunk(n);
-  for (std::size_t i = rg.begin; i < rg.end; ++i) out[i] = 0.0;
-  c.tbar();
-  const bool has_block = c.rank < sm.num_blocks();
-  if (sm.type() == SmootherType::kAsyncGS) {
-    // Asynchronous smoothing: no intra-sweep or inter-sweep barriers.
-    for (int s = 0; s < sweeps; ++s) {
-      if (has_block) sm.async_gs_sweep_block(rhs, out, c.rank);
-    }
-    c.tbar();
-    return;
-  }
-  if (has_block) sm.apply_zero_block(rhs, out, c.rank);
-  c.tbar();
-  for (int s = 1; s < sweeps; ++s) {
-    // scratch = rhs - A out over this rank's rows.
-    sm.matrix().residual_rows(rhs, out, lvl_scratch,
-                              static_cast<Index>(rg.begin),
-                              static_cast<Index>(rg.end));
-    c.tbar();
-    if (has_block) {
-      // out_block += M^{-1} scratch_block: apply_zero_block writes the
-      // block's solve into a zeroed temp, folded into out immediately.
-      // (The block rows coincide with this rank's chunk rows.)
-      const Range blk = sm.block(c.rank);
-      Vector delta(rhs.size(), 0.0);
-      sm.apply_zero_block(lvl_scratch, delta, c.rank);
-      for (std::size_t i = blk.begin; i < blk.end; ++i) out[i] += delta[i];
-    }
-    c.tbar();
-  }
-}
-
-/// Computes grid k's fine-level correction into team.echain[0] from the
-/// team-local fine residual team.rchain[0]. Matches
-/// AdditiveCorrector::correction step for step, but team-parallel.
-void team_correction(const Ctx& c, std::size_t grid_pos) {
-  Team& t = *c.team;
-  const Shared& sh = *c.sh;
-  const MgSetup& s = *sh.s;
-  const AdditiveOptions& ao = sh.corr->options();
-  const std::size_t k = t.first_grid + grid_pos;
-  const std::size_t coarsest = s.num_levels() - 1;
-  const bool multadd = ao.kind == AdditiveKind::kMultadd;
-
-  // Restrict down to level k.
-  for (std::size_t j = 0; j < k; ++j) {
-    const CsrMatrix& r = multadd ? s.rbar(j) : s.r(j);
-    team_spmv(c, r, t.rchain[j], t.rchain[j + 1]);
-  }
-  const Vector& rk = t.rchain[k];
-  Vector& ek = t.echain[k];
-
-  if (k == coarsest) {
-    if (c.rank == 0) {
-      if (!s.coarse_solver().empty()) {
-        s.coarse_solver().solve(rk, ek);
-      } else {
-        s.smoother(k).apply_zero(rk, ek);
-      }
-    }
-    c.tbar();
-  } else if (ao.kind == AdditiveKind::kAfacx) {
-    // e_{k+1} from s2 sweeps (or the exact solve when k+1 is the coarsest
-    // level and an LU factorization exists).
-    team_spmv(c, s.r(k), rk, t.rchain[k + 1]);
-    if (k + 1 == coarsest && !s.coarse_solver().empty()) {
-      if (c.rank == 0) s.coarse_solver().solve(t.rchain[k + 1], t.u);
-      c.tbar();
-    } else {
-      team_smooth_zero(c, *t.smooth_k1[grid_pos], t.rchain[k + 1], t.u,
-                       t.scratch[k + 1], ao.afacx_s2);
-    }
-    // rhs = r_k - A_k P u, then s1 sweeps from zero.
-    team_spmv(c, s.p(k), t.u, t.pu);
-    team_spmv(c, s.a(k), t.pu, t.scratch[k]);
-    {
-      const Range rg = c.chunk(rk.size());
-      for (std::size_t i = rg.begin; i < rg.end; ++i) {
-        t.scratch[k][i] = rk[i] - t.scratch[k][i];
-      }
-      c.tbar();
-    }
-    // Note scratch[k] doubles as the rhs; sweeps > 1 need a second scratch.
-    team_smooth_zero(c, *t.smooth_k[grid_pos], t.scratch[k], ek, t.pu,
-                     ao.afacx_s1);
-  } else {
-    // Multadd / BPX: Lambda_k = one sweep from a zero guess.
-    team_smooth_zero(c, *t.smooth_k[grid_pos], rk, ek, t.scratch[k], 1);
-  }
-
-  // Prolong back up to the fine grid.
-  for (std::size_t j = k; j-- > 0;) {
-    const CsrMatrix& p = multadd ? s.pbar(j) : s.p(j);
-    team_spmv(c, p, t.echain[j + 1], t.echain[j]);
-  }
-}
-
-/// Refreshes the team-local fine residual after a correction, per the
-/// configured residual-computation scheme.
-void team_refresh_residual(const Ctx& c) {
-  Team& t = *c.team;
-  Shared& sh = *c.sh;
-  const CsrMatrix& a = sh.s->a(0);
-  if (sh.opts.residual_based) {
-    team_residual_update_shared(c, a, t.echain[0], sh.r);
-    team_read_shared(c, sh.r, t.rchain[0]);
-  } else if (sh.opts.rescomp == ResComp::kLocal) {
-    team_read_shared(c, *sh.x, t.xk);
-    const Range rg = c.chunk(t.rchain[0].size());
-    a.residual_rows(*sh.b, t.xk, t.rchain[0], static_cast<Index>(rg.begin),
-                    static_cast<Index>(rg.end));
-    c.tbar();
-  } else {
-    thread_refresh_global_residual(c);  // No Wait: no barrier
-    team_read_shared(c, sh.r, t.rchain[0]);
-  }
-}
-
-/// Worker body for the asynchronous mode.
-void worker_async(Ctx c) {
-  Team& t = *c.team;
-  Shared& sh = *c.sh;
-  const int t_max = sh.opts.t_max;
-
-  // Initialize the team-local fine residual (and, via run_shared_memory,
-  // the shared r was already filled before threads started).
-  {
-    const CsrMatrix& a = sh.s->a(0);
-    const Range rg = c.chunk(t.rchain[0].size());
-    a.residual_rows(*sh.b, *sh.x, t.rchain[0], static_cast<Index>(rg.begin),
-                    static_cast<Index>(rg.end));
-  }
-  c.gbar();  // also publishes x for relaxed readers and starts the clock
-  if (c.global_id == 0) sh.t0 = std::chrono::steady_clock::now();
-  c.gbar();
-
-  while (true) {
-    bool all_done = true;
-    for (std::size_t g = 0; g < t.num_grids; ++g) {
-      const std::size_t grid = t.first_grid + g;
-      auto& count = sh.counts[grid];
-      if (sh.opts.criterion == StopCriterion::kIndependent &&
-          count.load(std::memory_order_relaxed) >= t_max) {
-        continue;
-      }
-      all_done = false;
-
-      team_correction(c, g);
-      team_add_shared(c, *sh.x, t.echain[0]);
-      if (c.rank == 0) {
-        count.fetch_add(1, std::memory_order_relaxed);
-        sh.record_commit(grid);
-      }
-      team_refresh_residual(c);
-      // Encourage the OS to interleave teams when cores are oversubscribed;
-      // without this, one team can burn through many corrections per
-      // timeslice while the others' residual views go completely stale.
-      std::this_thread::yield();
-    }
-
-    // Collective termination: rank 0 decides, the team barrier publishes
-    // the verdict, everyone acts on the same value.
-    if (c.rank == 0) {
-      if (sh.opts.criterion == StopCriterion::kIndependent) {
-        t.stop_verdict = all_done;
-      } else {
-        if (c.global_id == 0) {
-          bool done = true;
-          for (std::size_t g = 0; g < sh.num_grids; ++g) {
-            if (sh.counts[g].load(std::memory_order_relaxed) < t_max) {
-              done = false;
-              break;
-            }
-          }
-          if (done) sh.stop.store(true, std::memory_order_relaxed);
-        }
-        t.stop_verdict = sh.stop.load(std::memory_order_relaxed);
-      }
-    }
-    c.tbar();
-    // Read the verdict into a local and re-synchronize: without the second
-    // barrier, rank 0 could loop around and overwrite stop_verdict for the
-    // next iteration while a slow teammate is still reading this one's
-    // value -- the teammate would exit on the future verdict and leave
-    // rank 0 stranded at a team barrier.
-    const bool stop_now = t.stop_verdict;
-    c.tbar();
-    if (stop_now) break;
-  }
-}
-
-/// Worker body for the synchronous additive mode: one global residual
-/// phase + one correction per grid per cycle, global barriers between.
-void worker_sync(Ctx c) {
-  Team& t = *c.team;
-  Shared& sh = *c.sh;
-  const CsrMatrix& a = sh.s->a(0);
-
-  c.gbar();
-  if (c.global_id == 0) sh.t0 = std::chrono::steady_clock::now();
-  c.gbar();
-
-  for (int cycle = 0; cycle < sh.opts.t_max; ++cycle) {
-    // All threads: shared r = b - A x (x is stable during this phase).
-    {
-      const Range rg = static_chunk(static_cast<std::size_t>(a.rows()),
-                                    sh.num_threads, c.global_id);
-      a.residual_rows(*sh.b, *sh.x, sh.r, static_cast<Index>(rg.begin),
-                      static_cast<Index>(rg.end));
-    }
-    c.gbar();
-
-    for (std::size_t g = 0; g < t.num_grids; ++g) {
-      // Team-local copy of the (stable) shared residual, then correct.
-      {
-        const Range rg = c.chunk(t.rchain[0].size());
-        for (std::size_t i = rg.begin; i < rg.end; ++i) {
-          t.rchain[0][i] = sh.r[i];
-        }
-        c.tbar();
-      }
-      team_correction(c, g);
-      team_add_shared(c, *sh.x, t.echain[0]);
-      if (c.rank == 0) {
-        sh.counts[t.first_grid + g].fetch_add(1, std::memory_order_relaxed);
-        sh.record_commit(t.first_grid + g);
-      }
-    }
-    c.gbar();
-  }
-}
-
-/// Builds the team structures (thread assignment, smoothers, workspaces).
-std::vector<Team> build_teams(const Shared& sh) {
-  const MgSetup& s = *sh.s;
-  const std::size_t grids = sh.num_grids;
-  const std::size_t threads = sh.num_threads;
-  const AdditiveOptions& ao = sh.corr->options();
-
-  std::vector<Team> teams;
-  if (threads >= grids) {
-    // One team per grid, threads balanced by work.
-    const std::vector<std::size_t> counts =
-        assign_threads_to_grids(sh.corr->work(), threads);
-    const std::vector<Range> ranges = thread_ranges(counts);
-    teams.resize(grids);
-    for (std::size_t k = 0; k < grids; ++k) {
-      teams[k].first_grid = k;
-      teams[k].num_grids = 1;
-      teams[k].nthreads = counts[k];
-      teams[k].first_thread = ranges[k].begin;
-    }
-  } else {
-    // Fewer threads than grids: single-thread teams own contiguous grid
-    // ranges.
-    teams.resize(threads);
-    for (std::size_t tid = 0; tid < threads; ++tid) {
-      const Range gr = static_chunk(grids, threads, tid);
-      teams[tid].first_grid = gr.begin;
-      teams[tid].num_grids = gr.size();
-      teams[tid].nthreads = 1;
-      teams[tid].first_thread = tid;
-    }
-  }
-
-  for (Team& t : teams) {
-    t.barrier = std::make_unique<std::barrier<>>(
-        static_cast<std::ptrdiff_t>(t.nthreads));
-    const std::size_t top = t.first_grid + t.num_grids - 1;
-    const std::size_t levels_needed =
-        std::min(s.num_levels(), top + 2);  // +1 level for AFACx's e_{k+1}
-    t.rchain.resize(levels_needed);
-    t.echain.resize(levels_needed);
-    t.scratch.resize(levels_needed);
-    for (std::size_t j = 0; j < levels_needed; ++j) {
-      const auto n = static_cast<std::size_t>(s.a(j).rows());
-      t.rchain[j].assign(n, 0.0);
-      t.echain[j].assign(n, 0.0);
-      t.scratch[j].assign(n, 0.0);
-    }
-    t.xk.assign(static_cast<std::size_t>(s.a(0).rows()), 0.0);
-    // AFACx u lives on level k+1 and pu on level k for each owned grid k;
-    // sizes shrink with depth, so the finest owned grid dictates both.
-    t.u.assign(static_cast<std::size_t>(
-                   s.a(std::min(t.first_grid + 1, s.num_levels() - 1)).rows()),
-               0.0);
-    t.pu.assign(static_cast<std::size_t>(s.a(t.first_grid).rows()), 0.0);
-
-    SmootherOptions so = s.options().smoother;
-    so.num_blocks = t.nthreads;
-    for (std::size_t g = 0; g < t.num_grids; ++g) {
-      const std::size_t k = t.first_grid + g;
-      t.smooth_k.push_back(std::make_unique<Smoother>(s.a(k), so));
-      if (ao.kind == AdditiveKind::kAfacx && k + 1 < s.num_levels()) {
-        t.smooth_k1.push_back(std::make_unique<Smoother>(s.a(k + 1), so));
-      } else {
-        t.smooth_k1.push_back(nullptr);
-      }
-    }
-  }
-  return teams;
-}
 
 /// Runs `body(0..num_threads-1)` either as a gang on an external pool or on
 /// freshly spawned threads (the historical per-solve spawn/join path).
@@ -589,12 +73,20 @@ RuntimeResult run_shared_memory(const AdditiveCorrector& corrector,
   sh.num_grids = corrector.num_grids();
   sh.num_threads = opts.num_threads;
   sh.counts = std::make_unique<std::atomic<int>[]>(sh.num_grids);
-  for (std::size_t g = 0; g < sh.num_grids; ++g) sh.counts[g].store(0);
+  sh.dead = std::make_unique<std::atomic<bool>[]>(sh.num_grids);
+  for (std::size_t g = 0; g < sh.num_grids; ++g) {
+    sh.counts[g].store(0);
+    sh.dead[g].store(false);
+  }
   sh.global_barrier = std::make_unique<std::barrier<>>(
       static_cast<std::ptrdiff_t>(sh.num_threads));
+  if (opts.check_invariants) sh.x0 = x;
   if (sh.uses_shared_r()) s.a(0).residual(b, x, sh.r);
 
   std::vector<Team> teams = build_teams(sh);
+  // May throw std::invalid_argument (scripted mode rejects a structurally
+  // invalid schedule) -- before any thread starts.
+  const std::unique_ptr<ScheduleDriver> driver = make_driver(sh, teams);
 
   // Flat global-id -> (team, rank) map so one gang body serves both the
   // spawn path and the pool path.
@@ -609,12 +101,7 @@ RuntimeResult run_shared_memory(const AdditiveCorrector& corrector,
     }
   }
   dispatch_threads(opts.pool, sh.num_threads, [&](std::size_t id) {
-    Ctx c{&sh, slots[id].team, slots[id].rank, id};
-    if (sh.opts.mode == ExecMode::kSynchronous) {
-      worker_sync(c);
-    } else {
-      worker_async(c);
-    }
+    driver->worker(Ctx{&sh, slots[id].team, slots[id].rank, id});
   });
 
   RuntimeResult result;
@@ -631,6 +118,7 @@ RuntimeResult run_shared_memory(const AdditiveCorrector& corrector,
   s.a(0).residual(b, x, r);
   const double bnorm = norm2(b);
   result.final_rel_res = norm2(r) * (bnorm > 0.0 ? 1.0 / bnorm : 1.0);
+  driver->finalize(result);
   return result;
 }
 

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "async/schedule.hpp"
 #include "multigrid/additive.hpp"
 #include "multigrid/setup.hpp"
 
@@ -44,7 +45,11 @@ enum class WritePolicy { kLockWrite, kAtomicWrite };
 /// Criterion 2: a master thread stops everyone once *all* grids reached
 /// t_max (grids keep correcting meanwhile).
 enum class StopCriterion { kIndependent, kMaster };
-enum class ExecMode { kAsynchronous, kSynchronous };
+/// kScripted replays a deterministic interleaving (a Schedule) on the same
+/// thread teams: semi-async (Eq. 6) semantics with snapshot reads and joint
+/// per-instant applies, reproducible across runs and -- for Jacobi-type
+/// smoothers -- across thread counts. See async/schedule.hpp.
+enum class ExecMode { kAsynchronous, kSynchronous, kScripted };
 
 struct RuntimeOptions {
   ExecMode mode = ExecMode::kAsynchronous;
@@ -55,19 +60,45 @@ struct RuntimeOptions {
   int t_max = 20;
   std::size_t num_threads = 4;
   /// Record a per-correction commit trace (grid id + seconds since the
-  /// solve started). Costs one clock read per correction.
+  /// solve started; in scripted mode `seconds` is the time *instant* of the
+  /// commit instead, making traces reproducible). Costs one clock read per
+  /// correction in the free-running modes.
   bool record_trace = false;
   /// When set, the solve runs as a gang on this persistent pool instead of
   /// spawning and joining num_threads fresh std::threads per call (the
   /// service layer's amortization lever). Requires pool->size() >=
   /// num_threads. Not owned; must outlive the call.
   SolverPool* pool = nullptr;
+
+  // --- Deterministic harness (see async/schedule.hpp) -------------------
+  /// kScripted only: the exact interleaving to replay. Not owned; must
+  /// outlive the call. When null, a schedule is sampled internally with
+  /// sample_schedule using (script_alpha, script_max_delay, seed) and
+  /// updates_per_grid = t_max -- the Section-III sampling, so the run walks
+  /// the same trajectory as run_async_model(kSemiAsync) for the same seed.
+  const Schedule* schedule = nullptr;
+  double script_alpha = 1.0;
+  int script_max_delay = 0;
+  /// Explicit seed for every stochastic choice the runtime makes (today:
+  /// internal schedule sampling). Free-running runs have no RNG -- their
+  /// nondeterminism is the OS schedule, which the harness exists to remove.
+  std::uint64_t seed = 1;
+  /// Fault injection for the free-running asynchronous driver (kills also
+  /// apply to scripted replays). Not owned; must outlive the call.
+  const FaultPlan* faults = nullptr;
+  /// Run the invariant checkers: sum-of-corrections conservation (all
+  /// modes) and the per-instant divergence sentinel (scripted mode).
+  /// Results land in RuntimeResult::invariants.
+  bool check_invariants = false;
+  /// Scripted + check_invariants: halt and flag divergence once the
+  /// relative residual exceeds this.
+  double divergence_threshold = 1e6;
 };
 
 /// One committed correction in the execution trace.
 struct TraceEvent {
   std::size_t grid = 0;
-  double seconds = 0.0;  // since the solve loop started
+  double seconds = 0.0;  // since the solve loop started (instant if scripted)
 };
 
 std::string runtime_config_name(const RuntimeOptions& o);
@@ -79,8 +110,13 @@ struct RuntimeResult {
   /// Corrections carried out by each grid.
   std::vector<int> corrections;
   /// Commit trace (only when RuntimeOptions::record_trace), in commit
-  /// order per grid; interleave across grids by sorting on seconds.
+  /// order per grid; interleave across grids by sorting on seconds. In
+  /// scripted mode the trace is in global commit order already.
   std::vector<TraceEvent> trace;
+  /// Time instants executed (scripted mode; 0 otherwise).
+  int instants = 0;
+  /// Invariant-checker verdicts and fault-injection counters.
+  InvariantReport invariants;
   /// The paper's "Corrects": total corrections divided by number of grids.
   double mean_corrections() const;
 };

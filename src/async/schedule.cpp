@@ -1,0 +1,197 @@
+#include "async/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "async/model.hpp"
+#include "util/rng.hpp"
+#include "util/text.hpp"
+
+namespace asyncmg {
+
+std::size_t Schedule::num_events() const {
+  std::size_t n = 0;
+  for (const auto& inst : instants) n += inst.size();
+  return n;
+}
+
+namespace {
+
+/// Uniform integer sample from [lo, t] (collapses to t when lo >= t); the
+/// shared Section-III read-instant draw (see async/model.hpp on max vs the
+/// paper's printed min).
+int sample_instant(Rng& rng, int lo, int t) {
+  if (lo >= t) return t;
+  return static_cast<int>(rng.uniform_int(lo, t));
+}
+
+}  // namespace
+
+Schedule sample_schedule(std::size_t num_grids, const AsyncModelOptions& opts) {
+  if (opts.alpha <= 0.0 || opts.alpha > 1.0) {
+    throw std::invalid_argument("alpha must be in (0, 1]");
+  }
+  if (opts.max_delay < 0) throw std::invalid_argument("max_delay must be >= 0");
+  if (opts.updates_per_grid < 1) {
+    throw std::invalid_argument("updates_per_grid must be >= 1");
+  }
+
+  Rng rng(opts.seed);
+  Schedule sched;
+  sched.probabilities.resize(num_grids);
+  for (double& p : sched.probabilities) p = rng.uniform(opts.alpha, 1.0);
+
+  const int delta = opts.max_delay;
+  std::vector<int> last_z(num_grids, 0);
+  std::vector<int> updates(num_grids, 0);
+  std::size_t grids_done = 0;
+  int t = 0;
+  while (grids_done < num_grids) {
+    std::vector<ScheduleEvent> inst;
+    for (std::size_t k = 0; k < num_grids; ++k) {
+      if (updates[k] >= opts.updates_per_grid) continue;
+      if (!rng.bernoulli(sched.probabilities[k])) continue;
+      const int lo = std::max(last_z[k], t - delta);
+      const int z = sample_instant(rng, lo, t);
+      last_z[k] = z;
+      inst.push_back({k, z});
+      if (++updates[k] == opts.updates_per_grid) ++grids_done;
+    }
+    sched.instants.push_back(std::move(inst));
+    ++t;
+  }
+  return sched;
+}
+
+ScheduleCheck validate_schedule(const Schedule& s, std::size_t num_grids) {
+  ScheduleCheck check;
+  check.updates_per_grid.assign(num_grids, 0);
+  std::vector<int> last_z(num_grids, 0);
+  std::vector<int> seen_at(num_grids, -1);
+  auto fail = [&](std::string msg) {
+    check.ok = false;
+    if (check.error.empty()) check.error = std::move(msg);
+  };
+  for (std::size_t t = 0; t < s.instants.size(); ++t) {
+    for (const ScheduleEvent& ev : s.instants[t]) {
+      std::ostringstream where;
+      where << "instant " << t << " grid " << ev.grid << ": ";
+      if (ev.grid >= num_grids) {
+        fail(where.str() + "grid id out of range");
+        continue;
+      }
+      if (seen_at[ev.grid] == static_cast<int>(t)) {
+        fail(where.str() + "grid scheduled twice in one instant");
+      }
+      seen_at[ev.grid] = static_cast<int>(t);
+      if (ev.read_instant < 0 || ev.read_instant > static_cast<int>(t)) {
+        fail(where.str() + "read instant outside [0, t]");
+      } else {
+        if (ev.read_instant < last_z[ev.grid]) {
+          fail(where.str() + "read instants not monotone (reads older than "
+                             "already-read information)");
+        }
+        last_z[ev.grid] = std::max(last_z[ev.grid], ev.read_instant);
+        check.max_staleness = std::max(
+            check.max_staleness, static_cast<int>(t) - ev.read_instant);
+      }
+      ++check.updates_per_grid[ev.grid];
+    }
+  }
+  return check;
+}
+
+std::string schedule_to_string(const Schedule& s) {
+  std::ostringstream os;
+  std::size_t grids = 0;
+  for (const auto& inst : s.instants) {
+    for (const ScheduleEvent& ev : inst) grids = std::max(grids, ev.grid + 1);
+  }
+  os << "schedule v1 grids=" << grids << " instants=" << s.instants.size()
+     << "\n";
+  for (std::size_t t = 0; t < s.instants.size(); ++t) {
+    os << t << ":";
+    if (s.instants[t].empty()) {
+      os << " -";
+    } else {
+      for (const ScheduleEvent& ev : s.instants[t]) {
+        os << " " << ev.grid << "@" << ev.read_instant;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Schedule parse_schedule(const std::string& text) {
+  Schedule sched;
+  bool header_seen = false;
+  for (const std::string& raw : split_lines(text)) {
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (!header_seen) {
+      if (!starts_with(line, "schedule v1")) {
+        throw std::invalid_argument("schedule: missing 'schedule v1' header");
+      }
+      header_seen = true;
+      continue;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      throw std::invalid_argument("schedule: instant line without ':'");
+    }
+    std::vector<ScheduleEvent> inst;
+    for (const std::string& tok : split(line.substr(colon + 1), ' ')) {
+      if (tok == "-") continue;
+      const std::size_t at = tok.find('@');
+      if (at == std::string::npos) {
+        throw std::invalid_argument("schedule: event token without '@': " +
+                                    tok);
+      }
+      ScheduleEvent ev;
+      try {
+        ev.grid = static_cast<std::size_t>(std::stoul(tok.substr(0, at)));
+        ev.read_instant = std::stoi(tok.substr(at + 1));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("schedule: bad event token: " + tok);
+      }
+      inst.push_back(ev);
+    }
+    sched.instants.push_back(std::move(inst));
+  }
+  if (!header_seen) {
+    throw std::invalid_argument("schedule: missing 'schedule v1' header");
+  }
+  return sched;
+}
+
+double FaultPlan::stall_ms(std::size_t grid, int correction) const {
+  double ms = 0.0;
+  for (const Stall& s : stalls) {
+    if (s.grid == grid && correction >= s.from_correction &&
+        correction < s.from_correction + s.corrections) {
+      ms += s.milliseconds;
+    }
+  }
+  return ms;
+}
+
+bool FaultPlan::drops_read(std::size_t grid, int correction) const {
+  for (const DropReads& d : dropped_reads) {
+    if (d.grid == grid && correction >= d.from_correction &&
+        correction < d.from_correction + d.corrections) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::kills_grid(std::size_t grid, int corrections_done) const {
+  for (const Kill& k : kills) {
+    if (k.grid == grid && corrections_done >= k.after_corrections) return true;
+  }
+  return false;
+}
+
+}  // namespace asyncmg

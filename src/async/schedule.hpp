@@ -1,0 +1,166 @@
+#pragma once
+// Deterministic interleaving schedules and fault plans for the asynchronous
+// runtime (the correctness harness for Section III/IV).
+//
+// A Schedule is an explicit interleaving of (grid, read-instant) events
+// grouped by time instant -- exactly the trajectory space of the paper's
+// semi-asynchronous model (Eq. 6): at instant t every scheduled grid reads
+// the consistent snapshot x^{z} with z <= t, computes its correction, and
+// all corrections of the instant are applied jointly. `sample_schedule`
+// draws one with the Section-III randomness (p_k ~ U[alpha, 1] grid
+// participation, read instants uniform on (max(z_k, t - delta), t]) using
+// the same RNG consumption order as run_async_model, so a schedule sampled
+// with seed s is the trajectory the sequential semi-async simulator walks
+// for seed s. The scripted runtime driver (ExecMode::kScripted) replays a
+// Schedule on real threads; replay_semiasync_schedule (async/model.hpp)
+// replays it sequentially; for Jacobi-type smoothers the two produce the
+// same iterates, which is the model-vs-runtime equivalence the harness
+// tests enforce.
+//
+// Schedules may also be handcrafted to realize adversarial delay patterns
+// (e.g. every grid rereading instant 0 forever) that the sampled model
+// cannot produce -- the divergence scenarios of Murray & Weinzierl's
+// stabilised asynchronous FAC paper. validate_schedule checks the model's
+// structural assumptions (monotone per-grid read instants, reads not from
+// the future, no duplicate grid per instant) and reports the maximum
+// staleness actually used.
+//
+// FaultPlan injects faults into the *free-running* asynchronous driver:
+// per-grid stall windows (sleep before a range of corrections), dropped
+// shared-vector reads (the team keeps its stale local view), and killed
+// teams (a grid stops correcting forever; both stop criteria treat a dead
+// grid as finished so the run recovers instead of deadlocking). Scripted
+// runs honor kills; stalls and delayed reads are expressed directly in the
+// schedule there.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asyncmg {
+
+struct AsyncModelOptions;
+
+/// One correction event: grid `grid` reads the snapshot of instant
+/// `read_instant` (<= the event's own instant).
+struct ScheduleEvent {
+  std::size_t grid = 0;
+  int read_instant = 0;
+  friend bool operator==(const ScheduleEvent&, const ScheduleEvent&) = default;
+};
+
+/// An explicit interleaving: instants[t] is Psi(t), the events executed at
+/// time instant t (possibly empty). Within an instant, corrections are
+/// computed from pre-instant snapshots and applied jointly in event order.
+struct Schedule {
+  std::vector<std::vector<ScheduleEvent>> instants;
+  /// Per-grid participation probabilities drawn by sample_schedule
+  /// (informational; empty for handcrafted schedules).
+  std::vector<double> probabilities;
+
+  std::size_t num_instants() const { return instants.size(); }
+  std::size_t num_events() const;
+};
+
+/// Samples a semi-async trajectory with the Section-III randomness, using
+/// `opts.alpha`, `opts.max_delay`, `opts.updates_per_grid`, and `opts.seed`
+/// (`opts.kind` is ignored). RNG consumption matches run_async_model's
+/// semi-async path draw for draw.
+Schedule sample_schedule(std::size_t num_grids, const AsyncModelOptions& opts);
+
+/// Structural verdict of validate_schedule.
+struct ScheduleCheck {
+  bool ok = true;
+  std::string error;  // first violation, empty when ok
+  /// Events per grid (the correction count a replay will produce).
+  std::vector<int> updates_per_grid;
+  /// Maximum observed read staleness max(t - z) over all events.
+  int max_staleness = 0;
+};
+
+/// Checks the model's structural assumptions: grid ids < num_grids, read
+/// instants in [0, t], per-grid read instants nondecreasing (assumption 1 of
+/// Section III), and no grid scheduled twice in one instant.
+ScheduleCheck validate_schedule(const Schedule& s, std::size_t num_grids);
+
+/// Plain-text round-trip format (one line per instant: "t: g@z g@z ..." with
+/// "-" for an empty instant), used by the golden-trace fixtures.
+std::string schedule_to_string(const Schedule& s);
+Schedule parse_schedule(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------------
+
+/// Faults applied by the free-running asynchronous driver (kills also apply
+/// to scripted replays). Correction indices are 0-based commit counts of the
+/// grid, so a window {from_correction=2, corrections=3} hits the 3rd..5th
+/// corrections.
+struct FaultPlan {
+  /// Sleep `milliseconds` before each correction in the window (every
+  /// thread of the team sleeps, emulating a descheduled / slow team).
+  struct Stall {
+    std::size_t grid = 0;
+    int from_correction = 0;
+    int corrections = 1;
+    double milliseconds = 1.0;
+  };
+  /// Skip the team's read of the shared vector after each correction in the
+  /// window: the team keeps correcting from its stale local view (a lost or
+  /// late message in the distributed reading). Writes still happen.
+  struct DropReads {
+    std::size_t grid = 0;
+    int from_correction = 0;
+    int corrections = 1;
+  };
+  /// The grid's team stops correcting permanently once it has committed
+  /// `after_corrections` corrections. Both stop criteria treat a dead grid
+  /// as finished (Criterion-2 recovery: the master no longer waits for it).
+  struct Kill {
+    std::size_t grid = 0;
+    int after_corrections = 0;
+  };
+
+  std::vector<Stall> stalls;
+  std::vector<DropReads> dropped_reads;
+  std::vector<Kill> kills;
+
+  /// Stall duration before correction number `correction` of `grid` (sum of
+  /// matching windows; 0 when none).
+  double stall_ms(std::size_t grid, int correction) const;
+  /// True when the shared read after correction number `correction` of
+  /// `grid` is dropped.
+  bool drops_read(std::size_t grid, int correction) const;
+  /// True when `grid` is dead after `corrections_done` commits.
+  bool kills_grid(std::size_t grid, int corrections_done) const;
+};
+
+// ---------------------------------------------------------------------------
+// Invariant checking.
+// ---------------------------------------------------------------------------
+
+/// Filled by the runtime when RuntimeOptions::check_invariants is set (fault
+/// counters and killed grids are reported even without it).
+struct InvariantReport {
+  bool checked = false;
+  /// Sum-of-corrections conservation: max_i |x_final - x_0 - sum of all
+  /// committed corrections|_i, scaled by (1 + |x|_inf). Under both write
+  /// policies every commit must land exactly once (atomic-write: no lost
+  /// updates), so this is rounding-level when the runtime is correct.
+  double conservation_error = 0.0;
+  bool conservation_ok = true;
+  /// Divergence sentinel (scripted runs): relative residual exceeded
+  /// RuntimeOptions::divergence_threshold at `divergence_instant`; the
+  /// replay halts there.
+  bool diverged = false;
+  int divergence_instant = -1;
+  double max_rel_res = 0.0;
+  /// Maximum read staleness of the replayed schedule (scripted runs).
+  int max_read_staleness = 0;
+  /// Grids whose teams a FaultPlan killed.
+  std::vector<std::size_t> killed_grids;
+  int stalls_applied = 0;
+  int reads_dropped = 0;
+};
+
+}  // namespace asyncmg

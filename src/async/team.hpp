@@ -1,0 +1,169 @@
+#pragma once
+// Internal shared state of the threaded runtime: per-run shared vectors,
+// per-grid thread teams, and the team-parallel numerical kernels that both
+// schedule drivers (free-running and scripted; see async/driver.hpp)
+// execute. Split out of runtime.cpp so the drivers are separate
+// implementations of one step-loop substrate. Not part of the public API --
+// include async/runtime.hpp instead.
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "async/runtime.hpp"
+#include "smoothers/smoother.hpp"
+#include "util/partition.hpp"
+
+namespace asyncmg {
+
+inline double relaxed_load(const double& v) {
+  return std::atomic_ref<const double>(v).load(std::memory_order_relaxed);
+}
+inline void relaxed_store(double& v, double val) {
+  std::atomic_ref<double>(v).store(val, std::memory_order_relaxed);
+}
+inline void relaxed_add(double& v, double d) {
+  std::atomic_ref<double>(v).fetch_add(d, std::memory_order_relaxed);
+}
+
+/// State shared by every thread of a run.
+struct Shared {
+  const AdditiveCorrector* corr = nullptr;
+  const MgSetup* s = nullptr;
+  const Vector* b = nullptr;
+  Vector* x = nullptr;
+  Vector r;  // shared residual (global-res / residual-based / sync modes)
+  std::mutex lock;
+  std::atomic<bool> stop{false};
+  std::unique_ptr<std::atomic<int>[]> counts;  // per grid
+  RuntimeOptions opts;
+  std::size_t num_grids = 0;
+  std::size_t num_threads = 0;
+  std::unique_ptr<std::barrier<>> global_barrier;
+  std::chrono::steady_clock::time_point t0;
+  // Commit trace (record_trace): protected by trace_lock, not the main
+  // lock-write mutex (tracing must not perturb the write-policy contention
+  // being measured more than necessary).
+  std::mutex trace_lock;
+  std::vector<TraceEvent> trace;
+
+  // Fault-injection bookkeeping (see async/schedule.hpp). `dead[g]` is set
+  // once by grid g's team when a FaultPlan kill fires; both stop criteria
+  // treat dead grids as finished.
+  std::unique_ptr<std::atomic<bool>[]> dead;
+  std::atomic<int> stalls_applied{0};
+  std::atomic<int> reads_dropped{0};
+  /// Copy of x on entry, kept when opts.check_invariants for the
+  /// sum-of-corrections conservation check.
+  Vector x0;
+
+  void record_commit(std::size_t grid) {
+    if (!opts.record_trace) return;
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const std::lock_guard<std::mutex> g(trace_lock);
+    trace.push_back({grid, secs});
+  }
+
+  bool uses_shared_r() const {
+    if (opts.mode == ExecMode::kScripted) return false;
+    return opts.mode == ExecMode::kSynchronous ||
+           opts.rescomp == ResComp::kGlobal || opts.residual_based;
+  }
+};
+
+/// One per-grid (or per-grid-range) thread team and its workspaces.
+struct Team {
+  std::size_t first_grid = 0;
+  std::size_t num_grids = 0;  // contiguous grids owned by this team
+  std::size_t nthreads = 0;
+  std::size_t first_thread = 0;  // global id of this team's rank 0
+  std::unique_ptr<std::barrier<>> barrier;
+
+  // Per-owned-grid smoothers: at the grid's own level and (AFACx) at the
+  // next level, both with block count = team size.
+  std::vector<std::unique_ptr<Smoother>> smooth_k;
+  std::vector<std::unique_ptr<Smoother>> smooth_k1;
+
+  /// Team-collective stop verdict: written by rank 0, published to the
+  /// team by the barrier that follows. Without this, threads of one team
+  /// could read the global stop flag at different times, disagree, and
+  /// deadlock the team barrier.
+  bool stop_verdict = false;
+
+  // Workspaces, indexed by hierarchy level (sized lazily at build).
+  std::vector<Vector> rchain;   // restricted residuals; level 0 = rloc
+  std::vector<Vector> echain;   // corrections on the way up
+  std::vector<Vector> scratch;  // per-level scratch for sweeps / AFACx
+  Vector xk;                    // local copy of shared x (local-res)
+  Vector u, pu;                 // AFACx: e_{k+1} and P e_{k+1}
+  /// Running sum of this team's committed corrections (check_invariants);
+  /// accumulated team-parallel after each commit.
+  Vector commit_acc;
+
+  bool owns(std::size_t grid) const {
+    return grid >= first_grid && grid < first_grid + num_grids;
+  }
+};
+
+/// Everything a worker needs: shared state + its team + its rank.
+struct Ctx {
+  Shared* sh;
+  Team* team;
+  std::size_t rank;       // rank within team
+  std::size_t global_id;  // global thread id
+
+  Range chunk(std::size_t n) const {
+    return static_chunk(n, team->nthreads, rank);
+  }
+  void tbar() const { team->barrier->arrive_and_wait(); }
+  void gbar() const { sh->global_barrier->arrive_and_wait(); }
+};
+
+// ---------------------------------------------------------------------------
+// Team-parallel kernels (implemented in team.cpp).
+// ---------------------------------------------------------------------------
+
+/// dst (team-local) = src (shared), team-parallel under the write policy.
+void team_read_shared(const Ctx& c, const Vector& src, Vector& dst);
+
+/// shared dst += e, team-parallel under the write policy.
+void team_add_shared(const Ctx& c, Vector& dst, const Vector& e);
+
+/// shared r -= A e, team-parallel over all rows (r-Multadd update).
+void team_residual_update_shared(const Ctx& c, const CsrMatrix& a,
+                                 const Vector& e, Vector& r);
+
+/// Non-blocking ("No Wait") refresh of this *thread's* static chunk of the
+/// shared residual from the shared x.
+void thread_refresh_global_residual(const Ctx& c);
+
+/// y = M v over the team (rows of y chunked by rank), trailing team barrier.
+void team_spmv(const Ctx& c, const CsrMatrix& m, const Vector& v, Vector& y);
+
+/// out = `sweeps` smoothing sweeps on A out = rhs from a zero initial
+/// guess, team-parallel. `lvl_scratch` is a level-sized scratch vector.
+void team_smooth_zero(const Ctx& c, const Smoother& sm, const Vector& rhs,
+                      Vector& out, Vector& lvl_scratch, int sweeps);
+
+/// Computes grid (team.first_grid + grid_pos)'s fine-level correction into
+/// team.echain[0] from the team-local fine residual team.rchain[0].
+void team_correction(const Ctx& c, std::size_t grid_pos);
+
+/// Refreshes the team-local fine residual after a correction, per the
+/// configured residual-computation scheme. `drop_shared_read` (fault
+/// injection) skips the read of shared state so the team keeps its stale
+/// view; shared-residual *writes* still happen.
+void team_refresh_residual(const Ctx& c, bool drop_shared_read = false);
+
+/// Team-parallel acc += e (conservation bookkeeping after a commit).
+void team_accumulate(const Ctx& c, const Vector& e, Vector& acc);
+
+/// Builds the team structures (thread assignment, smoothers, workspaces).
+std::vector<Team> build_teams(const Shared& sh);
+
+}  // namespace asyncmg

@@ -42,26 +42,34 @@ void AdditiveCorrector::solve_coarsest(const Vector& r, Vector& e) const {
 
 void AdditiveCorrector::correction(std::size_t k, const Vector& r_fine,
                                    Vector& c) const {
+  CorrectionScratch ws;
+  correction(k, r_fine, c, ws);
+}
+
+void AdditiveCorrector::correction(std::size_t k, const Vector& r_fine,
+                                   Vector& c, CorrectionScratch& ws) const {
   if (opts_.kind == AdditiveKind::kAfacx) {
-    correction_afacx(k, r_fine, c);
+    correction_afacx(k, r_fine, c, ws);
   } else {
-    correction_chain(k, r_fine, c);
+    correction_chain(k, r_fine, c, ws);
   }
 }
 
 void AdditiveCorrector::correction_chain(std::size_t k, const Vector& r_fine,
-                                         Vector& c) const {
+                                         Vector& c,
+                                         CorrectionScratch& ws) const {
   const std::size_t coarsest = s_->num_levels() - 1;
   // Restrict the fine residual down to level k through the method's
   // interpolant chain.
-  Vector r = r_fine;
-  Vector next;
+  Vector& r = ws.r;
+  Vector& next = ws.next;
+  r = r_fine;
   for (std::size_t j = 0; j < k; ++j) {
     interp(j).spmv_transpose(r, next);
     r.swap(next);
   }
   // Lambda_k.
-  Vector e;
+  Vector& e = ws.e;
   if (k == coarsest) {
     solve_coarsest(r, e);
   } else if (opts_.symmetrized_lambda) {
@@ -74,29 +82,31 @@ void AdditiveCorrector::correction_chain(std::size_t k, const Vector& r_fine,
     interp(j).spmv(e, next);
     e.swap(next);
   }
-  c = std::move(e);
+  c.swap(e);  // result moves to c; c's old buffer becomes scratch
 }
 
 void AdditiveCorrector::correction_afacx(std::size_t k, const Vector& r_fine,
-                                         Vector& c) const {
+                                         Vector& c,
+                                         CorrectionScratch& ws) const {
   const std::size_t coarsest = s_->num_levels() - 1;
   // Restrict through the plain interpolant chain to level k.
-  Vector r = r_fine;
-  Vector next;
+  Vector& r = ws.r;
+  Vector& next = ws.next;
+  r = r_fine;
   for (std::size_t j = 0; j < k; ++j) {
     s_->p(j).spmv_transpose(r, next);
     r.swap(next);
   }
 
-  Vector e;
+  Vector& e = ws.e;
   if (k == coarsest) {
     // Coarsest grid contributes its (exact) solve directly.
     solve_coarsest(r, e);
   } else {
     // r_{k+1} = P^T r_k, then smooth e_{k+1} from zero (s2 sweeps).
-    Vector r_next;
+    Vector& r_next = ws.r_next;
     s_->p(k).spmv_transpose(r, r_next);
-    Vector u;
+    Vector& u = ws.u;
     if (k + 1 == coarsest && !s_->coarse_solver().empty()) {
       s_->coarse_solver().solve(r_next, u);
     } else {
@@ -105,9 +115,9 @@ void AdditiveCorrector::correction_afacx(std::size_t k, const Vector& r_fine,
     // Modified right-hand side r_k - A_k P u (Alg. 2 lines 8-9), then
     // smooth e_k from zero (s1 sweeps); the grid-k correction is just
     // P_k^0 e_k, no subtraction needed.
-    Vector pu;
+    Vector& pu = ws.pu;
     s_->p(k).spmv(u, pu);
-    Vector apu;
+    Vector& apu = ws.apu;
     s_->a(k).spmv(pu, apu);
     for (std::size_t i = 0; i < r.size(); ++i) r[i] -= apu[i];
     s_->smoother(k).smooth_zero(r, e, opts_.afacx_s1);
@@ -117,7 +127,7 @@ void AdditiveCorrector::correction_afacx(std::size_t k, const Vector& r_fine,
     s_->p(j).spmv(e, next);
     e.swap(next);
   }
-  c = std::move(e);
+  c.swap(e);  // see correction_chain
 }
 
 std::vector<double> AdditiveCorrector::work() const {

@@ -31,6 +31,14 @@ struct AdditiveOptions {
   bool symmetrized_lambda = false;
 };
 
+/// Reusable buffers for AdditiveCorrector::correction -- callers that sit
+/// in a per-instant loop (the sequential simulators, the schedule replays)
+/// keep one across calls instead of reallocating seven vectors per
+/// correction. Contents are scratch; only capacity is reused.
+struct CorrectionScratch {
+  Vector r, next, e, r_next, u, pu, apu;
+};
+
 class AdditiveCorrector {
  public:
   AdditiveCorrector(const MgSetup& setup, AdditiveOptions opts);
@@ -42,13 +50,19 @@ class AdditiveCorrector {
   /// Fine-grid correction contributed by grid k given fine residual r:
   /// c is resized and overwritten.
   void correction(std::size_t k, const Vector& r_fine, Vector& c) const;
+  /// Same computation (identical arithmetic, identical results), buffers
+  /// drawn from `ws`.
+  void correction(std::size_t k, const Vector& r_fine, Vector& c,
+                  CorrectionScratch& ws) const;
 
   /// Per-grid work estimate (flops of one correction) for thread balancing.
   std::vector<double> work() const;
 
  private:
-  void correction_chain(std::size_t k, const Vector& r_fine, Vector& c) const;
-  void correction_afacx(std::size_t k, const Vector& r_fine, Vector& c) const;
+  void correction_chain(std::size_t k, const Vector& r_fine, Vector& c,
+                        CorrectionScratch& ws) const;
+  void correction_afacx(std::size_t k, const Vector& r_fine, Vector& c,
+                        CorrectionScratch& ws) const;
   /// Interpolant to use between levels j and j+1 for this method.
   const CsrMatrix& interp(std::size_t j) const;
   void solve_coarsest(const Vector& r, Vector& e) const;

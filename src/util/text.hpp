@@ -1,0 +1,25 @@
+#pragma once
+// Small text helpers for the plain-text fixture formats (schedule scripts,
+// golden traces): tokenization and whitespace trimming with no locale
+// dependence.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asyncmg {
+
+/// Strips leading/trailing whitespace (space, tab, CR, LF).
+std::string_view trim(std::string_view s);
+
+/// Splits on `sep`, trimming each piece; empty pieces are dropped.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits into lines (handles both \n and \r\n); lines are trimmed but
+/// empty lines are kept so line numbers stay meaningful.
+std::vector<std::string> split_lines(std::string_view s);
+
+/// True when `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace asyncmg

@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <tuple>
 
 #include "async/model.hpp"
 #include "mesh/problems.hpp"
 #include "multigrid/additive.hpp"
 #include "multigrid/mult.hpp"
+#include "sparse/dense.hpp"
 #include "sparse/spgemm.hpp"
 #include "sparse/vec.hpp"
 #include "util/rng.hpp"
@@ -245,6 +247,153 @@ TEST(CycleShapes, SawtoothCyclesConverge) {
     MultiplicativeMg mg(*s, false, pre, post);
     const SolveStats st = mg.solve(b, x, 300, 1e-8);
     EXPECT_TRUE(st.converged) << "V(" << pre << "," << post << ")";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Randomized sparse-kernel properties: random CSR matrices (with
+// deliberate duplicate triplets, empty rows, and negative values) are
+// checked entry-by-entry against a dense reference implementation, and
+// every threaded kernel is checked bitwise against its serial run.
+// ---------------------------------------------------------------------
+
+CsrMatrix random_csr(Index rows, Index cols, double fill, Rng& rng) {
+  std::vector<Triplet> trips;
+  const auto target = static_cast<std::size_t>(fill * static_cast<double>(rows) *
+                                               static_cast<double>(cols));
+  for (std::size_t k = 0; k < target; ++k) {
+    Triplet t;
+    t.row = static_cast<Index>(rng.uniform_int(0, rows - 1));
+    t.col = static_cast<Index>(rng.uniform_int(0, cols - 1));
+    t.value = rng.uniform(-2.0, 2.0);
+    trips.push_back(t);
+    // Duplicate some entries so from_triplets' summation path is exercised.
+    if (rng.next_double() < 0.25) {
+      Triplet dup = t;
+      dup.value = rng.uniform(-1.0, 1.0);
+      trips.push_back(dup);
+    }
+  }
+  return CsrMatrix::from_triplets(rows, cols, std::move(trips));
+}
+
+DenseMatrix dense_multiply(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix c(a.rows(), b.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (Index j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+TEST(SparseKernelProperties, SpgemmMatchesDenseReference) {
+  for (std::uint64_t seed : {3u, 17u, 91u}) {
+    Rng rng(seed);
+    const Index m = static_cast<Index>(rng.uniform_int(5, 40));
+    const Index k = static_cast<Index>(rng.uniform_int(5, 40));
+    const Index n = static_cast<Index>(rng.uniform_int(5, 40));
+    const CsrMatrix a = random_csr(m, k, 0.15, rng);
+    const CsrMatrix b = random_csr(k, n, 0.15, rng);
+    const CsrMatrix c = multiply(a, b);
+    ASSERT_TRUE(c.rows_sorted());
+    const DenseMatrix ref =
+        dense_multiply(DenseMatrix::from_csr(a), DenseMatrix::from_csr(b));
+    for (Index i = 0; i < m; ++i) {
+      for (Index j = 0; j < n; ++j) {
+        ASSERT_NEAR(c.at(i, j), ref(i, j), 1e-12)
+            << "seed=" << seed << " (" << i << "," << j << ")";
+      }
+    }
+    // Threaded SpGEMM must be bit-identical to serial.
+    EXPECT_TRUE(multiply(a, b, 4).approx_equal(c, 0.0));
+  }
+}
+
+TEST(SparseKernelProperties, TransposeMatchesDenseAndRoundTrips) {
+  for (std::uint64_t seed : {5u, 23u, 77u}) {
+    Rng rng(seed);
+    const Index m = static_cast<Index>(rng.uniform_int(4, 50));
+    const Index n = static_cast<Index>(rng.uniform_int(4, 50));
+    const CsrMatrix a = random_csr(m, n, 0.2, rng);
+    const CsrMatrix at = a.transpose();
+    ASSERT_TRUE(at.rows_sorted());
+    const DenseMatrix da = DenseMatrix::from_csr(a);
+    for (Index i = 0; i < m; ++i) {
+      for (Index j = 0; j < n; ++j) {
+        ASSERT_EQ(at.at(j, i), da(i, j)) << "seed=" << seed;
+      }
+    }
+    // (A^T)^T == A exactly, and threaded transpose == serial exactly.
+    EXPECT_TRUE(at.transpose().approx_equal(a, 0.0));
+    EXPECT_TRUE(a.transpose(4).approx_equal(at, 0.0));
+
+    // spmv_transpose agrees with forming A^T explicitly.
+    const Vector x = random_vector(static_cast<std::size_t>(m), rng);
+    Vector y_implicit, y_explicit;
+    a.spmv_transpose(x, y_implicit);
+    at.spmv(x, y_explicit);
+    ASSERT_EQ(y_implicit.size(), y_explicit.size());
+    for (std::size_t i = 0; i < y_implicit.size(); ++i) {
+      EXPECT_NEAR(y_implicit[i], y_explicit[i], 1e-13);
+    }
+  }
+}
+
+TEST(SparseKernelProperties, FusedRapMatchesDenseTripleProduct) {
+  for (std::uint64_t seed : {11u, 29u, 63u}) {
+    Rng rng(seed);
+    const Index n = static_cast<Index>(rng.uniform_int(8, 40));
+    const Index nc = static_cast<Index>(rng.uniform_int(3, n - 1));
+    const CsrMatrix a = random_csr(n, n, 0.2, rng);
+    const CsrMatrix p = random_csr(n, nc, 0.3, rng);
+    const CsrMatrix rap = galerkin_product(a, p);
+    ASSERT_TRUE(rap.rows_sorted());
+    const DenseMatrix dp = DenseMatrix::from_csr(p);
+    DenseMatrix dpt(nc, n);
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = 0; j < nc; ++j) dpt(j, i) = dp(i, j);
+    }
+    const DenseMatrix ref =
+        dense_multiply(dense_multiply(dpt, DenseMatrix::from_csr(a)), dp);
+    for (Index i = 0; i < nc; ++i) {
+      for (Index j = 0; j < nc; ++j) {
+        ASSERT_NEAR(rap.at(i, j), ref(i, j), 1e-11) << "seed=" << seed;
+      }
+    }
+    // The fused kernel is deterministic across thread counts.
+    EXPECT_TRUE(galerkin_product(a, p, 4).approx_equal(rap, 0.0));
+  }
+}
+
+TEST(SparseKernelProperties, AddAndDropSmallMatchDense) {
+  Rng rng(47);
+  const Index m = 30, n = 30;  // square, so drop_small keeps diagonals
+  const CsrMatrix a = random_csr(m, n, 0.2, rng);
+  const CsrMatrix b = random_csr(m, n, 0.2, rng);
+  const double alpha = 1.0, beta = -0.5;
+  const CsrMatrix c = add(a, b, alpha, beta);
+  const DenseMatrix da = DenseMatrix::from_csr(a);
+  const DenseMatrix db = DenseMatrix::from_csr(b);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      ASSERT_NEAR(c.at(i, j), alpha * da(i, j) + beta * db(i, j), 1e-13);
+    }
+  }
+  const double tol = 0.5;
+  const CsrMatrix dropped = drop_small(a, tol);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      const double v = da(i, j);
+      // drop_small keeps diagonal entries unconditionally.
+      if (i == j || std::abs(v) > tol) {
+        ASSERT_EQ(dropped.at(i, j), v);
+      } else {
+        ASSERT_EQ(dropped.at(i, j), 0.0);
+      }
+    }
   }
 }
 

@@ -226,6 +226,82 @@ TEST(HierarchyCache, SpilledHierarchyReloadsWithIdenticalConvergence) {
   std::filesystem::remove_all(dir);
 }
 
+// Concurrent lookups over a working set larger than the byte budget: the
+// cache must keep evicting/spilling/reloading under contention without
+// losing accounting coherence or handing out unusable setups.
+TEST(HierarchyCache, ConcurrentEvictionAndSpillReloadStaysCoherent) {
+  const std::string dir = "/tmp/asyncmg_cache_concurrent_test";
+  std::filesystem::create_directories(dir);
+
+  HierarchyCacheOptions co;
+  co.mg = test_mg_options();
+  co.max_bytes = 1;  // every insert evicts the previous resident entry
+  co.spill_dir = dir;
+  HierarchyCache cache(co);
+
+  std::vector<Problem> work;
+  for (Index n : {5, 6, 7}) work.push_back(make_laplace_7pt(n));
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 6;
+  std::barrier gate(kThreads);
+  std::atomic<std::uint64_t> observed_hits{0};
+  std::atomic<int> bad_setups{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      gate.arrive_and_wait();
+      for (int round = 0; round < kRounds; ++round) {
+        const Problem& p =
+            work[static_cast<std::size_t>(tid + round) % work.size()];
+        bool hit = false;
+        auto setup = cache.get_or_build(p.a, &hit);
+        if (hit) observed_hits.fetch_add(1, std::memory_order_relaxed);
+        // The returned setup must always be usable and must match the
+        // requested matrix, even if it was evicted the instant the lock
+        // was released.
+        if (!setup || setup->num_levels() == 0 ||
+            setup->a(0).rows() != p.a.rows()) {
+          bad_setups.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(bad_setups.load(), 0);
+  const HierarchyCacheStats st = cache.stats();
+  // Every lookup is exactly one hit or one miss...
+  EXPECT_EQ(st.hits + st.misses,
+            static_cast<std::uint64_t>(kThreads) * kRounds);
+  EXPECT_EQ(st.hits, observed_hits.load());
+  // ...and every miss was served by either a fresh build or a spill load.
+  EXPECT_EQ(st.misses, st.setups_built + st.spill_loads);
+  // The tiny budget forces the spill path to actually run.
+  EXPECT_GT(st.spill_loads, 0u);
+  EXPECT_GT(st.evictions, 0u);
+  EXPECT_EQ(st.resident_entries, 1u);
+
+  // A post-contention reload still converges identically to a fresh build.
+  const Vector rhs = rhs_for(static_cast<std::size_t>(work[0].a.rows()), 11);
+  auto reloaded = cache.get_or_build(work[0].a);
+  Vector x_cache(rhs.size(), 0.0);
+  MultiplicativeMg mg_cache(*reloaded);
+  const SolveStats from_cache = mg_cache.solve(rhs, x_cache, 10);
+
+  MgSetup fresh(Hierarchy::build(work[0].a, co.mg.amg), co.mg);
+  Vector x_fresh(rhs.size(), 0.0);
+  MultiplicativeMg mg_fresh(fresh);
+  const SolveStats direct = mg_fresh.solve(rhs, x_fresh, 10);
+  ASSERT_EQ(from_cache.rel_res_history.size(), direct.rel_res_history.size());
+  for (std::size_t t = 0; t < direct.rel_res_history.size(); ++t) {
+    EXPECT_NEAR(from_cache.rel_res_history[t], direct.rel_res_history[t],
+                1e-13);
+  }
+  std::filesystem::remove_all(dir);
+}
+
 // ---------------------------------------------------------------------------
 // BatchSolver
 // ---------------------------------------------------------------------------
