@@ -13,6 +13,8 @@
 #include "async/runtime.hpp"
 #include "async/schedule.hpp"
 #include "bench_common.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/sink.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -34,11 +36,20 @@ RuntimeOptions base_options(std::size_t threads, int t_max) {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const auto sizes = cli.get_int_list("sizes", {10, 14});
-  const int runs = static_cast<int>(cli.get_int("runs", 5));
-  const int cycles = static_cast<int>(cli.get_int("cycles", 20));
+  // --smoke: one tiny size, one run, few cycles -- the CI configuration
+  // (fast sanity run whose trace artifact is validated and uploaded).
+  const bool smoke = cli.get_bool("smoke", false);
+  const auto sizes = smoke ? std::vector<std::int64_t>{8}
+                           : cli.get_int_list("sizes", {10, 14});
+  const int runs = smoke ? 1 : static_cast<int>(cli.get_int("runs", 5));
+  const int cycles =
+      static_cast<int>(cli.get_int("cycles", smoke ? 6 : 20));
   const auto threads = static_cast<std::size_t>(cli.get_int("threads", 8));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  // --trace-out <path>: after the sweep, run one scripted solve with a
+  // logical-time telemetry sink and write the Chrome trace JSON there
+  // (loadable at ui.perfetto.dev; see EXPERIMENTS.md).
+  const std::string trace_out = cli.get("trace-out", "");
 
   std::cout << "Schedule-harness overhead and fault sweep: Multadd, "
             << "w-Jacobi, 7pt, " << threads << " threads, t_max=" << cycles
@@ -161,5 +172,26 @@ int main(int argc, char** argv) {
                     std::to_string(last.invariants.killed_grids.size())});
   }
   faults.emit();
+
+  if (!trace_out.empty()) {
+    TelemetryOptions to;
+    to.logical_time = true;
+    TelemetrySink sink(to);
+    RuntimeOptions ro = base_options(threads, cycles);
+    ro.mode = ExecMode::kScripted;
+    ro.script_alpha = 0.7;
+    ro.script_max_delay = 2;
+    ro.seed = seed;
+    ro.telemetry = &sink;
+    const Vector b = paper_rhs(rows, 0);
+    Vector x(rows, 0.0);
+    run_shared_memory(corr, b, x, ro);
+    const std::vector<DrainedEvent> events = sink.drain();
+    ChromeTraceOptions copts;
+    copts.logical_time = true;
+    write_text_file(trace_out, chrome_trace_json(events, copts));
+    std::cout << "\nwrote " << events.size() << " trace events ("
+              << sink.dropped_total() << " dropped) to " << trace_out << "\n";
+  }
   return 0;
 }

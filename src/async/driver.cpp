@@ -1,13 +1,26 @@
 #include "async/driver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
 #include "async/model.hpp"
 #include "sparse/vec.hpp"
+#include "telemetry/sink.hpp"
 
 namespace asyncmg {
+
+namespace {
+
+/// Snapshot the sink once per worker: a disabled sink degrades to the same
+/// single null check as an absent one for the rest of the run.
+TelemetrySink* live_sink(const Shared& sh) {
+  TelemetrySink* tel = sh.opts.telemetry;
+  return (tel != nullptr && tel->enabled()) ? tel : nullptr;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Base: fault counters + conservation check shared by all drivers.
@@ -62,6 +75,11 @@ void FreeRunDriver::worker(const Ctx& c) {
   Shared& sh = *c.sh;
   const int t_max = sh.opts.t_max;
   const FaultPlan* fp = sh.opts.faults;
+  TelemetrySink* const tel = live_sink(sh);
+  Counter* const relax_ctr =
+      (tel != nullptr && c.rank == 0) ? &tel->metrics().counter(
+                                            "runtime.relaxations")
+                                      : nullptr;
 
   // Initialize the team-local fine residual (and, via run_shared_memory,
   // the shared r was already filled before threads started).
@@ -72,7 +90,7 @@ void FreeRunDriver::worker(const Ctx& c) {
                     static_cast<Index>(rg.end));
   }
   c.gbar();  // also publishes x for relaxed readers and starts the clock
-  if (c.global_id == 0) sh.t0 = std::chrono::steady_clock::now();
+  if (c.global_id == 0) sh.clock.start();
   c.gbar();
 
   while (true) {
@@ -86,6 +104,10 @@ void FreeRunDriver::worker(const Ctx& c) {
         // stays true), which is what lets a Criterion-2 run recover.
         if (c.rank == 0 && !sh.dead[grid].load(std::memory_order_relaxed)) {
           sh.dead[grid].store(true, std::memory_order_relaxed);
+          if (tel != nullptr) {
+            tel->record(c.global_id, EventKind::kFaultKill,
+                        static_cast<std::int64_t>(grid), done);
+          }
         }
         continue;
       }
@@ -99,12 +121,18 @@ void FreeRunDriver::worker(const Ctx& c) {
         if (ms > 0.0) {
           if (c.rank == 0) {
             sh.stalls_applied.fetch_add(1, std::memory_order_relaxed);
+            if (tel != nullptr) {
+              tel->record(c.global_id, EventKind::kFaultStall,
+                          static_cast<std::int64_t>(grid), done);
+            }
           }
           std::this_thread::sleep_for(
               std::chrono::duration<double, std::milli>(ms));
         }
       }
 
+      const std::int64_t t_begin =
+          tel != nullptr && c.rank == 0 ? tel->clock().now_ns() : 0;
       team_correction(c, g);
       team_add_shared(c, *sh.x, t.echain[0]);
       if (sh.opts.check_invariants) {
@@ -113,13 +141,27 @@ void FreeRunDriver::worker(const Ctx& c) {
       if (c.rank == 0) {
         count.fetch_add(1, std::memory_order_relaxed);
         sh.record_commit(grid);
+        if (tel != nullptr) {
+          tel->record_at(c.global_id, t_begin, EventKind::kRelax,
+                         static_cast<std::int64_t>(grid),
+                         tel->clock().now_ns() - t_begin);
+          relax_ctr->add(1);
+        }
       }
       // `done` is the 0-based index of the correction just committed.
       const bool drop = fp != nullptr && fp->drops_read(grid, done);
       if (drop && c.rank == 0) {
         sh.reads_dropped.fetch_add(1, std::memory_order_relaxed);
+        if (tel != nullptr) {
+          tel->record(c.global_id, EventKind::kFaultDropRead,
+                      static_cast<std::int64_t>(grid), done);
+        }
       }
       team_refresh_residual(c, drop);
+      if (!drop && tel != nullptr && c.rank == 0) {
+        tel->record(c.global_id, EventKind::kSharedRead,
+                    static_cast<std::int64_t>(grid), -1);
+      }
       // Encourage the OS to interleave teams when cores are oversubscribed;
       // without this, one team can burn through many corrections per
       // timeslice while the others' residual views go completely stale.
@@ -170,9 +212,10 @@ void SyncDriver::worker(const Ctx& c) {
   Team& t = *c.team;
   Shared& sh = *c.sh;
   const CsrMatrix& a = sh.s->a(0);
+  TelemetrySink* const tel = live_sink(sh);
 
   c.gbar();
-  if (c.global_id == 0) sh.t0 = std::chrono::steady_clock::now();
+  if (c.global_id == 0) sh.clock.start();
   c.gbar();
 
   for (int cycle = 0; cycle < sh.opts.t_max; ++cycle) {
@@ -194,6 +237,8 @@ void SyncDriver::worker(const Ctx& c) {
         }
         c.tbar();
       }
+      const std::int64_t t_begin =
+          tel != nullptr && c.rank == 0 ? tel->clock().now_ns() : 0;
       team_correction(c, g);
       team_add_shared(c, *sh.x, t.echain[0]);
       if (sh.opts.check_invariants) {
@@ -202,6 +247,11 @@ void SyncDriver::worker(const Ctx& c) {
       if (c.rank == 0) {
         sh.counts[t.first_grid + g].fetch_add(1, std::memory_order_relaxed);
         sh.record_commit(t.first_grid + g);
+        if (tel != nullptr) {
+          tel->record_at(c.global_id, t_begin, EventKind::kRelax,
+                         static_cast<std::int64_t>(t.first_grid + g),
+                         tel->clock().now_ns() - t_begin);
+        }
       }
     }
     c.gbar();
@@ -266,14 +316,23 @@ void ScriptedDriver::worker(const Ctx& c) {
   const std::size_t n = sh.b->size();
   const int num_instants = static_cast<int>(sched_->num_instants());
 
+  // Scripted telemetry is recorded exclusively by global thread 0 with
+  // logical-time stamps, so the drained stream -- and the exported trace --
+  // is identical across runs and thread counts for the same schedule.
+  TelemetrySink* const tel = live_sink(sh);
+
   c.gbar();
   if (c.global_id == 0) {
-    sh.t0 = std::chrono::steady_clock::now();
+    sh.clock.start();
     // Report grids that a FaultPlan kills before their first correction.
     if (sh.opts.faults != nullptr) {
       for (std::size_t g = 0; g < sh.num_grids; ++g) {
         if (sh.opts.faults->kills_grid(g, 0)) {
           sh.dead[g].store(true, std::memory_order_relaxed);
+          if (tel != nullptr) {
+            tel->record_at(0, 0, EventKind::kFaultKill,
+                           static_cast<std::int64_t>(g), 0);
+          }
         }
       }
     }
@@ -326,11 +385,20 @@ void ScriptedDriver::worker(const Ctx& c) {
     // Phase C: bookkeeping by global thread 0 (counts are written only
     // here, between the phase-B and phase-D barriers).
     if (c.global_id == 0) {
+      if (tel != nullptr) {
+        tel->record_at(0, ti, EventKind::kInstant, ti, 1);
+      }
       for (const ScheduleEvent& ev : inst) {
         if (grid_dead(ev.grid)) continue;
         sh.counts[ev.grid].fetch_add(1, std::memory_order_relaxed);
         if (sh.opts.record_trace) {
           sh.trace.push_back({ev.grid, static_cast<double>(ti)});
+        }
+        if (tel != nullptr) {
+          tel->record_at(0, ti, EventKind::kRelax,
+                         static_cast<std::int64_t>(ev.grid), 1);
+          tel->record_at(0, ti, EventKind::kSharedRead,
+                         static_cast<std::int64_t>(ev.grid), ev.read_instant);
         }
       }
       if (sh.opts.faults != nullptr) {
@@ -339,6 +407,11 @@ void ScriptedDriver::worker(const Ctx& c) {
               sh.opts.faults->kills_grid(
                   g, sh.counts[g].load(std::memory_order_relaxed))) {
             sh.dead[g].store(true, std::memory_order_relaxed);
+            if (tel != nullptr) {
+              tel->record_at(
+                  0, ti, EventKind::kFaultKill, static_cast<std::int64_t>(g),
+                  sh.counts[g].load(std::memory_order_relaxed));
+            }
           }
         }
       }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sparse/vec.hpp"
+#include "telemetry/sink.hpp"
 #include "util/rng.hpp"
 
 namespace asyncmg {
@@ -59,7 +60,8 @@ int sample_instant(Rng& rng, int lo, int t) {
 AsyncModelResult replay_semiasync_schedule(const AdditiveCorrector& corrector,
                                            const Vector& b, Vector& x,
                                            const Schedule& schedule,
-                                           bool record_history) {
+                                           bool record_history,
+                                           TelemetrySink* telemetry) {
   const ScheduleCheck check =
       validate_schedule(schedule, corrector.num_grids());
   if (!check.ok) {
@@ -78,16 +80,28 @@ AsyncModelResult replay_semiasync_schedule(const AdditiveCorrector& corrector,
   const double bnorm = norm2(b);
   const double scale = bnorm > 0.0 ? 1.0 / bnorm : 1.0;
 
+  TelemetrySink* const tel =
+      (telemetry != nullptr && telemetry->enabled()) ? telemetry : nullptr;
+
   int t = 0;
   for (const std::vector<ScheduleEvent>& inst : schedule.instants) {
     fill(total, 0.0);
     bool any = false;
+    // Same event stream (on tid 0, logical stamps) as the scripted runtime
+    // driver's phase C: replay and replayed-run traces compare bitwise.
+    if (tel != nullptr) tel->record_at(0, t, EventKind::kInstant, t, 1);
     for (const ScheduleEvent& ev : inst) {
       const Vector& read_state = hist.at(ev.read_instant);
       a.residual(b, read_state, r_read);
       corrector.correction(ev.grid, r_read, correction);
       axpy(1.0, correction, total);
       any = true;
+      if (tel != nullptr) {
+        tel->record_at(0, t, EventKind::kRelax,
+                       static_cast<std::int64_t>(ev.grid), 1);
+        tel->record_at(0, t, EventKind::kSharedRead,
+                       static_cast<std::int64_t>(ev.grid), ev.read_instant);
+      }
     }
     ++t;
     if (any) axpy(1.0, total, x);
@@ -120,7 +134,7 @@ AsyncModelResult run_async_model(const AdditiveCorrector& corrector,
     // inline loop draw for draw, so results are unchanged bitwise.
     const Schedule sched = sample_schedule(corrector.num_grids(), opts);
     return replay_semiasync_schedule(corrector, b, x, sched,
-                                     opts.record_history);
+                                     opts.record_history, opts.telemetry);
   }
 
   const MgSetup& s = corrector.setup();
@@ -156,6 +170,10 @@ AsyncModelResult run_async_model(const AdditiveCorrector& corrector,
   Vector read_state(n), r_read(n), correction, total(n);
   const double bnorm = norm2(b);
   const double scale = bnorm > 0.0 ? 1.0 / bnorm : 1.0;
+  TelemetrySink* const tel =
+      (opts.telemetry != nullptr && opts.telemetry->enabled())
+          ? opts.telemetry
+          : nullptr;
 
   int t = 0;
   while (grids_done < grids) {
@@ -183,6 +201,10 @@ AsyncModelResult run_async_model(const AdditiveCorrector& corrector,
       }
       axpy(1.0, correction, total);
       any = true;
+      if (tel != nullptr) {
+        tel->record_at(0, t, EventKind::kRelax, static_cast<std::int64_t>(k),
+                       1);
+      }
       if (++updates[k] == opts.updates_per_grid) ++grids_done;
     }
 

@@ -26,6 +26,8 @@
 
 namespace asyncmg {
 
+class TelemetrySink;
+
 enum class AsyncModelKind {
   kSemiAsync,          // Eq. 6 (solution- and residual-based coincide)
   kFullAsyncSolution,  // Eq. 7
@@ -46,6 +48,10 @@ struct AsyncModelOptions {
   /// instant; off by default).
   bool record_history = false;
   std::uint64_t seed = 1;
+  /// Telemetry sink: the simulators record logical-time events (instants,
+  /// relaxations, reads) on tid 0, exactly the stream the scripted runtime
+  /// driver records for the same schedule. Not owned; must outlive the call.
+  TelemetrySink* telemetry = nullptr;
 };
 
 struct AsyncModelResult {
@@ -76,6 +82,7 @@ AsyncModelResult run_async_model(const AdditiveCorrector& corrector,
 AsyncModelResult replay_semiasync_schedule(const AdditiveCorrector& corrector,
                                            const Vector& b, Vector& x,
                                            const Schedule& schedule,
-                                           bool record_history = false);
+                                           bool record_history = false,
+                                           TelemetrySink* telemetry = nullptr);
 
 }  // namespace asyncmg

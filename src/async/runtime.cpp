@@ -1,6 +1,5 @@
 #include "async/runtime.hpp"
 
-#include <chrono>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -10,6 +9,7 @@
 #include "async/team.hpp"
 #include "service/solver_pool.hpp"
 #include "sparse/vec.hpp"
+#include "telemetry/clock.hpp"
 #include "util/partition.hpp"
 
 namespace asyncmg {
@@ -105,9 +105,7 @@ RuntimeResult run_shared_memory(const AdditiveCorrector& corrector,
   });
 
   RuntimeResult result;
-  result.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - sh.t0)
-          .count();
+  result.seconds = sh.clock.seconds();
   result.corrections.resize(sh.num_grids);
   for (std::size_t g = 0; g < sh.num_grids; ++g) {
     result.corrections[static_cast<std::size_t>(g)] =
@@ -146,7 +144,7 @@ RuntimeResult run_mult_threaded(const MgSetup& setup, const Vector& b,
   }
 
   std::barrier<> bar(static_cast<std::ptrdiff_t>(num_threads));
-  std::chrono::steady_clock::time_point t0;
+  SessionClock clock;
 
   auto worker = [&](std::size_t tid) {
     auto chunk = [&](std::size_t n) { return static_chunk(n, num_threads, tid); };
@@ -154,7 +152,7 @@ RuntimeResult run_mult_threaded(const MgSetup& setup, const Vector& b,
       return chunk(static_cast<std::size_t>(setup.a(k).rows()));
     };
     bar.arrive_and_wait();
-    if (tid == 0) t0 = std::chrono::steady_clock::now();
+    if (tid == 0) clock.start();
     bar.arrive_and_wait();
 
     for (int t = 0; t < t_max; ++t) {
@@ -238,9 +236,7 @@ RuntimeResult run_mult_threaded(const MgSetup& setup, const Vector& b,
   dispatch_threads(pool, num_threads, worker);
 
   RuntimeResult result;
-  result.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  result.seconds = clock.seconds();
   result.corrections.assign(setup.num_levels(), t_max);
   Vector res;
   setup.a(0).residual(b, x, res);

@@ -38,6 +38,7 @@
 namespace asyncmg {
 
 class SolverPool;
+class TelemetrySink;
 
 enum class ResComp { kGlobal, kLocal };
 enum class WritePolicy { kLockWrite, kAtomicWrite };
@@ -69,6 +70,13 @@ struct RuntimeOptions {
   /// service layer's amortization lever). Requires pool->size() >=
   /// num_threads. Not owned; must outlive the call.
   SolverPool* pool = nullptr;
+  /// Telemetry event sink (see telemetry/sink.hpp): relaxations, shared
+  /// reads, and fault injections are recorded per thread. nullptr (the
+  /// default) disables instrumentation entirely; a disabled sink costs one
+  /// branch per site. Scripted replays record logical-time events from
+  /// global thread 0 only, so their drained streams are deterministic.
+  /// Not owned; must outlive the call.
+  TelemetrySink* telemetry = nullptr;
 
   // --- Deterministic harness (see async/schedule.hpp) -------------------
   /// kScripted only: the exact interleaving to replay. Not owned; must

@@ -8,13 +8,13 @@
 
 #include <atomic>
 #include <barrier>
-#include <chrono>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "async/runtime.hpp"
 #include "smoothers/smoother.hpp"
+#include "telemetry/clock.hpp"
 #include "util/partition.hpp"
 
 namespace asyncmg {
@@ -43,7 +43,10 @@ struct Shared {
   std::size_t num_grids = 0;
   std::size_t num_threads = 0;
   std::unique_ptr<std::barrier<>> global_barrier;
-  std::chrono::steady_clock::time_point t0;
+  /// Session clock for timestamps: started by global thread 0 before the
+  /// first global barrier, so every thread measures from the same origin
+  /// (also the stamp source for wall-time telemetry events).
+  SessionClock clock;
   // Commit trace (record_trace): protected by trace_lock, not the main
   // lock-write mutex (tracing must not perturb the write-policy contention
   // being measured more than necessary).
@@ -62,9 +65,7 @@ struct Shared {
 
   void record_commit(std::size_t grid) {
     if (!opts.record_trace) return;
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    const double secs = clock.seconds();
     const std::lock_guard<std::mutex> g(trace_lock);
     trace.push_back({grid, secs});
   }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "sparse/vec.hpp"
+#include "telemetry/sink.hpp"
 #include "util/timer.hpp"
 
 namespace asyncmg {
@@ -33,39 +34,54 @@ MultiplicativeMg::MultiplicativeMg(const MgSetup& setup, bool symmetric,
   }
 }
 
+void MultiplicativeMg::phase_mark(EventKind kind, CyclePhase phase,
+                                  std::size_t level) {
+  tel_->record(tel_tid_, kind, static_cast<std::int64_t>(phase),
+               static_cast<std::int64_t>(level));
+}
+
 void MultiplicativeMg::level_solve(std::size_t k) {
   const std::size_t coarsest = s_->num_levels() - 1;
   if (k == coarsest) {
     // Exact solve when available, a smoothing sweep otherwise.
+    pb(CyclePhase::kCoarseSolve, k);
     if (!s_->coarse_solver().empty()) {
       s_->coarse_solver().solve(r_[k], e_[k]);
     } else {
       s_->smoother(k).apply_zero(r_[k], e_[k]);
     }
+    pe(CyclePhase::kCoarseSolve, k);
     return;
   }
 
   // Pre-smooth from a zero initial guess.
+  pb(CyclePhase::kPreSmooth, k);
   if (pre_sweeps_ == 0) {
     fill(e_[k], 0.0);
   } else {
     s_->smoother(k).smooth_zero(r_[k], e_[k], pre_sweeps_);
   }
+  pe(CyclePhase::kPreSmooth, k);
 
   // gamma coarse-grid corrections: gamma = 1 is the V-cycle of Algorithm 1,
   // gamma = 2 the W-cycle.
   for (int g = 0; g < gamma_; ++g) {
+    pb(CyclePhase::kRestrict, k);
     s_->a(k).spmv(e_[k], tmp_[k]);                // tmp = A_k e_k
     for (std::size_t i = 0; i < tmp_[k].size(); ++i) {
       tmp_[k][i] = r_[k][i] - tmp_[k][i];
     }
     s_->p(k).spmv_transpose(tmp_[k], r_[k + 1]);  // r_{k+1} = P^T (r_k - A e_k)
+    pe(CyclePhase::kRestrict, k);
     level_solve(k + 1);
+    pb(CyclePhase::kProlong, k);
     s_->p(k).spmv(e_[k + 1], tmp_[k]);
     axpy(1.0, tmp_[k], e_[k]);                    // e_k += P e_{k+1}
+    pe(CyclePhase::kProlong, k);
   }
 
   // Post-smooth.
+  pb(CyclePhase::kPostSmooth, k);
   for (int s = 0; s < post_sweeps_; ++s) {
     if (symmetric_) {
       s_->smoother(k).sweep_transpose(r_[k], e_[k]);
@@ -73,10 +89,21 @@ void MultiplicativeMg::level_solve(std::size_t k) {
       s_->smoother(k).sweep(r_[k], e_[k]);        // e_k += M^{-1}(r_k - A e_k)
     }
   }
+  pe(CyclePhase::kPostSmooth, k);
 }
 
 void MultiplicativeMg::cycle(const Vector& b, Vector& x) {
+  if (tel_ != nullptr && !tel_->enabled()) {
+    // Drop to the zero-overhead path for the whole cycle.
+    TelemetrySink* const saved = tel_;
+    tel_ = nullptr;
+    cycle(b, x);
+    tel_ = saved;
+    return;
+  }
+  pb(CyclePhase::kResidual, 0);
   s_->a(0).residual(b, x, r_[0]);
+  pe(CyclePhase::kResidual, 0);
   level_solve(0);
   axpy(1.0, e_[0], x);
 }

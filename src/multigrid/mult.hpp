@@ -4,10 +4,15 @@
 // M^T, which makes the cycle symmetric and mathematically equivalent to
 // Multadd with the symmetrized smoother (Section II-B1).
 
+#include <cstddef>
+
 #include "multigrid/setup.hpp"
 #include "multigrid/solve_stats.hpp"
+#include "telemetry/events.hpp"
 
 namespace asyncmg {
+
+class TelemetrySink;
 
 class MultiplicativeMg {
  public:
@@ -26,11 +31,31 @@ class MultiplicativeMg {
   /// recording the residual history.
   SolveStats solve(const Vector& b, Vector& x, int t_max, double tol = 0.0);
 
+  /// Attach a telemetry sink: cycle phases (residual, smooths, transfers,
+  /// coarse solve) are recorded as begin/end events on ring `tid`. nullptr
+  /// detaches. Not owned; must outlive this object's cycle() calls.
+  void set_telemetry(TelemetrySink* sink, std::size_t tid = 0) {
+    tel_ = sink;
+    tel_tid_ = tid;
+  }
+
  private:
   /// Recursive multigrid on the error equation A_k e_k = r_k; reads r_[k],
   /// leaves the correction in e_[k].
   void level_solve(std::size_t k);
 
+  // Out-of-line so mult.hpp doesn't drag in the sink; the inline wrappers
+  // keep the detached case to one branch per phase.
+  void phase_mark(EventKind kind, CyclePhase phase, std::size_t level);
+  void pb(CyclePhase p, std::size_t lvl) {
+    if (tel_ != nullptr) phase_mark(EventKind::kPhaseBegin, p, lvl);
+  }
+  void pe(CyclePhase p, std::size_t lvl) {
+    if (tel_ != nullptr) phase_mark(EventKind::kPhaseEnd, p, lvl);
+  }
+
+  TelemetrySink* tel_ = nullptr;
+  std::size_t tel_tid_ = 0;
   const MgSetup* s_;
   bool symmetric_;
   int pre_sweeps_;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "amg/serialize.hpp"
+#include "telemetry/sink.hpp"
 
 namespace asyncmg {
 
@@ -14,6 +15,14 @@ namespace {
 std::size_t csr_bytes(const CsrMatrix& m) {
   return static_cast<std::size_t>(m.nnz()) * (sizeof(Index) + sizeof(double)) +
          (static_cast<std::size_t>(m.rows()) + 1) * sizeof(Index);
+}
+
+/// Cache events: one control-ring event plus the matching "cache.*" counter.
+void cache_mark(TelemetrySink* tel, EventKind kind, const char* counter,
+                std::size_t bytes) {
+  if (tel == nullptr || !tel->enabled()) return;
+  tel->record_control(kind, static_cast<std::int64_t>(bytes));
+  tel->metrics().counter(counter).add(1);
 }
 
 }  // namespace
@@ -56,11 +65,14 @@ std::shared_ptr<const MgSetup> HierarchyCache::get_or_build(
     ++stats_.hits;
     if (was_hit) *was_hit = true;
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // touch
+    cache_mark(opts_.telemetry, EventKind::kCacheHit, "cache.hits",
+               it->second.bytes);
     return it->second.setup;
   }
 
   ++stats_.misses;
   if (was_hit) *was_hit = false;
+  cache_mark(opts_.telemetry, EventKind::kCacheMiss, "cache.misses", 0);
   std::shared_ptr<const MgSetup> setup;
   if (auto sp = spilled_.find(key); sp != spilled_.end()) {
     std::ifstream f(sp->second);
@@ -69,6 +81,8 @@ std::shared_ptr<const MgSetup> HierarchyCache::get_or_build(
                         std::istreambuf_iterator<char>());
       setup = std::make_shared<MgSetup>(load_hierarchy_string(bytes), opts_.mg);
       ++stats_.spill_loads;
+      cache_mark(opts_.telemetry, EventKind::kCacheSpillLoad,
+                 "cache.spill_loads", bytes.size());
     } else {
       spilled_.erase(sp);  // file vanished; fall through to a full build
     }
@@ -77,6 +91,9 @@ std::shared_ptr<const MgSetup> HierarchyCache::get_or_build(
     setup = std::make_shared<MgSetup>(
         Hierarchy::build(a, opts_.mg.amg), opts_.mg);
     ++stats_.setups_built;
+    if (opts_.telemetry != nullptr && opts_.telemetry->enabled()) {
+      opts_.telemetry->metrics().counter("cache.setups_built").add(1);
+    }
   }
 
   Entry e;
@@ -109,7 +126,11 @@ void HierarchyCache::evict_one_locked() {
     f << save_hierarchy_string(it->second.setup->hierarchy());
     spilled_.emplace(key, path);
     ++stats_.spill_writes;
+    cache_mark(opts_.telemetry, EventKind::kCacheSpillWrite,
+               "cache.spill_writes", it->second.bytes);
   }
+  cache_mark(opts_.telemetry, EventKind::kCacheEvict, "cache.evictions",
+             it->second.bytes);
   stats_.resident_bytes -= it->second.bytes;
   map_.erase(it);
   lru_.pop_back();

@@ -32,6 +32,8 @@
 
 namespace asyncmg {
 
+class TelemetrySink;
+
 struct HierarchyCacheOptions {
   /// Byte budget for resident setups. At least one entry is always kept
   /// resident even if it alone exceeds the budget.
@@ -41,6 +43,10 @@ struct HierarchyCacheOptions {
   std::string spill_dir;
   /// Setup options applied when building (or rebuilding from spill).
   MgOptions mg;
+  /// Telemetry: hits/misses/evictions/spills are recorded as control-plane
+  /// events (byte-sized) and mirrored into "cache.*" counters. Not owned;
+  /// must outlive the cache. nullptr = off.
+  TelemetrySink* telemetry = nullptr;
 };
 
 struct HierarchyCacheStats {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sparse/vec.hpp"
+#include "telemetry/sink.hpp"
 #include "util/stats.hpp"
 
 namespace asyncmg {
@@ -81,8 +82,12 @@ SolveService::SolveService(ServiceOptions opts) : opts_(std::move(opts)) {
   if (opts_.cache.mg.amg.setup_threads == 0) {
     opts_.cache.mg.amg.setup_threads = static_cast<int>(opts_.num_threads);
   }
+  if (opts_.cache.telemetry == nullptr) {
+    opts_.cache.telemetry = opts_.telemetry;
+  }
   cache_ = std::make_unique<HierarchyCache>(opts_.cache);
   pool_ = std::make_unique<SolverPool>(opts_.num_threads);
+  pool_->set_telemetry(opts_.telemetry);
 }
 
 SolveService::~SolveService() {
@@ -92,14 +97,30 @@ SolveService::~SolveService() {
 
 std::future<SolveResponse> SolveService::submit(CsrMatrix a, Vector b,
                                                 RequestOptions ropts) {
+  TelemetrySink* const tel =
+      (opts_.telemetry != nullptr && opts_.telemetry->enabled())
+          ? opts_.telemetry
+          : nullptr;
+  std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> g(stats_mu_);
     if (in_flight_ >= opts_.max_queue) {
       ++rejected_;
+      if (tel != nullptr) {
+        tel->metrics().counter("service.rejected").add(1);
+      }
       throw ServiceOverloaded();
     }
     ++in_flight_;
     ++submitted_;
+    depth = in_flight_;
+  }
+  if (tel != nullptr) {
+    tel->record_control(EventKind::kQueueDepth,
+                        static_cast<std::int64_t>(depth));
+    tel->metrics().gauge("service.queue_depth").set(
+        static_cast<double>(depth));
+    tel->metrics().counter("service.submitted").add(1);
   }
   auto promise = std::make_shared<std::promise<SolveResponse>>();
   std::future<SolveResponse> fut = promise->get_future();
@@ -149,12 +170,23 @@ void SolveService::execute(
   // Bookkeeping strictly before the promise resolves: a client that calls
   // stats() right after future.get() must see this request as completed.
   const double latency = seconds_since(submitted);
+  std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> g(stats_mu_);
     --in_flight_;
     ++completed_;
     if (!error && resp.timed_out) ++timed_out_;
     latencies_.push_back(latency);
+    depth = in_flight_;
+  }
+  if (TelemetrySink* const tel = opts_.telemetry;
+      tel != nullptr && tel->enabled()) {
+    tel->record_control(EventKind::kQueueDepth,
+                        static_cast<std::int64_t>(depth));
+    tel->metrics().gauge("service.queue_depth").set(
+        static_cast<double>(depth));
+    tel->metrics().counter("service.completed").add(1);
+    tel->metrics().histogram("service.latency_seconds").observe(latency);
   }
   if (error) {
     promise->set_exception(error);
@@ -190,6 +222,15 @@ ServiceStats SolveService::stats() const {
     s.latency_p95 = percentile(lat, 95.0);
   }
   return s;
+}
+
+std::string SolveService::stats_json() const {
+  std::string json = stats().to_json();
+  if (opts_.telemetry == nullptr) return json;
+  // Splice the metrics dump into the closing brace of the stats object.
+  json.pop_back();
+  json += ",\"telemetry\":" + opts_.telemetry->metrics().to_json() + "}";
+  return json;
 }
 
 }  // namespace asyncmg

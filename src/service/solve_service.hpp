@@ -37,6 +37,11 @@ struct ServiceOptions {
   /// Defaults applied when a request leaves t_max / tol at 0.
   int default_t_max = 100;
   double default_tol = 1e-8;
+  /// Telemetry sink shared by the service, its pool, and (unless
+  /// cache.telemetry is set separately) its cache: admission-queue depth,
+  /// latency histogram, and request counters. Not owned; must outlive the
+  /// service. nullptr = off.
+  TelemetrySink* telemetry = nullptr;
 };
 
 struct RequestOptions {
@@ -101,6 +106,10 @@ class SolveService {
                                        BatchOptions opts = {});
 
   ServiceStats stats() const;
+
+  /// stats().to_json() with the telemetry metrics registry merged in under
+  /// a "telemetry" key (identical to to_json() when no sink is attached).
+  std::string stats_json() const;
 
   SolverPool& pool() { return *pool_; }
   HierarchyCache& cache() { return *cache_; }

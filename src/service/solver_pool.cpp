@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/sink.hpp"
 #include "util/thread_context.hpp"
 
 namespace asyncmg {
@@ -55,14 +56,22 @@ void SolverPool::worker_loop() {
 }
 
 void SolverPool::post(std::function<void()> task) {
+  std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> g(mu_);
     if (stopping_) {
       throw std::runtime_error("SolverPool: post after shutdown began");
     }
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
   cv_task_.notify_one();
+  if (telemetry_ != nullptr && telemetry_->enabled()) {
+    telemetry_->record_control(EventKind::kQueueDepth,
+                               static_cast<std::int64_t>(depth));
+    telemetry_->metrics().gauge("pool.queue_depth").set(
+        static_cast<double>(depth));
+  }
 }
 
 void SolverPool::run_gang(std::size_t n,

@@ -34,6 +34,8 @@
 
 namespace asyncmg {
 
+class TelemetrySink;
+
 class SolverPool {
  public:
   explicit SolverPool(std::size_t num_threads);
@@ -71,8 +73,15 @@ class SolverPool {
   /// slot tasks each count as one task).
   std::uint64_t tasks_executed() const;
 
+  /// Attach a telemetry sink: post() records the queue depth (control-plane
+  /// event + "pool.queue_depth" gauge). Not owned; must outlive the pool.
+  /// nullptr detaches.
+  void set_telemetry(TelemetrySink* sink) { telemetry_ = sink; }
+
  private:
   void worker_loop();
+
+  TelemetrySink* telemetry_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_task_;   // workers: queue non-empty or stopping

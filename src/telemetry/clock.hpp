@@ -1,0 +1,36 @@
+#pragma once
+// Monotonic session clock: one start epoch shared by everything that stamps
+// time during a run. Replaces the per-driver `steady_clock::now()` t0
+// plumbing that used to be duplicated across the runtime drivers and every
+// bench -- the runtime's Shared state, the telemetry sink, and the service
+// all hold one of these and read seconds()/now_ns() against the same epoch.
+//
+// Thread-safety: start() is a plain write; callers must publish it to
+// readers themselves (the runtime drivers start the clock on global thread
+// 0 between two global barriers, exactly as the old t0 assignment did).
+
+#include <cstdint>
+
+#include "util/timer.hpp"
+
+namespace asyncmg {
+
+class SessionClock {
+ public:
+  /// (Re)starts the session epoch. Defaults to construction time, so an
+  /// unstarted clock still yields monotone, sensible readings.
+  void start() { timer_.reset(); }
+
+  /// Seconds since the session epoch.
+  double seconds() const { return timer_.seconds(); }
+
+  /// Nanoseconds since the session epoch (telemetry event timestamps).
+  std::int64_t now_ns() const {
+    return static_cast<std::int64_t>(timer_.seconds() * 1e9);
+  }
+
+ private:
+  Timer timer_;
+};
+
+}  // namespace asyncmg

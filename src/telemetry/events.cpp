@@ -1,0 +1,56 @@
+#include "telemetry/events.hpp"
+
+namespace asyncmg {
+
+const char* event_name(EventKind k) {
+  switch (k) {
+    case EventKind::kRelax:
+      return "relax";
+    case EventKind::kSharedRead:
+      return "read";
+    case EventKind::kInstant:
+      return "instant";
+    case EventKind::kFaultStall:
+      return "stall";
+    case EventKind::kFaultDropRead:
+      return "drop-read";
+    case EventKind::kFaultKill:
+      return "kill";
+    case EventKind::kCacheHit:
+      return "cache-hit";
+    case EventKind::kCacheMiss:
+      return "cache-miss";
+    case EventKind::kCacheEvict:
+      return "cache-evict";
+    case EventKind::kCacheSpillWrite:
+      return "cache-spill-write";
+    case EventKind::kCacheSpillLoad:
+      return "cache-spill-load";
+    case EventKind::kQueueDepth:
+      return "queue-depth";
+    case EventKind::kPhaseBegin:
+    case EventKind::kPhaseEnd:
+      return "phase";
+  }
+  return "unknown";
+}
+
+const char* cycle_phase_name(std::int64_t id) {
+  switch (static_cast<CyclePhase>(id)) {
+    case CyclePhase::kResidual:
+      return "residual";
+    case CyclePhase::kPreSmooth:
+      return "pre-smooth";
+    case CyclePhase::kRestrict:
+      return "restrict";
+    case CyclePhase::kCoarseSolve:
+      return "coarse-solve";
+    case CyclePhase::kProlong:
+      return "prolong";
+    case CyclePhase::kPostSmooth:
+      return "post-smooth";
+  }
+  return "phase";
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,46 @@
+#pragma once
+// Telemetry exporters:
+//
+//   chrome_trace_json   Chrome trace_event JSON (the legacy "JSON Array /
+//                       Object Format"), loadable in Perfetto
+//                       (ui.perfetto.dev) and chrome://tracing. Relaxations
+//                       become complete slices on per-grid tracks, shared
+//                       reads and faults become instant markers, cycle
+//                       phases become nested B/E slices, queue depth a
+//                       counter track.
+//   residual_csv        residual-vs-time histories in the paper's figure
+//                       format (one row per recorded point).
+//
+// Both emit deterministic byte streams for deterministic inputs: fixed
+// field order, fixed number formatting, events in drain order (stably
+// sorted by timestamp). A scripted-replay trace is therefore a regression
+// artifact that can be byte-compared against a golden fixture.
+
+#include <string>
+#include <vector>
+
+#include "telemetry/events.hpp"
+
+namespace asyncmg {
+
+struct ChromeTraceOptions {
+  std::string process_name = "asyncmg";
+  /// Timestamps are logical time instants: exported as integer `ts` ticks
+  /// (1 tick = 1 trace microsecond). Otherwise timestamps are session
+  /// nanoseconds, exported as fractional microseconds.
+  bool logical_time = false;
+};
+
+/// Serializes drained events to Chrome trace-event JSON.
+std::string chrome_trace_json(const std::vector<DrainedEvent>& events,
+                              const ChromeTraceOptions& opts = {});
+
+/// CSV residual history: "step,seconds,rel_res" rows, one per entry.
+/// Throws std::invalid_argument when the vectors differ in length.
+std::string residual_csv(const std::vector<double>& seconds,
+                         const std::vector<double>& rel_res);
+
+/// Writes `content` to `path`, throwing std::runtime_error on failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace asyncmg

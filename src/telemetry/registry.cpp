@@ -1,0 +1,86 @@
+#include "telemetry/registry.hpp"
+
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace asyncmg {
+
+void Histogram::observe(double v) {
+  const std::lock_guard<std::mutex> g(mu_);
+  samples_.push_back(v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::vector<double> xs;
+  {
+    const std::lock_guard<std::mutex> g(mu_);
+    xs = samples_;
+  }
+  HistogramSnapshot s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.min = min_of(xs);
+  s.max = max_of(xs);
+  s.p50 = percentile(xs, 50.0);
+  s.p95 = percentile(xs, 95.0);
+  s.p99 = percentile(xs, 99.0);
+  return s;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> g(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> g(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> g(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> g(mu_);
+  std::ostringstream o;
+  o.precision(9);
+  o << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) o << ",";
+    first = false;
+    o << "\"" << name << "\":" << c->value();
+  }
+  o << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gv] : gauges_) {
+    if (!first) o << ",";
+    first = false;
+    o << "\"" << name << "\":" << gv->value();
+  }
+  o << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) o << ",";
+    first = false;
+    const HistogramSnapshot s = h->snapshot();
+    o << "\"" << name << "\":{"
+      << "\"count\":" << s.count << ",\"mean\":" << s.mean
+      << ",\"min\":" << s.min << ",\"max\":" << s.max << ",\"p50\":" << s.p50
+      << ",\"p95\":" << s.p95 << ",\"p99\":" << s.p99 << "}";
+  }
+  o << "}}";
+  return o.str();
+}
+
+}  // namespace asyncmg

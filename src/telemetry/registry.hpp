@@ -1,0 +1,77 @@
+#pragma once
+// Metrics registry: named counters, gauges, and histograms with a JSON
+// snapshot. Handles returned by counter()/gauge()/histogram() are stable
+// for the registry's lifetime (node-based storage), so hot paths look a
+// metric up once and then update it lock-free; registration itself takes
+// the registry mutex. Histogram snapshots reuse util/stats percentiles so
+// service latency percentiles and telemetry histograms agree by
+// construction.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace asyncmg {
+
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class Histogram {
+ public:
+  void observe(double v);
+  /// Percentiles via util::percentile; all zeros when no samples (keeps the
+  /// JSON dump NaN-free).
+  HistogramSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Deterministic JSON dump (names sorted): {"counters":{...},
+  /// "gauges":{...},"histograms":{name:{count,mean,min,max,p50,p95,p99}}}.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace asyncmg

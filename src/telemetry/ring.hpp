@@ -1,0 +1,77 @@
+#pragma once
+// Fixed-capacity single-producer/single-consumer event ring buffer. The
+// producing thread pushes with one relaxed load, one acquire load, and one
+// release store -- no locks, no allocation -- so recording an event costs a
+// few nanoseconds on the solver's hot path. When the ring is full the event
+// is dropped and counted rather than blocking the producer: telemetry must
+// never introduce synchronization the solver under observation doesn't
+// have.
+//
+// Contract: exactly one thread calls push() and exactly one thread calls
+// drain()/size() concurrently with it. TelemetrySink assigns one ring per
+// worker thread to uphold the producer side.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/events.hpp"
+
+namespace asyncmg {
+
+class EventRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit EventRing(std::size_t capacity = 1u << 12) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Producer only. Returns false (and counts a drop) when full.
+  bool push(const Event& e) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    if (h - t > mask_) {  // h - t == capacity: full
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    buf_[h & mask_] = e;
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only: appends every pending event to `out` in push order and
+  /// returns how many were moved.
+  std::size_t drain(std::vector<Event>& out) {
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t moved = h - t;
+    out.reserve(out.size() + moved);
+    for (; t != h; ++t) out.push_back(buf_[t & mask_]);
+    tail_.store(t, std::memory_order_release);
+    return moved;
+  }
+
+  /// Events currently buffered (racy snapshot; exact when quiescent).
+  std::size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<Event> buf_;
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> head_{0};  // next write slot (producer)
+  std::atomic<std::size_t> tail_{0};  // next read slot (consumer)
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace asyncmg

@@ -1,0 +1,44 @@
+#include "telemetry/sink.hpp"
+
+#include <algorithm>
+
+namespace asyncmg {
+
+TelemetrySink::TelemetrySink(TelemetryOptions opts)
+    : opts_(opts),
+      enabled_(opts.start_enabled),
+      control_(opts.ring_capacity) {
+  rings_.reserve(opts_.max_threads);
+  for (std::size_t i = 0; i < opts_.max_threads; ++i) {
+    rings_.push_back(std::make_unique<EventRing>(opts_.ring_capacity));
+  }
+}
+
+std::vector<DrainedEvent> TelemetrySink::drain() {
+  std::vector<DrainedEvent> out;
+  std::vector<Event> scratch;
+  for (std::size_t tid = 0; tid < rings_.size(); ++tid) {
+    scratch.clear();
+    rings_[tid]->drain(scratch);
+    for (const Event& e : scratch) out.push_back({e, tid});
+  }
+  scratch.clear();
+  {
+    const std::lock_guard<std::mutex> g(control_mu_);
+    control_.drain(scratch);
+  }
+  for (const Event& e : scratch) out.push_back({e, kControlTid});
+  std::stable_sort(out.begin(), out.end(),
+                   [](const DrainedEvent& x, const DrainedEvent& y) {
+                     return x.ev.t < y.ev.t;
+                   });
+  return out;
+}
+
+std::uint64_t TelemetrySink::dropped_total() const {
+  std::uint64_t total = control_.dropped();
+  for (const auto& r : rings_) total += r->dropped();
+  return total;
+}
+
+}  // namespace asyncmg

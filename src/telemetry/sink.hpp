@@ -1,0 +1,120 @@
+#pragma once
+// TelemetrySink: the handle every instrumented layer holds. It bundles
+//
+//   - per-thread SPSC event rings (telemetry/ring.hpp) for hot-path events,
+//   - a mutex-protected control ring for low-rate events recorded from
+//     arbitrary threads (cache hits, admission-queue depth),
+//   - the session clock that stamps wall-time events, and
+//   - a metrics registry (counters / gauges / histograms).
+//
+// Ownership and overhead: options structs carry a raw `TelemetrySink*`
+// (nullptr = telemetry off) that must outlive the call; instrumented code
+// checks the pointer and enabled() before doing any work, so a disabled or
+// absent sink costs one predictable branch per site. An enabled sink costs
+// one ring push (a few ns) per event and never blocks the recording thread.
+//
+// Determinism: scripted replays record via record_at with logical time
+// instants from global thread 0 only, so for a sink constructed with
+// logical_time = true the drained stream -- and the exported Chrome trace
+// -- is bitwise identical across runs and thread counts.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/clock.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/ring.hpp"
+
+namespace asyncmg {
+
+struct TelemetryOptions {
+  /// Per-thread rings preallocated; record() calls with tid >= max_threads
+  /// fall back to the control ring.
+  std::size_t max_threads = 64;
+  /// Events per ring (rounded up to a power of two). Overflow drops events
+  /// and counts them; it never blocks.
+  std::size_t ring_capacity = 1u << 12;
+  /// Constructed enabled? set_enabled() toggles at runtime.
+  bool start_enabled = true;
+  /// Event timestamps are logical time instants (deterministic scripted
+  /// replay / sequential model) rather than session-clock nanoseconds.
+  /// Informational: it selects the exporters' time unit; mixing wall-time
+  /// control events into a logical sink is allowed but those events carry
+  /// nanosecond stamps.
+  bool logical_time = false;
+};
+
+class TelemetrySink {
+ public:
+  explicit TelemetrySink(TelemetryOptions opts = {});
+
+  TelemetrySink(const TelemetrySink&) = delete;
+  TelemetrySink& operator=(const TelemetrySink&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool logical_time() const { return opts_.logical_time; }
+  const TelemetryOptions& options() const { return opts_; }
+
+  SessionClock& clock() { return clock_; }
+  const SessionClock& clock() const { return clock_; }
+
+  /// Records an event stamped with the session clock. `tid` must be this
+  /// thread's stable id (one producer per ring).
+  void record(std::size_t tid, EventKind kind, std::int64_t a = 0,
+              std::int64_t b = 0) {
+    record_at(tid, clock_.now_ns(), kind, a, b);
+  }
+
+  /// Records an event with an explicit timestamp (logical instants, or a
+  /// begin stamp captured before a timed region).
+  void record_at(std::size_t tid, std::int64_t t, EventKind kind,
+                 std::int64_t a = 0, std::int64_t b = 0) {
+    if (!enabled()) return;
+    if (tid >= rings_.size()) {
+      control_push({t, a, b, kind});
+      return;
+    }
+    rings_[tid]->push({t, a, b, kind});
+  }
+
+  /// Control-plane recording from arbitrary threads (cache, queue depth):
+  /// mutex-protected, clock-stamped, drained as tid = kControlTid.
+  void record_control(EventKind kind, std::int64_t a = 0, std::int64_t b = 0) {
+    if (!enabled()) return;
+    control_push({clock_.now_ns(), a, b, kind});
+  }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Consumes every buffered event, merged across rings and stably sorted
+  /// by timestamp (ties keep per-ring push order, rings in tid order).
+  /// Single consumer: not safe to call concurrently with itself.
+  std::vector<DrainedEvent> drain();
+
+  /// Total events dropped to ring overflow since construction.
+  std::uint64_t dropped_total() const;
+
+ private:
+  void control_push(const Event& e) {
+    const std::lock_guard<std::mutex> g(control_mu_);
+    control_.push(e);
+  }
+
+  TelemetryOptions opts_;
+  std::atomic<bool> enabled_;
+  SessionClock clock_;
+  std::vector<std::unique_ptr<EventRing>> rings_;
+  std::mutex control_mu_;
+  EventRing control_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace asyncmg

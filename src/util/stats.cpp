@@ -37,7 +37,12 @@ double median(std::vector<double> xs) {
 }
 
 double percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0.0;
+  if (!(p >= 0.0 && p <= 100.0)) {  // also rejects NaN
+    throw std::invalid_argument("percentile: p must be in [0, 100], got " +
+                                std::to_string(p));
+  }
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (xs.size() == 1) return xs.front();
   if (p <= 0.0) return min_of(xs);
   if (p >= 100.0) return max_of(xs);
   std::sort(xs.begin(), xs.end());

@@ -10,8 +10,11 @@ double mean(const std::vector<double>& xs);
 double variance(const std::vector<double>& xs);  // population variance
 double stddev(const std::vector<double>& xs);
 double median(std::vector<double> xs);           // by value: sorts a copy
-/// p-th percentile (p in [0,100]) with linear interpolation between order
-/// statistics; by value: sorts a copy. Used for service latency p50/p95.
+/// p-th percentile with linear interpolation between order statistics;
+/// by value: sorts a copy. Used for service latency p50/p95 and telemetry
+/// histogram snapshots. Edge cases are defined: an empty sample returns
+/// quiet NaN, a single sample is every percentile of itself, and p outside
+/// [0,100] (or NaN) throws std::invalid_argument naming the bad value.
 double percentile(std::vector<double> xs, double p);
 double geometric_mean(const std::vector<double>& xs);  // requires xs > 0
 double min_of(const std::vector<double>& xs);

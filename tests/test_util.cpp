@@ -5,7 +5,10 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "util/cli.hpp"
 #include "util/partition.hpp"
@@ -156,8 +159,29 @@ TEST(Stats, PercentileInterpolatesOrderStatistics) {
   EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);    // matches median
   EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.75);   // between 1 and 2
+}
+
+TEST(Stats, PercentileEdgeCasesAreDefined) {
+  // A single sample is every percentile of itself.
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
   EXPECT_DOUBLE_EQ(percentile({7.0}, 95.0), 7.0);
-  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+  // Empty samples have no order statistics: NaN, never a fabricated 0.
+  EXPECT_TRUE(std::isnan(percentile({}, 50.0)));
+  // Out-of-range (and NaN) p is a caller bug, reported by message.
+  EXPECT_THROW(percentile({1.0, 2.0}, -0.5), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0, 2.0}, 100.5), std::invalid_argument);
+  EXPECT_THROW(
+      percentile({1.0, 2.0}, std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+  try {
+    percentile({1.0}, 123.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("percentile"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("123"), std::string::npos);
+  }
 }
 
 TEST(Stats, EmptyAndDegenerate) {
