@@ -8,6 +8,8 @@
 #include "amg/hierarchy.hpp"
 #include "mesh/problems.hpp"
 #include "smoothers/smoother.hpp"
+#include "sparse/kernels.hpp"
+#include "sparse/sellcs.hpp"
 #include "sparse/spgemm.hpp"
 #include "sparse/vec.hpp"
 #include "util/rng.hpp"
@@ -63,6 +65,74 @@ void BM_Residual(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * a.nnz());
 }
 BENCHMARK(BM_Residual)->Arg(10)->Arg(16);
+
+void BM_SellSpmv(benchmark::State& state) {
+  const CsrMatrix& a = matrix27(static_cast<int>(state.range(0)));
+  const SellMatrix s =
+      SellMatrix::from_csr(a, static_cast<Index>(state.range(1)), 256);
+  Rng rng(1);
+  const Vector x = random_vector(static_cast<std::size_t>(a.cols()), rng);
+  Vector y(static_cast<std::size_t>(a.rows()));
+  for (auto _ : state) {
+    s.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SellSpmv)
+    ->Args({10, 8})
+    ->Args({16, 8})
+    ->Args({24, 8})
+    ->Args({16, 4})
+    ->Args({16, 16});
+
+void BM_FusedDiagSweepCsr(benchmark::State& state) {
+  const CsrMatrix& a = matrix27(static_cast<int>(state.range(0)));
+  Rng rng(6);
+  const Vector b = random_vector(static_cast<std::size_t>(a.rows()), rng);
+  const Vector d = random_vector(static_cast<std::size_t>(a.rows()), rng, 0.1,
+                                 1.0);
+  Vector x(b.size(), 0.0), xo(b.size());
+  for (auto _ : state) {
+    fused_diag_sweep(a, d, b, x, xo);
+    x.swap(xo);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_FusedDiagSweepCsr)->Arg(10)->Arg(16)->Arg(24);
+
+void BM_FusedDiagSweepSell(benchmark::State& state) {
+  const CsrMatrix& a = matrix27(static_cast<int>(state.range(0)));
+  const SellMatrix s =
+      SellMatrix::from_csr(a, static_cast<Index>(state.range(1)), 256);
+  Rng rng(6);
+  const Vector b = random_vector(static_cast<std::size_t>(a.rows()), rng);
+  const Vector d = random_vector(static_cast<std::size_t>(a.rows()), rng, 0.1,
+                                 1.0);
+  Vector x(b.size(), 0.0), xo(b.size());
+  for (auto _ : state) {
+    s.fused_diag_sweep(d, b, x, xo);
+    x.swap(xo);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_FusedDiagSweepSell)
+    ->Args({10, 8})
+    ->Args({16, 8})
+    ->Args({24, 8})
+    ->Args({16, 16});
+
+void BM_SellConvert(benchmark::State& state) {
+  const CsrMatrix& a = matrix27(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    SellMatrix s = SellMatrix::from_csr(a, 8, 256);
+    benchmark::DoNotOptimize(s.stored_entries());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SellConvert)->Arg(16)->Arg(24);
 
 void BM_SmootherSweep(benchmark::State& state) {
   const CsrMatrix& a = matrix27(12);

@@ -1,0 +1,204 @@
+// Solve-phase kernel-engine bench: seconds per multiplicative V-cycle for
+// the three engine configurations on the 27-point Laplacian, plus PCG with
+// and without a reusable workspace. Writes a machine-readable summary to
+// --json (default BENCH_solve.json).
+//
+// Configurations (one MgSetup per format so conversion cost never leaks
+// into the timed loop):
+//
+//   reference   set_fused(false): the original two-pass CSR path with
+//                per-call smoother temporaries -- the bitwise oracle and
+//                the speedup baseline.
+//   fused_csr   fused kernels + cycle workspace, all levels CSR.
+//   fused_sell  fused kernels + cycle workspace + SELL-C-sigma on the
+//                levels the heuristic selects.
+//
+// All three produce bit-identical iterates (tests/test_kernels.cpp); this
+// harness only measures time. `--smoke` shrinks everything for CI: one
+// small size, few cycles, SELL forced on so the whole engine is exercised.
+
+#include <omp.h>
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "multigrid/pcg.hpp"
+#include "sparse/sellcs.hpp"
+#include "util/timer.hpp"
+
+namespace asyncmg {
+namespace {
+
+struct Measurement {
+  std::string config;
+  Index n = 0;
+  int threads = 1;
+  double sec_per_cycle = 0.0;
+  double speedup = 1.0;  // vs reference at the same (n, threads)
+};
+
+/// Warm-up: run a few cycles so workspaces, page mappings, and the OpenMP
+/// team exist before anything is timed.
+void warm(MultiplicativeMg& mg, const Vector& b, int cycles) {
+  Vector x(b.size(), 0.0);
+  for (int t = 0; t < cycles; ++t) mg.cycle(b, x);
+}
+
+}  // namespace
+}  // namespace asyncmg
+
+int main(int argc, char** argv) {
+  using namespace asyncmg;
+
+  Cli cli(argc, argv);
+  const bool smoke = cli.has("smoke");
+  const auto sizes =
+      smoke ? std::vector<std::int64_t>{10}
+            : cli.get_int_list("sizes", {16, 24});
+  const int cycles = static_cast<int>(cli.get_int("cycles", smoke ? 3 : 25));
+  const int repeats = static_cast<int>(cli.get_int("repeats", smoke ? 1 : 5));
+  const auto threads = smoke ? std::vector<std::int64_t>{1}
+                             : cli.get_int_list("threads", {1, 4});
+  const std::string json_path = cli.get("json", "BENCH_solve.json");
+  const int max_threads = omp_get_max_threads();
+
+  std::cout << "solve_phase: 27pt Laplacian, V(1,1) cycles=" << cycles
+            << " repeats=" << repeats << (smoke ? " (smoke)" : "") << "\n";
+
+  std::vector<Measurement> rows;
+  double largest_1t_speedup = 0.0;
+  for (std::int64_t ni : sizes) {
+    const Index n = static_cast<Index>(ni);
+    MgOptions mo_sell =
+        bench::paper_mg_options(SmootherType::kWeightedJacobi, 0.9, 1);
+    if (smoke) mo_sell.engine.sell_min_rows = 1;  // exercise SELL in CI
+    MgOptions mo_csr = mo_sell;
+    mo_csr.engine.use_sell = false;
+    MgSetup s_sell(make_laplace_27pt(n).a, mo_sell);
+    MgSetup s_csr(make_laplace_27pt(n).a, mo_csr);
+    const auto dofs = static_cast<std::size_t>(s_csr.a(0).rows());
+    const Vector b = bench::paper_rhs(dofs, 0);
+    std::cout << "  n=" << n << " (" << dofs << " dofs)";
+    if (const SellMatrix* sm = s_sell.sell(0)) {
+      std::cout << "  [finest " << sm->summary() << "]";
+    }
+    std::cout << "\n";
+
+    for (std::int64_t t : threads) {
+      if (t > max_threads) continue;
+      omp_set_num_threads(static_cast<int>(t));
+      struct Cfg {
+        const char* name;
+        MgSetup* setup;
+        bool fused;
+      };
+      const Cfg cfgs[] = {{"reference", &s_csr, false},
+                          {"fused_csr", &s_csr, true},
+                          {"fused_sell", &s_sell, true}};
+      constexpr int kNumCfgs = 3;
+      std::vector<std::unique_ptr<MultiplicativeMg>> engines;
+      double best[kNumCfgs] = {0.0, 0.0, 0.0};
+      for (int i = 0; i < kNumCfgs; ++i) {
+        engines.push_back(std::make_unique<MultiplicativeMg>(*cfgs[i].setup));
+        engines.back()->set_fused(cfgs[i].fused);
+        warm(*engines.back(), b, 2);  // warm workspaces + OpenMP team
+      }
+      // Paired measurement: within a round every engine advances one cycle
+      // in turn, so machine-load drift and cache state hit all three nearly
+      // identically (timing each engine's cycles back to back instead lets
+      // whatever the machine is doing during that batch bias one engine's
+      // number). Keep each engine's best round.
+      for (int rep = 0; rep < repeats; ++rep) {
+        std::vector<Vector> xs(kNumCfgs, Vector(b.size(), 0.0));
+        double acc[kNumCfgs] = {0.0, 0.0, 0.0};
+        Timer timer;
+        for (int c = 0; c < cycles; ++c) {
+          for (int i = 0; i < kNumCfgs; ++i) {
+            timer.reset();
+            engines[i]->cycle(b, xs[i]);
+            acc[i] += timer.seconds();
+          }
+        }
+        for (int i = 0; i < kNumCfgs; ++i) {
+          const double per = acc[i] / cycles;
+          if (rep == 0 || per < best[i]) best[i] = per;
+        }
+      }
+      const double ref_time = best[0];
+      for (int i = 0; i < kNumCfgs; ++i) {
+        Measurement m;
+        m.config = cfgs[i].name;
+        m.n = n;
+        m.threads = static_cast<int>(t);
+        m.sec_per_cycle = best[i];
+        m.speedup = m.sec_per_cycle > 0.0 ? ref_time / m.sec_per_cycle : 0.0;
+        rows.push_back(m);
+        std::cout << "    threads=" << t << " " << m.config << ": "
+                  << m.sec_per_cycle * 1e3 << " ms/cycle  (x" << m.speedup
+                  << ")\n";
+        if (t == 1 && ni == sizes.back() && i == 2) {
+          largest_1t_speedup = m.speedup;
+        }
+      }
+    }
+  }
+  omp_set_num_threads(max_threads);
+
+  // PCG workspace ablation at the smallest size: per-solve seconds with a
+  // fresh workspace every call vs one reused across calls.
+  const Index pcg_n = static_cast<Index>(sizes.front());
+  MgOptions mo = bench::paper_mg_options(SmootherType::kWeightedJacobi, 0.9, 1);
+  MgSetup s(make_laplace_27pt(pcg_n).a, mo);
+  const Vector b = bench::paper_rhs(static_cast<std::size_t>(s.a(0).rows()), 1);
+  PcgOptions po;
+  po.max_iterations = smoke ? 5 : 20;
+  po.tol = 0.0;
+  const Preconditioner pre =
+      make_mg_preconditioner(s, MgPreconditionerKind::kSymmetricVCycle);
+  const int solves = smoke ? 2 : 5;
+  double pcg_fresh = 0.0, pcg_reused = 0.0;
+  {
+    Vector x;
+    Timer timer;
+    for (int r = 0; r < solves; ++r) {
+      x.assign(b.size(), 0.0);
+      pcg_solve(s.a(0), b, x, pre, po);
+    }
+    pcg_fresh = timer.seconds() / solves;
+    PcgWorkspace ws;
+    pcg_solve(s.a(0), b, x, pre, po, ws);  // warm
+    timer.reset();
+    for (int r = 0; r < solves; ++r) {
+      x.assign(b.size(), 0.0);
+      pcg_solve(s.a(0), b, x, pre, po, ws);
+    }
+    pcg_reused = timer.seconds() / solves;
+  }
+  std::cout << "  pcg n=" << pcg_n << ": fresh-ws " << pcg_fresh * 1e3
+            << " ms/solve, reused-ws " << pcg_reused * 1e3 << " ms/solve\n";
+
+  if (largest_1t_speedup > 0.0) {
+    std::cout << "\nsingle-thread fused_sell speedup at largest size: x"
+              << largest_1t_speedup << "\n";
+  }
+
+  std::ofstream out(json_path);
+  out << "{\"bench\":\"solve_phase\",\"problem\":\"27pt\",\"cycles\":" << cycles
+      << ",\"repeats\":" << repeats << ",\"smoke\":" << (smoke ? 1 : 0)
+      << ",\"runs\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Measurement& m = rows[i];
+    if (i) out << ",";
+    out << "{\"config\":\"" << m.config << "\",\"n\":" << m.n
+        << ",\"threads\":" << m.threads << ",\"sec_per_cycle\":"
+        << m.sec_per_cycle << ",\"speedup\":" << m.speedup << "}";
+  }
+  out << "],\"pcg\":{\"n\":" << pcg_n << ",\"fresh_ws_seconds\":" << pcg_fresh
+      << ",\"reused_ws_seconds\":" << pcg_reused << "}}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

@@ -143,10 +143,12 @@ void team_smooth_zero(const Ctx& c, const Smoother& sm, const Vector& rhs,
     c.tbar();
     if (has_block) {
       // out_block += M^{-1} scratch_block: apply_zero_block writes the
-      // block's solve into a zeroed temp, folded into out immediately.
-      // (The block rows coincide with this rank's chunk rows.)
+      // block's solve into the team's shared sweep buffer, folded into out
+      // immediately. (The block rows coincide with this rank's chunk rows;
+      // every rank writes its own block's rows before reading them, so the
+      // buffer needs no zeroing and sharing it across ranks is race-free.)
       const Range blk = sm.block(c.rank);
-      Vector delta(rhs.size(), 0.0);
+      Vector& delta = c.team->sweep_delta;
       sm.apply_zero_block(lvl_scratch, delta, c.rank);
       for (std::size_t i = blk.begin; i < blk.end; ++i) out[i] += delta[i];
     }
@@ -301,6 +303,10 @@ std::vector<Team> build_teams(const Shared& sh) {
                    s.a(std::min(t.first_grid + 1, s.num_levels() - 1)).rows()),
                0.0);
     t.pu.assign(static_cast<std::size_t>(s.a(t.first_grid).rows()), 0.0);
+    // Level sizes shrink with depth, so the finest grid this team smooths
+    // bounds every level's sweep buffer.
+    t.sweep_delta.assign(static_cast<std::size_t>(s.a(t.first_grid).rows()),
+                         0.0);
 
     SmootherOptions so = s.options().smoother;
     so.num_blocks = t.nthreads;

@@ -102,6 +102,11 @@ struct Team {
   std::vector<Vector> scratch;  // per-level scratch for sweeps / AFACx
   Vector xk;                    // local copy of shared x (local-res)
   Vector u, pu;                 // AFACx: e_{k+1} and P e_{k+1}
+  /// Extra-sweep block solve buffer for team_smooth_zero: ranks write
+  /// disjoint block rows and read only rows they just wrote, so one
+  /// team-shared vector replaces a per-thread per-sweep allocation without
+  /// changing a single arithmetic result.
+  Vector sweep_delta;
   /// Running sum of this team's committed corrections (check_invariants);
   /// accumulated team-parallel after each commit.
   Vector commit_acc;

@@ -73,7 +73,10 @@ void AdditiveCorrector::correction_chain(std::size_t k, const Vector& r_fine,
   if (k == coarsest) {
     solve_coarsest(r, e);
   } else if (opts_.symmetrized_lambda) {
-    s_->smoother(k).apply_symmetrized(r, e);
+    // The chain kinds never touch the AFACx buffers, so they double as the
+    // symmetrized application's temporaries (identical results, no
+    // allocation once warm).
+    s_->smoother(k).apply_symmetrized_ws(r, e, ws.u, ws.pu, ws.apu);
   } else {
     s_->smoother(k).apply_zero(r, e);
   }
@@ -110,7 +113,7 @@ void AdditiveCorrector::correction_afacx(std::size_t k, const Vector& r_fine,
     if (k + 1 == coarsest && !s_->coarse_solver().empty()) {
       s_->coarse_solver().solve(r_next, u);
     } else {
-      s_->smoother(k + 1).smooth_zero(r_next, u, opts_.afacx_s2);
+      s_->smoother(k + 1).smooth_zero_ws(r_next, u, opts_.afacx_s2, ws.swp);
     }
     // Modified right-hand side r_k - A_k P u (Alg. 2 lines 8-9), then
     // smooth e_k from zero (s1 sweeps); the grid-k correction is just
@@ -120,7 +123,7 @@ void AdditiveCorrector::correction_afacx(std::size_t k, const Vector& r_fine,
     Vector& apu = ws.apu;
     s_->a(k).spmv(pu, apu);
     for (std::size_t i = 0; i < r.size(); ++i) r[i] -= apu[i];
-    s_->smoother(k).smooth_zero(r, e, opts_.afacx_s1);
+    s_->smoother(k).smooth_zero_ws(r, e, opts_.afacx_s1, ws.swp);
   }
 
   for (std::size_t j = k; j-- > 0;) {
@@ -159,7 +162,7 @@ void AdditiveMg::cycle(const Vector& b, Vector& x) {
   const MgSetup& s = corrector_.setup();
   s.a(0).residual_omp(b, x, r_);
   for (std::size_t k = 0; k < corrector_.num_grids(); ++k) {
-    corrector_.correction(k, r_, c_);
+    corrector_.correction(k, r_, c_, ws_);
     axpy(1.0, c_, x);
   }
 }

@@ -37,6 +37,9 @@ struct AdditiveOptions {
 /// correction. Contents are scratch; only capacity is reused.
 struct CorrectionScratch {
   Vector r, next, e, r_next, u, pu, apu;
+  /// Ping-pong buffer for the allocation-free multi-sweep smoothing inside
+  /// corrections (smooth_zero_ws / apply_symmetrized_ws spill space).
+  Vector swp;
 };
 
 class AdditiveCorrector {
@@ -85,6 +88,7 @@ class AdditiveMg {
 
  private:
   AdditiveCorrector corrector_;
+  CorrectionScratch ws_;
   Vector r_, c_;
 };
 

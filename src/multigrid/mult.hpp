@@ -8,10 +8,12 @@
 
 #include "multigrid/setup.hpp"
 #include "multigrid/solve_stats.hpp"
+#include "multigrid/workspace.hpp"
 #include "telemetry/events.hpp"
 
 namespace asyncmg {
 
+class Counter;
 class TelemetrySink;
 
 class MultiplicativeMg {
@@ -32,17 +34,35 @@ class MultiplicativeMg {
   SolveStats solve(const Vector& b, Vector& x, int t_max, double tol = 0.0);
 
   /// Attach a telemetry sink: cycle phases (residual, smooths, transfers,
-  /// coarse solve) are recorded as begin/end events on ring `tid`. nullptr
-  /// detaches. Not owned; must outlive this object's cycle() calls.
-  void set_telemetry(TelemetrySink* sink, std::size_t tid = 0) {
-    tel_ = sink;
-    tel_tid_ = tid;
-  }
+  /// coarse solve) are recorded as begin/end events on ring `tid`, and the
+  /// kernel engine's bytes-moved / sweep counters are bound to the sink's
+  /// metrics registry. nullptr detaches. Not owned; must outlive this
+  /// object's cycle() calls.
+  void set_telemetry(TelemetrySink* sink, std::size_t tid = 0);
+
+  /// Toggle the fused kernel engine for this instance (initialized from the
+  /// setup's engine options). `false` restores the original two-pass,
+  /// allocating reference path — the bench baseline and the bitwise oracle
+  /// of the property tests.
+  void set_fused(bool fused) { fused_ = fused; }
+  bool fused() const { return fused_; }
+
+  /// The per-instance scratch arena (sizing diagnostics).
+  const CycleWorkspace& workspace() const { return ws_; }
 
  private:
-  /// Recursive multigrid on the error equation A_k e_k = r_k; reads r_[k],
-  /// leaves the correction in e_[k].
+  /// Recursive multigrid on the error equation A_k e_k = r_k; reads
+  /// ws_.r(k), leaves the correction in ws_.e(k).
   void level_solve(std::size_t k);
+  /// Reference (unfused, allocating smoother calls) body of level_solve.
+  void level_solve_reference(std::size_t k);
+  /// One post-smoothing-style sweep on A_k x = b through the fastest
+  /// bit-identical kernel for the level: SELL fused sweep, CSR fused sweep,
+  /// or the smoother's workspace sweep for non-diagonal types.
+  void sweep_level(std::size_t k, const Vector& b, Vector& x);
+  /// gamma coarse-grid corrections of the fused path (restrict, recurse,
+  /// prolong-add).
+  void coarse_corrections(std::size_t k);
 
   // Out-of-line so mult.hpp doesn't drag in the sink; the inline wrappers
   // keep the detached case to one branch per phase.
@@ -56,13 +76,19 @@ class MultiplicativeMg {
 
   TelemetrySink* tel_ = nullptr;
   std::size_t tel_tid_ = 0;
+  // Kernel-engine counters, bound once in set_telemetry so the cycle loop
+  // never touches the registry map (handles are stable and lock-free).
+  Counter* ctr_bytes_ = nullptr;
+  Counter* ctr_sweeps_ = nullptr;
   const MgSetup* s_;
   bool symmetric_;
   int pre_sweeps_;
   int post_sweeps_;
   int gamma_ = 1;
-  // Per-level workspaces reused across cycles.
-  std::vector<Vector> r_, e_, tmp_;
+  bool fused_;
+  // Per-level scratch arena reused across cycles (no allocations inside a
+  // cycle, even on the reference path's vectors).
+  CycleWorkspace ws_;
 };
 
 }  // namespace asyncmg

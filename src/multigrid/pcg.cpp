@@ -11,11 +11,22 @@ namespace asyncmg {
 
 SolveStats pcg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
                      const Preconditioner& precond, const PcgOptions& opts) {
+  PcgWorkspace ws;
+  return pcg_solve(a, b, x, precond, opts, ws);
+}
+
+SolveStats pcg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                     const Preconditioner& precond, const PcgOptions& opts,
+                     PcgWorkspace& ws) {
   if (a.rows() != a.cols() ||
       static_cast<std::size_t>(a.rows()) != b.size()) {
     throw std::invalid_argument("pcg_solve: shape mismatch");
   }
   SolveStats stats;
+  // Sized up front so the history pushes never reallocate: the iteration
+  // itself is then heap-free once the workspace is warm.
+  stats.rel_res_history.reserve(static_cast<std::size_t>(opts.max_iterations) +
+                                1);
   Timer timer;
   const std::size_t n = b.size();
   x.resize(n, 0.0);
@@ -23,18 +34,21 @@ SolveStats pcg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
   const double bnorm = norm2(b);
   const double scale = bnorm > 0.0 ? 1.0 / bnorm : 1.0;
 
-  Vector r;
+  Vector& r = ws.r;
   a.residual_omp(b, x, r);
   stats.rel_res_history.push_back(norm2(r) * scale);
 
-  Vector z(n);
+  Vector& z = ws.z;
+  z.assign(n, 0.0);
   if (precond) {
     precond(r, z);
   } else {
     z = r;
   }
-  Vector p = z;
-  Vector ap(n);
+  Vector& p = ws.p;
+  p = z;
+  Vector& ap = ws.ap;
+  ap.resize(n);
   double rz = dot(r, z);
 
   for (int it = 0; it < opts.max_iterations; ++it) {
@@ -77,12 +91,16 @@ Preconditioner make_mg_preconditioner(const MgSetup& setup,
       AdditiveOptions ao;
       ao.kind = AdditiveKind::kBpx;
       auto corr = std::make_shared<AdditiveCorrector>(setup, ao);
-      return [corr](const Vector& r, Vector& z) {
+      // The lambda owns its correction scratch (the header's "workspaces
+      // shared across calls" contract), so repeated applications allocate
+      // nothing once the buffers are warm.
+      auto ws = std::make_shared<CorrectionScratch>();
+      auto c = std::make_shared<Vector>();
+      return [corr, ws, c](const Vector& r, Vector& z) {
         z.assign(r.size(), 0.0);
-        Vector c;
         for (std::size_t k = 0; k < corr->num_grids(); ++k) {
-          corr->correction(k, r, c);
-          axpy(1.0, c, z);
+          corr->correction(k, r, *c, *ws);
+          axpy(1.0, *c, z);
         }
       };
     }
@@ -91,12 +109,13 @@ Preconditioner make_mg_preconditioner(const MgSetup& setup,
       ao.kind = AdditiveKind::kMultadd;
       ao.symmetrized_lambda = true;
       auto corr = std::make_shared<AdditiveCorrector>(setup, ao);
-      return [corr](const Vector& r, Vector& z) {
+      auto ws = std::make_shared<CorrectionScratch>();
+      auto c = std::make_shared<Vector>();
+      return [corr, ws, c](const Vector& r, Vector& z) {
         z.assign(r.size(), 0.0);
-        Vector c;
         for (std::size_t k = 0; k < corr->num_grids(); ++k) {
-          corr->correction(k, r, c);
-          axpy(1.0, c, z);
+          corr->correction(k, r, *c, *ws);
+          axpy(1.0, *c, z);
         }
       };
     }

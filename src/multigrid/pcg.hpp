@@ -25,10 +25,23 @@ struct PcgOptions {
   double tol = 1e-9;  // on ||r||_2 / ||b||_2
 };
 
+/// Reusable buffers for pcg_solve: callers issuing many solves (services,
+/// benches) keep one across calls so the iteration allocates nothing after
+/// the first solve. Contents are scratch; only capacity is reused.
+struct PcgWorkspace {
+  Vector r, z, p, ap;
+};
+
 /// Solves A x = b with (preconditioned) CG. Pass a null Preconditioner for
 /// plain CG. Returns the residual history (entry i is after iteration i).
 SolveStats pcg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
                      const Preconditioner& precond, const PcgOptions& opts);
+
+/// Same iteration (identical arithmetic, identical results), temporaries
+/// drawn from `ws`.
+SolveStats pcg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                     const Preconditioner& precond, const PcgOptions& opts,
+                     PcgWorkspace& ws);
 
 enum class MgPreconditionerKind {
   kBpx,                  // Eq. 1, one additive application

@@ -21,6 +21,21 @@ void MgSetup::init() {
         std::make_unique<Smoother>(h_.matrix(k), opts_.smoother));
   }
 
+  // Per-level format selection for the solve-phase kernel engine: SELL
+  // levels carry a second (immutable) copy of A_k that the fused diagonal
+  // sweeps and residuals stream instead of the CSR form.
+  const bool diag_smoother =
+      opts_.smoother.type == SmootherType::kWeightedJacobi ||
+      opts_.smoother.type == SmootherType::kL1Jacobi;
+  sell_.resize(nl);
+  for (std::size_t k = 0; k < nl; ++k) {
+    if (level_prefers_sell(opts_.engine, h_.matrix(k).rows(), diag_smoother,
+                           k + 1 == nl)) {
+      sell_[k] = std::make_unique<SellMatrix>(SellMatrix::from_csr(
+          h_.matrix(k), opts_.engine.sell_chunk, opts_.engine.sell_sigma));
+    }
+  }
+
   // Smoothed interpolants for Multadd, one per non-coarsest level, built
   // from the Jacobi-type iteration matrix of the configured smoother.
   pbar_.reserve(nl > 0 ? nl - 1 : 0);

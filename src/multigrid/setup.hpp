@@ -13,6 +13,8 @@
 #include "amg/hierarchy.hpp"
 #include "smoothers/smoother.hpp"
 #include "sparse/dense.hpp"
+#include "sparse/kernels.hpp"
+#include "sparse/sellcs.hpp"
 
 namespace asyncmg {
 
@@ -22,6 +24,9 @@ struct MgOptions {
   /// Largest size for which the coarsest level is solved exactly by dense
   /// LU. (The hierarchy's coarse_size option keeps grids below this.)
   Index max_dense_coarse = 2000;
+  /// Solve-phase kernel engine configuration (format selection, fusion,
+  /// workspace first-touch).
+  KernelEngineOptions engine;
 };
 
 class MgSetup {
@@ -55,6 +60,12 @@ class MgSetup {
   const Smoother& smoother(std::size_t k) const { return *smoothers_[k]; }
   const LuSolver& coarse_solver() const { return coarse_; }
 
+  /// SELL-C-sigma form of A_k when the engine heuristic selected it for the
+  /// level (level_prefers_sell); nullptr means the level runs CSR. Built
+  /// once here — immutable and shared by every solver on this setup — so
+  /// SolverPool lanes and per-request solvers never pay the conversion.
+  const SellMatrix* sell(std::size_t k) const { return sell_[k].get(); }
+
   /// Approximate flops of one grid-k correction for the additive methods
   /// (restriction chain + smoothing + prolongation chain); used to balance
   /// threads across grids.
@@ -66,6 +77,7 @@ class MgSetup {
   MgOptions opts_;
   Hierarchy h_;
   std::vector<std::unique_ptr<Smoother>> smoothers_;
+  std::vector<std::unique_ptr<SellMatrix>> sell_;  // nullptr = CSR level
   std::vector<CsrMatrix> pbar_;
   std::vector<CsrMatrix> rt_;     // P^T per level
   std::vector<CsrMatrix> rbart_;  // Pbar^T per level

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sparse/kernels.hpp"
 #include "sparse/spgemm.hpp"
 
 namespace asyncmg {
@@ -208,8 +209,13 @@ void Smoother::sweep_jacobi_like(const Vector& b, Vector& x) const {
 void Smoother::sweep_block_gs(const Vector& b, Vector& x) const {
   Vector r;
   a_->residual(b, x, r);
-  // Solve blockdiag(L) e = r in place of r, then x += e; within a
-  // block this is a forward substitution on the block's lower triangle.
+  block_lower_substitute(r);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += r[i];
+}
+
+void Smoother::block_lower_substitute(Vector& r) const {
+  // Solve blockdiag(L) e = r in place of r; within a block this is a
+  // forward substitution on the block's lower triangle.
   const auto rp = a_->row_ptr();
   const auto ci = a_->col_idx();
   const auto v = a_->values();
@@ -224,7 +230,53 @@ void Smoother::sweep_block_gs(const Vector& b, Vector& x) const {
       r[i] = s * inv_diag_[i];
     }
   }
-  for (std::size_t i = 0; i < x.size(); ++i) x[i] += r[i];
+}
+
+void Smoother::sweep_ws(const Vector& b, Vector& x, Vector& scratch) const {
+  const std::size_t n = static_cast<std::size_t>(a_->rows());
+  assert(b.size() == n && x.size() == n);
+  switch (opts_.type) {
+    case SmootherType::kWeightedJacobi:
+    case SmootherType::kL1Jacobi:
+      // One fused pass over A; the new iterate lands in scratch and is
+      // swapped in (in-place would turn Jacobi into Gauss-Seidel).
+      fused_diag_sweep_omp(*a_, inv_diag_, b, x, scratch);
+      x.swap(scratch);
+      break;
+    case SmootherType::kHybridJGS:
+    case SmootherType::kL1HybridJGS:
+      a_->residual_omp(b, x, scratch);
+      block_lower_substitute(scratch);
+      for (std::size_t i = 0; i < n; ++i) x[i] += scratch[i];
+      break;
+    case SmootherType::kAsyncGS:
+      sweep(b, x);  // sequential forward GS is already in-place
+      break;
+  }
+}
+
+void Smoother::sweep_transpose_ws(const Vector& b, Vector& x, Vector& scratch,
+                                  Vector& scratch2) const {
+  switch (opts_.type) {
+    case SmootherType::kWeightedJacobi:
+    case SmootherType::kL1Jacobi:
+      sweep_ws(b, x, scratch);  // M diagonal, hence symmetric
+      break;
+    case SmootherType::kHybridJGS:
+    case SmootherType::kAsyncGS:
+    case SmootherType::kL1HybridJGS:
+      a_->residual_omp(b, x, scratch);
+      upper_solve(scratch, scratch2);
+      for (std::size_t i = 0; i < x.size(); ++i) x[i] += scratch2[i];
+      break;
+  }
+}
+
+void Smoother::smooth_zero_ws(const Vector& b, Vector& x, int sweeps,
+                              Vector& scratch) const {
+  assert(sweeps >= 1);
+  apply_zero(b, x);
+  for (int s = 1; s < sweeps; ++s) sweep_ws(b, x, scratch);
 }
 
 void Smoother::async_gs_sweep_block(const Vector& b, Vector& x,
@@ -298,14 +350,22 @@ void Smoother::upper_solve(const Vector& r, Vector& y) const {
 }
 
 void Smoother::apply_symmetrized(const Vector& r, Vector& e) const {
+  Vector s1, s2, s3;
+  apply_symmetrized_ws(r, e, s1, s2, s3);
+}
+
+void Smoother::apply_symmetrized_ws(const Vector& r, Vector& e,
+                                    Vector& scratch, Vector& scratch2,
+                                    Vector& scratch3) const {
   const std::size_t n = r.size();
   switch (opts_.type) {
     case SmootherType::kWeightedJacobi:
     case SmootherType::kL1Jacobi: {
       // M diagonal: e = D~ (2 r - A (D~ r)) with D~ = inv_diag.
-      Vector y(n);
+      Vector& y = scratch;
+      y.resize(n);
       for (std::size_t i = 0; i < n; ++i) y[i] = inv_diag_[i] * r[i];
-      Vector ay;
+      Vector& ay = scratch2;
       a_->spmv(y, ay);
       e.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
@@ -317,7 +377,10 @@ void Smoother::apply_symmetrized(const Vector& r, Vector& e) const {
     case SmootherType::kAsyncGS:
     case SmootherType::kL1HybridJGS: {
       // e = M^{-T} (M + M^T - A) M^{-1} r with M = blockdiag(L).
-      Vector y, z(n), ay;
+      Vector& y = scratch;
+      Vector& z = scratch3;
+      z.resize(n);
+      Vector& ay = scratch2;
       lower_solve(r, y);
       a_->spmv(y, ay);
       // (M + M^T) y: block lower + block upper, diagonal counted twice.

@@ -94,6 +94,26 @@ class Smoother {
   /// n >= 1. Used by AFACx V(s1/s2,0) inner smoothing.
   void smooth_zero(const Vector& b, Vector& x, int sweeps) const;
 
+  // Allocation-free variants for the solve-phase kernel engine: scratch
+  // buffers come from the caller's workspace (resized on first use, no
+  // reallocation once warm) and results are bitwise identical to the
+  // allocating forms at every thread count. Scratch contents are garbage on
+  // return; sweep_ws may swap `x` with `scratch` (Jacobi ping-pong), so
+  // both must be caller-owned plain buffers.
+
+  /// sweep() without heap allocation; Jacobi-family types run as one fused
+  /// read-A-once pass (kernels.hpp fusion identities).
+  void sweep_ws(const Vector& b, Vector& x, Vector& scratch) const;
+
+  /// sweep_transpose() without heap allocation (two scratch buffers: the
+  /// residual and the triangular solve).
+  void sweep_transpose_ws(const Vector& b, Vector& x, Vector& scratch,
+                          Vector& scratch2) const;
+
+  /// smooth_zero() without heap allocation.
+  void smooth_zero_ws(const Vector& b, Vector& x, int sweeps,
+                      Vector& scratch) const;
+
   /// e = Mbar^{-1} r with the symmetrized smoothing matrix
   /// Mbar^{-1} = M^{-T} (M + M^T - A) M^{-1} (Section II-B1). With this
   /// choice Multadd is mathematically equivalent to a symmetric
@@ -101,9 +121,17 @@ class Smoother {
   /// variant. (kAsyncGS uses its hybrid-JGS matrix.)
   void apply_symmetrized(const Vector& r, Vector& e) const;
 
+  /// apply_symmetrized without heap allocation: the three internal
+  /// temporaries come from the caller (identical arithmetic and results).
+  void apply_symmetrized_ws(const Vector& r, Vector& e, Vector& scratch,
+                            Vector& scratch2, Vector& scratch3) const;
+
  private:
   void sweep_jacobi_like(const Vector& b, Vector& x) const;
   void sweep_block_gs(const Vector& b, Vector& x) const;
+  /// In-place blockdiag(L) e = r forward substitution (r becomes e); the
+  /// shared tail of sweep_block_gs and sweep_ws.
+  void block_lower_substitute(Vector& r) const;
   void triangular_apply_block(const Vector& r, Vector& e, std::size_t blk,
                               bool live) const;
   /// y = M^{-1} r and z = M^{-T} r for the symmetrized application.

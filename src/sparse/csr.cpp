@@ -1,5 +1,7 @@
 #include "sparse/csr.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -16,9 +18,64 @@ namespace {
 
 /// Solve-phase OpenMP kernels only fan out on client threads over matrices
 /// large enough to amortize a team start; SolverPool workers are one
-/// execution lane each (see util/thread_context.hpp).
+/// execution lane each (see util/thread_context.hpp). A one-thread team is
+/// pure overhead, so single-thread runs take the serial body directly
+/// (bit-identical either way: rows write disjoint outputs).
 bool use_solve_omp(Index rows) {
-  return rows >= kSetupSerialCutoff && !this_thread_is_pool_worker();
+  return rows >= kSetupSerialCutoff && omp_get_max_threads() > 1 &&
+         !this_thread_is_pool_worker();
+}
+
+/// Static partition matching `omp parallel for schedule(static)`.
+struct RowRange {
+  Index lo, hi;
+};
+RowRange static_rows(Index n, int nt, int t) {
+  const Index chunk = (n + nt - 1) / nt;
+  const Index lo = std::min<Index>(n, chunk * t);
+  return {lo, std::min<Index>(n, lo + chunk)};
+}
+
+// Raw-pointer row-range bodies shared by the serial and OpenMP entry points.
+// Calling one plain function from inside the parallel region (instead of
+// letting the compiler outline the loop body) keeps the aliasing information
+// the vectorizer needs; the outlined form measures ~30% slower at one
+// thread. Rows write disjoint outputs, so the partition cannot affect the
+// result.
+
+void spmv_body(const Index* rp, const Index* ci, const double* av,
+               const double* xp, double* yp, Index lo, Index hi) {
+  for (Index i = lo; i < hi; ++i) {
+    double s = 0.0;
+    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+      s += av[k] * xp[ci[k]];
+    }
+    yp[i] = s;
+  }
+}
+
+void spmv_add_body(const Index* rp, const Index* ci, const double* av,
+                   const double* xp, double* yp, double alpha, Index lo,
+                   Index hi) {
+  for (Index i = lo; i < hi; ++i) {
+    double s = 0.0;
+    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+      s += av[k] * xp[ci[k]];
+    }
+    yp[i] += alpha * s;
+  }
+}
+
+void residual_body(const Index* rp, const Index* ci, const double* av,
+                   const double* bp, const double* xp, double* rr, Index lo,
+                   Index hi) {
+  for (Index i = lo; i < hi; ++i) {
+    double s = bp[i];
+    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+      s -= av[k] * xp[ci[k]];
+    }
+    rr[i] = s;
+  }
 }
 
 }  // namespace
@@ -170,15 +227,20 @@ void CsrMatrix::spmv_rows(const Vector& x, Vector& y, Index row_begin,
 void CsrMatrix::spmv_omp(const Vector& x, Vector& y) const {
   assert(static_cast<Index>(x.size()) == cols_);
   y.resize(static_cast<std::size_t>(rows_));
-  const bool par = use_solve_omp(rows_);
-#pragma omp parallel for schedule(static) if (par)
-  for (Index i = 0; i < rows_; ++i) {
-    double s = 0.0;
-    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      s += values_[static_cast<std::size_t>(k)] *
-           x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
-    }
-    y[static_cast<std::size_t>(i)] = s;
+  const Index* const rp = row_ptr_.data();
+  const Index* const ci = col_idx_.data();
+  const double* const av = values_.data();
+  const double* const xp = x.data();
+  double* const yp = y.data();
+  if (!use_solve_omp(rows_)) {
+    spmv_body(rp, ci, av, xp, yp, 0, rows_);
+    return;
+  }
+#pragma omp parallel
+  {
+    const RowRange rg =
+        static_rows(rows_, omp_get_num_threads(), omp_get_thread_num());
+    spmv_body(rp, ci, av, xp, yp, rg.lo, rg.hi);
   }
 }
 
@@ -198,15 +260,20 @@ void CsrMatrix::spmv_add(const Vector& x, Vector& y, double alpha) const {
 void CsrMatrix::spmv_add_omp(const Vector& x, Vector& y, double alpha) const {
   assert(static_cast<Index>(x.size()) == cols_ &&
          static_cast<Index>(y.size()) == rows_);
-  const bool par = use_solve_omp(rows_);
-#pragma omp parallel for schedule(static) if (par)
-  for (Index i = 0; i < rows_; ++i) {
-    double s = 0.0;
-    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      s += values_[static_cast<std::size_t>(k)] *
-           x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
-    }
-    y[static_cast<std::size_t>(i)] += alpha * s;
+  const Index* const rp = row_ptr_.data();
+  const Index* const ci = col_idx_.data();
+  const double* const av = values_.data();
+  const double* const xp = x.data();
+  double* const yp = y.data();
+  if (!use_solve_omp(rows_)) {
+    spmv_add_body(rp, ci, av, xp, yp, alpha, 0, rows_);
+    return;
+  }
+#pragma omp parallel
+  {
+    const RowRange rg =
+        static_rows(rows_, omp_get_num_threads(), omp_get_thread_num());
+    spmv_add_body(rp, ci, av, xp, yp, alpha, rg.lo, rg.hi);
   }
 }
 
@@ -220,15 +287,21 @@ void CsrMatrix::residual_omp(const Vector& b, const Vector& x,
   assert(static_cast<Index>(b.size()) == rows_ &&
          static_cast<Index>(x.size()) == cols_);
   r.resize(static_cast<std::size_t>(rows_));
-  const bool par = use_solve_omp(rows_);
-#pragma omp parallel for schedule(static) if (par)
-  for (Index i = 0; i < rows_; ++i) {
-    double s = b[static_cast<std::size_t>(i)];
-    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      s -= values_[static_cast<std::size_t>(k)] *
-           x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
-    }
-    r[static_cast<std::size_t>(i)] = s;
+  const Index* const rp = row_ptr_.data();
+  const Index* const ci = col_idx_.data();
+  const double* const av = values_.data();
+  const double* const bp = b.data();
+  const double* const xp = x.data();
+  double* const rr = r.data();
+  if (!use_solve_omp(rows_)) {
+    residual_body(rp, ci, av, bp, xp, rr, 0, rows_);
+    return;
+  }
+#pragma omp parallel
+  {
+    const RowRange rg =
+        static_rows(rows_, omp_get_num_threads(), omp_get_thread_num());
+    residual_body(rp, ci, av, bp, xp, rr, rg.lo, rg.hi);
   }
 }
 

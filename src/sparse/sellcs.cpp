@@ -1,0 +1,374 @@
+#include "sparse/sellcs.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "sparse/parallel.hpp"
+#include "util/partition.hpp"
+#include "util/thread_context.hpp"
+
+namespace asyncmg {
+
+namespace {
+
+/// Same gate as the CsrMatrix solve kernels: only fan out on client threads
+/// over matrices large enough to amortize a team start, and never for a
+/// one-thread team.
+bool use_solve_omp(Index rows) {
+  return rows >= kSetupSerialCutoff && omp_get_max_threads() > 1 &&
+         !this_thread_is_pool_worker();
+}
+
+// The Op vocabulary for apply_chunks. kSubtract selects the accumulation
+// order: residual-style ops seed with b[row] and subtract products (matching
+// CsrMatrix::residual), spmv-style ops seed with 0 and add (matching
+// CsrMatrix::spmv). The two orders are NOT interchangeable bitwise, which is
+// why each fused kernel documents the reference it mirrors.
+
+struct SpmvOp {  // y = A x
+  static constexpr bool kSubtract = false;
+  double* y;
+  double init(Index) const { return 0.0; }
+  void store(Index row, double s) const {
+    y[static_cast<std::size_t>(row)] = s;
+  }
+};
+
+struct ResidualOp {  // r = b - A x
+  static constexpr bool kSubtract = true;
+  const double* b;
+  double* r;
+  double init(Index row) const { return b[static_cast<std::size_t>(row)]; }
+  void store(Index row, double s) const {
+    r[static_cast<std::size_t>(row)] = s;
+  }
+};
+
+struct DiagSweepOp {  // x_out = x_in + d .* (b - A x_in)
+  static constexpr bool kSubtract = true;
+  const double* b;
+  const double* d;
+  const double* x_in;
+  double* x_out;
+  double init(Index row) const { return b[static_cast<std::size_t>(row)]; }
+  void store(Index row, double s) const {
+    const auto i = static_cast<std::size_t>(row);
+    x_out[i] = x_in[i] + d[i] * s;
+  }
+};
+
+struct SubSpmvOp {  // tmp = r - A e (spmv order: full sum, then subtract)
+  static constexpr bool kSubtract = false;
+  const double* r;
+  double* tmp;
+  double init(Index) const { return 0.0; }
+  void store(Index row, double s) const {
+    const auto i = static_cast<std::size_t>(row);
+    tmp[i] = r[i] - s;
+  }
+};
+
+}  // namespace
+
+template <class Op>
+void SellMatrix::apply_chunks(const double* x, const Op& op,
+                              std::size_t chunk_begin,
+                              std::size_t chunk_end) const {
+  const Index c = c_;
+  double acc[kMaxChunk];
+  for (std::size_t ch = chunk_begin; ch < chunk_end; ++ch) {
+    const std::size_t s0 = ch * static_cast<std::size_t>(c);
+    // Pad slots (perm == -1) trail the final chunk; real slots before them
+    // all get an accumulator, even empty rows (their seed is the result).
+    Index lanes = c;
+    while (lanes > 0 && perm_[s0 + static_cast<std::size_t>(lanes) - 1] < 0) {
+      --lanes;
+    }
+    for (Index lane = 0; lane < lanes; ++lane) {
+      acc[lane] = op.init(perm_[s0 + static_cast<std::size_t>(lane)]);
+    }
+    const double* vals = values_.data() + chunk_ptr_[ch];
+    const Index* cols = col_idx_.data() + chunk_ptr_[ch];
+    const Index width = chunk_width_[ch];
+    if (ucol_ofs_[ch] >= 0) {
+      // Contiguous-column chunk (see contiguous_chunks()): every lane is
+      // full width and the C columns at each j are consecutive, so x is
+      // read unit-stride from one base per column and the col_idx stream
+      // is skipped entirely. Constant trip counts let the compiler unroll
+      // and keep the accumulators in registers. The per-lane accumulation
+      // order is identical to the general path below.
+      const Index* ub = ucol_base_.data() + ucol_ofs_[ch];
+      for (Index j = 0; j < width; ++j) {
+        const double* v = vals + static_cast<std::size_t>(j) * c;
+        const double* xs = x + static_cast<std::size_t>(ub[j]);
+        for (Index lane = 0; lane < c; ++lane) {
+          const double p = v[lane] * xs[lane];
+          if constexpr (Op::kSubtract) {
+            acc[lane] -= p;
+          } else {
+            acc[lane] += p;
+          }
+        }
+      }
+      for (Index lane = 0; lane < lanes; ++lane) {
+        op.store(perm_[s0 + static_cast<std::size_t>(lane)], acc[lane]);
+      }
+      continue;
+    }
+    if (lanes == c && slot_len_[s0 + static_cast<std::size_t>(c) - 1] == width) {
+      // Uniform chunk (every lane holds `width` entries — the common case
+      // after the sigma sort): constant-trip lane loop with no prefix
+      // tracking, so the compiler can unroll and keep acc in registers.
+      // Identical per-lane accumulation order to the general path below.
+      for (Index j = 0; j < width; ++j) {
+        const double* v = vals + static_cast<std::size_t>(j) * c;
+        const Index* cc = cols + static_cast<std::size_t>(j) * c;
+        for (Index lane = 0; lane < c; ++lane) {
+          const double p = v[lane] * x[static_cast<std::size_t>(cc[lane])];
+          if constexpr (Op::kSubtract) {
+            acc[lane] -= p;
+          } else {
+            acc[lane] += p;
+          }
+        }
+      }
+      for (Index lane = 0; lane < lanes; ++lane) {
+        op.store(perm_[s0 + static_cast<std::size_t>(lane)], acc[lane]);
+      }
+      continue;
+    }
+    Index active = lanes;
+    for (Index j = 0; j < width; ++j) {
+      // Slot lengths are descending within the chunk, so the lanes still
+      // holding entries at column j form a prefix; padding is never read.
+      while (active > 0 &&
+             slot_len_[s0 + static_cast<std::size_t>(active) - 1] <= j) {
+        --active;
+      }
+      const double* v = vals + static_cast<std::size_t>(j) * c;
+      const Index* cc = cols + static_cast<std::size_t>(j) * c;
+      for (Index lane = 0; lane < active; ++lane) {
+        const double p =
+            v[lane] * x[static_cast<std::size_t>(cc[lane])];
+        if constexpr (Op::kSubtract) {
+          acc[lane] -= p;
+        } else {
+          acc[lane] += p;
+        }
+      }
+    }
+    for (Index lane = 0; lane < lanes; ++lane) {
+      op.store(perm_[s0 + static_cast<std::size_t>(lane)], acc[lane]);
+    }
+  }
+}
+
+template <class Op>
+void SellMatrix::run(const double* x, const Op& op, bool parallel) const {
+  const std::size_t nchunks = chunk_width_.size();
+  if (!parallel || nchunks <= 1) {
+    apply_chunks(x, op, 0, nchunks);
+    return;
+  }
+  const std::span<const Index> prefix(chunk_ptr_);
+#pragma omp parallel
+  {
+    const auto nt = static_cast<std::size_t>(omp_get_num_threads());
+    const auto t = static_cast<std::size_t>(omp_get_thread_num());
+    const Range rg = nnz_balanced_chunk(prefix, nt, t);
+    apply_chunks(x, op, rg.begin, rg.end);
+  }
+}
+
+SellMatrix SellMatrix::from_csr(const CsrMatrix& a, Index chunk, Index sigma) {
+  if (chunk < 1 || chunk > kMaxChunk) {
+    throw std::invalid_argument("SellMatrix: chunk out of [1, kMaxChunk]");
+  }
+  SellMatrix m;
+  m.rows_ = a.rows();
+  m.cols_ = a.cols();
+  m.nnz_ = a.nnz();
+  m.c_ = chunk;
+  // Window: at least one chunk, whole chunks only, so each chunk is an
+  // interval of one sorted window and lengths descend within it.
+  Index win = std::max(sigma, chunk);
+  win = (win + chunk - 1) / chunk * chunk;
+  m.sigma_ = win;
+
+  const auto n = static_cast<std::size_t>(m.rows_);
+  const auto c = static_cast<std::size_t>(chunk);
+  const std::size_t nslots = (n + c - 1) / c * c;
+  const std::size_t nchunks = nslots / c;
+  const auto rp = a.row_ptr();
+  const auto row_len = [&](Index i) {
+    return rp[static_cast<std::size_t>(i) + 1] - rp[static_cast<std::size_t>(i)];
+  };
+
+  m.perm_.assign(nslots, Index{-1});
+  std::iota(m.perm_.begin(), m.perm_.begin() + static_cast<std::ptrdiff_t>(n),
+            Index{0});
+  for (std::size_t w0 = 0; w0 < n; w0 += static_cast<std::size_t>(win)) {
+    const std::size_t w1 = std::min(n, w0 + static_cast<std::size_t>(win));
+    std::stable_sort(m.perm_.begin() + static_cast<std::ptrdiff_t>(w0),
+                     m.perm_.begin() + static_cast<std::ptrdiff_t>(w1),
+                     [&](Index p, Index q) { return row_len(p) > row_len(q); });
+  }
+
+  m.slot_len_.assign(nslots, 0);
+  for (std::size_t s = 0; s < n; ++s) m.slot_len_[s] = row_len(m.perm_[s]);
+
+  m.chunk_width_.resize(nchunks);
+  m.chunk_ptr_.resize(nchunks + 1);
+  m.chunk_ptr_[0] = 0;
+  std::size_t total = 0;
+  for (std::size_t ch = 0; ch < nchunks; ++ch) {
+    // Descending within the chunk: the first slot is the widest.
+    const Index width = m.slot_len_[ch * c];
+    m.chunk_width_[ch] = width;
+    total += static_cast<std::size_t>(width) * c;
+    if (total > static_cast<std::size_t>(std::numeric_limits<Index>::max())) {
+      throw std::overflow_error("SellMatrix: padded entries exceed Index");
+    }
+    m.chunk_ptr_[ch + 1] = static_cast<Index>(total);
+  }
+
+  m.col_idx_.assign(total, 0);
+  m.values_.assign(total, 0.0);
+  const auto ci = a.col_idx();
+  const auto av = a.values();
+  for (std::size_t ch = 0; ch < nchunks; ++ch) {
+    const auto base = static_cast<std::size_t>(m.chunk_ptr_[ch]);
+    for (std::size_t lane = 0; lane < c; ++lane) {
+      const Index row = m.perm_[ch * c + lane];
+      if (row < 0) continue;
+      const auto kb = static_cast<std::size_t>(rp[static_cast<std::size_t>(row)]);
+      const auto ke =
+          static_cast<std::size_t>(rp[static_cast<std::size_t>(row) + 1]);
+      for (std::size_t k = kb; k < ke; ++k) {
+        const std::size_t dst = base + (k - kb) * c + lane;
+        m.col_idx_[dst] = ci[k];
+        m.values_[dst] = av[k];
+      }
+    }
+  }
+
+  // Contiguous-column detection: a chunk qualifies when every lane is a
+  // real row of full chunk width and, at each column j, the lane columns
+  // are consecutive. The stable sigma sort keeps equal-length neighbors in
+  // original order, so structured-grid stencils qualify for most interior
+  // chunks. Qualifying chunks multiply from ucol_base_ with unit-stride x
+  // reads and never touch col_idx_ (see apply_chunks).
+  m.ucol_ofs_.assign(nchunks, Index{-1});
+  for (std::size_t ch = 0; ch < nchunks; ++ch) {
+    const Index width = m.chunk_width_[ch];
+    bool contig = m.perm_[ch * c + c - 1] >= 0 &&
+                  m.slot_len_[ch * c + c - 1] == width;
+    const Index* cc = m.col_idx_.data() + m.chunk_ptr_[ch];
+    for (Index j = 0; j < width && contig; ++j) {
+      const Index b0 = cc[static_cast<std::size_t>(j) * c];
+      for (std::size_t lane = 1; lane < c; ++lane) {
+        if (cc[static_cast<std::size_t>(j) * c + lane] !=
+            b0 + static_cast<Index>(lane)) {
+          contig = false;
+          break;
+        }
+      }
+    }
+    if (!contig) continue;
+    m.ucol_ofs_[ch] = static_cast<Index>(m.ucol_base_.size());
+    for (Index j = 0; j < width; ++j) {
+      m.ucol_base_.push_back(cc[static_cast<std::size_t>(j) * c]);
+    }
+    ++m.n_contig_;
+    m.contig_entries_ += static_cast<std::size_t>(width) * c;
+  }
+  return m;
+}
+
+void SellMatrix::spmv(const Vector& x, Vector& y) const {
+  assert(static_cast<Index>(x.size()) == cols_);
+  y.resize(static_cast<std::size_t>(rows_));
+  run(x.data(), SpmvOp{y.data()}, false);
+}
+
+void SellMatrix::spmv_omp(const Vector& x, Vector& y) const {
+  assert(static_cast<Index>(x.size()) == cols_);
+  y.resize(static_cast<std::size_t>(rows_));
+  run(x.data(), SpmvOp{y.data()}, use_solve_omp(rows_));
+}
+
+void SellMatrix::residual(const Vector& b, const Vector& x, Vector& r) const {
+  assert(static_cast<Index>(b.size()) == rows_ &&
+         static_cast<Index>(x.size()) == cols_);
+  r.resize(static_cast<std::size_t>(rows_));
+  run(x.data(), ResidualOp{b.data(), r.data()}, false);
+}
+
+void SellMatrix::residual_omp(const Vector& b, const Vector& x,
+                              Vector& r) const {
+  assert(static_cast<Index>(b.size()) == rows_ &&
+         static_cast<Index>(x.size()) == cols_);
+  r.resize(static_cast<std::size_t>(rows_));
+  run(x.data(), ResidualOp{b.data(), r.data()}, use_solve_omp(rows_));
+}
+
+void SellMatrix::fused_diag_sweep(const Vector& d, const Vector& b,
+                                  const Vector& x_in, Vector& x_out) const {
+  assert(rows_ == cols_ && static_cast<Index>(d.size()) == rows_ &&
+         static_cast<Index>(b.size()) == rows_ &&
+         static_cast<Index>(x_in.size()) == rows_ && &x_in != &x_out);
+  x_out.resize(static_cast<std::size_t>(rows_));
+  run(x_in.data(), DiagSweepOp{b.data(), d.data(), x_in.data(), x_out.data()},
+      false);
+}
+
+void SellMatrix::fused_diag_sweep_omp(const Vector& d, const Vector& b,
+                                      const Vector& x_in,
+                                      Vector& x_out) const {
+  assert(rows_ == cols_ && static_cast<Index>(d.size()) == rows_ &&
+         static_cast<Index>(b.size()) == rows_ &&
+         static_cast<Index>(x_in.size()) == rows_ && &x_in != &x_out);
+  x_out.resize(static_cast<std::size_t>(rows_));
+  run(x_in.data(), DiagSweepOp{b.data(), d.data(), x_in.data(), x_out.data()},
+      use_solve_omp(rows_));
+}
+
+void SellMatrix::fused_sub_spmv(const Vector& r, const Vector& e,
+                                Vector& tmp) const {
+  assert(static_cast<Index>(r.size()) == rows_ &&
+         static_cast<Index>(e.size()) == cols_);
+  tmp.resize(static_cast<std::size_t>(rows_));
+  run(e.data(), SubSpmvOp{r.data(), tmp.data()}, false);
+}
+
+void SellMatrix::fused_sub_spmv_omp(const Vector& r, const Vector& e,
+                                    Vector& tmp) const {
+  assert(static_cast<Index>(r.size()) == rows_ &&
+         static_cast<Index>(e.size()) == cols_);
+  tmp.resize(static_cast<std::size_t>(rows_));
+  run(e.data(), SubSpmvOp{r.data(), tmp.data()}, use_solve_omp(rows_));
+}
+
+std::string SellMatrix::summary() const {
+  std::ostringstream os;
+  const double pad_pct =
+      values_.empty() ? 0.0
+                      : 100.0 * static_cast<double>(padded_entries()) /
+                            static_cast<double>(values_.size());
+  const double contig_pct =
+      values_.empty() ? 0.0
+                      : 100.0 * static_cast<double>(contig_entries_) /
+                            static_cast<double>(values_.size());
+  os << rows_ << " x " << cols_ << ", nnz=" << nnz_ << ", C=" << c_
+     << ", sigma=" << sigma_ << ", padding=" << pad_pct
+     << "%, contig=" << contig_pct << "%";
+  return os.str();
+}
+
+}  // namespace asyncmg

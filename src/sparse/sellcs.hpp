@@ -1,0 +1,153 @@
+#pragma once
+// SELL-C-σ sparse format for the solve-phase kernel engine.
+//
+// Sliced ELLPACK with row sorting (Kreutzer et al.): rows are sorted by
+// descending nonzero count inside windows of σ rows, grouped into chunks of
+// C rows, and each chunk is stored column-major (entry j of all C rows
+// adjacent in memory), padded to the chunk's widest row. The column-major
+// layout gives the SpMV inner loop C independent accumulators and unit-
+// stride value/column loads, which is what the per-level smoothing sweeps
+// are bottlenecked on in CSR form; σ-window sorting keeps the permutation
+// local so the padding stays small without destroying access locality.
+//
+// Contract with the rest of the library: every kernel here is bit-identical
+// to its CsrMatrix counterpart on the source matrix. Per row, entries are
+// visited in exactly the CSR order (ascending column), padding lanes are
+// never read, and each output row is written by exactly one chunk, so the
+// result does not depend on the thread count. Vectors stay in original row
+// numbering; the permutation is applied on the fly through perm().
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace asyncmg {
+
+class SellMatrix {
+ public:
+  SellMatrix() = default;
+
+  /// Converts a CSR matrix. `chunk` is C (rows per chunk, the accumulator
+  /// width, at most kMaxChunk), `sigma` the sorting-window size in rows
+  /// (clamped to at least `chunk` and rounded up to a multiple of it, so
+  /// every chunk is descending-sorted and the active-lane prefix trick
+  /// applies). The sort is stable, so matrices with uniform row lengths
+  /// (stencils) keep the identity permutation and padding-free chunks.
+  static SellMatrix from_csr(const CsrMatrix& a, Index chunk = 8,
+                             Index sigma = 256);
+
+  /// Upper bound on C: the per-chunk accumulators live on the kernel stack.
+  static constexpr Index kMaxChunk = 64;
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index nnz() const { return nnz_; }
+  Index chunk() const { return c_; }
+  Index sigma() const { return sigma_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// Stored entries including padding; padded_entries() = stored - nnz.
+  std::size_t stored_entries() const { return values_.size(); }
+  std::size_t padded_entries() const {
+    return values_.size() - static_cast<std::size_t>(nnz_);
+  }
+
+  /// slot -> original row index (identity when sigma disables sorting or
+  /// all row lengths are equal).
+  std::span<const Index> perm() const { return perm_; }
+
+  /// Chunks on the contiguous-column fast path: every lane holds the full
+  /// chunk width and at each column j the C lane columns are consecutive
+  /// (cc[j][lane] == cc[j][0] + lane). Stencil matrices on structured grids
+  /// hit this for most interior chunks; such chunks read x with one
+  /// unit-stride load per column and never touch the col_idx stream.
+  std::size_t contiguous_chunks() const { return n_contig_; }
+
+  /// y = A x. Bit-identical to CsrMatrix::spmv on the source matrix.
+  void spmv(const Vector& x, Vector& y) const;
+
+  /// OpenMP variant (chunk-parallel, nnz-balanced); same pool-worker and
+  /// small-matrix fallback as CsrMatrix::spmv_omp, identical results for
+  /// every thread count.
+  void spmv_omp(const Vector& x, Vector& y) const;
+
+  /// r = b - A x with CsrMatrix::residual's accumulation order
+  /// (s = b_i, then s -= a_ij x_j in column order).
+  void residual(const Vector& b, const Vector& x, Vector& r) const;
+
+  /// OpenMP variant of residual.
+  void residual_omp(const Vector& b, const Vector& x, Vector& r) const;
+
+  /// x_out = x_in + d ∘ (b - A x_in): one fused damped-Jacobi sweep,
+  /// bit-identical to residual() followed by x_out = x_in + d .* r.
+  void fused_diag_sweep(const Vector& d, const Vector& b, const Vector& x_in,
+                        Vector& x_out) const;
+
+  /// OpenMP variant of fused_diag_sweep.
+  void fused_diag_sweep_omp(const Vector& d, const Vector& b,
+                            const Vector& x_in, Vector& x_out) const;
+
+  /// tmp = r - A e with CsrMatrix::spmv accumulation order (s = sum a_ij
+  /// e_j, then r_i - s): the fused restriction input kernel, bit-identical
+  /// to spmv() followed by an elementwise subtraction.
+  void fused_sub_spmv(const Vector& r, const Vector& e, Vector& tmp) const;
+
+  /// OpenMP variant of fused_sub_spmv.
+  void fused_sub_spmv_omp(const Vector& r, const Vector& e,
+                          Vector& tmp) const;
+
+  /// Approximate bytes streamed by one matrix pass (values + columns +
+  /// chunk metadata), for the telemetry bytes-moved counters. Contiguous
+  /// chunks skip the col_idx stream and read one base index per column.
+  std::size_t pass_bytes() const {
+    return values_.size() * sizeof(double) +
+           (values_.size() - contig_entries_) * sizeof(Index) +
+           (ucol_base_.size() + chunk_ptr_.size() + chunk_width_.size() +
+            slot_len_.size() + perm_.size()) *
+               sizeof(Index);
+  }
+
+  /// "rows x cols, nnz=…, C=…, sigma=…, padding=…%" summary line.
+  std::string summary() const;
+
+ private:
+  // Core kernel: runs chunks [chunk_begin, chunk_end), multiplying against
+  // `x`. `Op` supplies the per-row accumulator seed (init), the output write
+  // (store), and whether products are subtracted (residual order) or added
+  // (spmv order). Every concrete kernel is one Op instantiation, so the
+  // entry walk — and therefore the floating-point ordering — is shared.
+  template <class Op>
+  void apply_chunks(const double* x, const Op& op, std::size_t chunk_begin,
+                    std::size_t chunk_end) const;
+
+  // Serial/OpenMP dispatch shared by the public kernels: the OpenMP path
+  // splits chunks nnz-balanced across the team; chunks own disjoint output
+  // rows, so results are identical for every thread count.
+  template <class Op>
+  void run(const double* x, const Op& op, bool parallel) const;
+
+  Index rows_ = 0;
+  Index cols_ = 0;
+  Index nnz_ = 0;
+  Index c_ = 8;
+  Index sigma_ = 0;
+  std::vector<Index> perm_;        // slot -> original row; -1 for pad slots
+  std::vector<Index> slot_len_;    // nnz per slot (descending per chunk)
+  std::vector<Index> chunk_ptr_;   // entry offset per chunk (size nchunks+1)
+  std::vector<Index> chunk_width_; // widest row per chunk
+  std::vector<Index> col_idx_;     // column-major per chunk, padded
+  std::vector<double> values_;     // padding entries are 0.0, never read
+  // Contiguous-column fast path (see contiguous_chunks()): ucol_ofs_[ch] is
+  // -1 for general chunks, else the offset into ucol_base_ of the chunk's
+  // chunk_width_[ch] per-column base indices.
+  std::vector<Index> ucol_ofs_;    // per chunk: offset into ucol_base_ or -1
+  std::vector<Index> ucol_base_;   // x base index per contiguous column
+  std::size_t n_contig_ = 0;       // chunks on the fast path
+  std::size_t contig_entries_ = 0; // stored entries covered by the fast path
+};
+
+}  // namespace asyncmg

@@ -24,6 +24,37 @@ std::vector<Range> static_chunks(std::size_t n, std::size_t parts) {
   return out;
 }
 
+Range nnz_balanced_chunk(std::span<const std::int32_t> prefix,
+                         std::size_t parts, std::size_t part) {
+  assert(!prefix.empty() && parts > 0 && part < parts);
+  const std::size_t n = prefix.size() - 1;
+  const auto total = static_cast<std::uint64_t>(prefix[n]);
+  if (total == 0) return static_chunk(n, parts, part);  // uniform fallback
+  // Chunk p starts at the first row whose cumulative weight reaches
+  // p * total / parts; upper_bound keeps boundaries monotone, so chunks
+  // are contiguous, disjoint, and cover [0, n) for any weight profile.
+  const auto boundary = [&](std::size_t p) -> std::size_t {
+    if (p == 0) return 0;
+    if (p >= parts) return n;
+    const auto target =
+        static_cast<std::int32_t>(total * static_cast<std::uint64_t>(p) /
+                                  static_cast<std::uint64_t>(parts));
+    const auto it =
+        std::upper_bound(prefix.begin(), prefix.end() - 1, target);
+    return static_cast<std::size_t>(it - prefix.begin());
+  };
+  return Range{boundary(part), boundary(part + 1)};
+}
+
+std::vector<Range> nnz_balanced_chunks(std::span<const std::int32_t> prefix,
+                                       std::size_t parts) {
+  std::vector<Range> out(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    out[p] = nnz_balanced_chunk(prefix, parts, p);
+  }
+  return out;
+}
+
 std::vector<std::size_t> assign_threads_to_grids(
     const std::vector<double>& work, std::size_t num_threads) {
   const std::size_t g = work.size();

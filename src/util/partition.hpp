@@ -7,6 +7,8 @@
 // implements that policy.
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 namespace asyncmg {
@@ -26,6 +28,20 @@ Range static_chunk(std::size_t n, std::size_t parts, std::size_t part);
 
 /// All chunks of `static_chunk` at once.
 std::vector<Range> static_chunks(std::size_t n, std::size_t parts);
+
+/// Work-balanced split of [0, prefix.size()-1) into `parts` contiguous
+/// chunks: `prefix` is a monotone prefix-sum of per-item weights (a CSR
+/// row_ptr array is exactly this, with nonzeros as the weight), and chunk p
+/// covers the rows whose cumulative weight falls in the p-th equal slice of
+/// the total. Solve-phase kernels use this so a thread owning a few dense
+/// rows does no more flops than one owning many sparse rows. Chunks are
+/// contiguous and cover every row; trailing chunks may be empty.
+Range nnz_balanced_chunk(std::span<const std::int32_t> prefix,
+                         std::size_t parts, std::size_t part);
+
+/// All chunks of `nnz_balanced_chunk` at once.
+std::vector<Range> nnz_balanced_chunks(std::span<const std::int32_t> prefix,
+                                       std::size_t parts);
 
 /// Thread counts per grid: distributes `num_threads` among `work.size()`
 /// grids proportionally to `work` (largest-remainder rounding), guaranteeing
