@@ -1,6 +1,7 @@
 #include "async/distributed.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <stdexcept>
 
@@ -8,6 +9,31 @@
 #include "util/rng.hpp"
 
 namespace asyncmg {
+
+void DistributedOptions::validate() const {
+  if (t_max < 1) {
+    throw std::invalid_argument("DistributedOptions: t_max must be >= 1");
+  }
+  if (!(flops_per_second > 0.0) || !std::isfinite(flops_per_second)) {
+    throw std::invalid_argument(
+        "DistributedOptions: flops_per_second must be finite and > 0");
+  }
+  if (!(heterogeneity >= 0.0) || heterogeneity >= 1.0) {
+    throw std::invalid_argument(
+        "DistributedOptions: heterogeneity must be in [0, 1)");
+  }
+  if (!(jitter >= 0.0) || jitter >= 1.0) {
+    throw std::invalid_argument("DistributedOptions: jitter must be in [0, 1)");
+  }
+  if (!(latency >= 0.0) || !std::isfinite(latency)) {
+    throw std::invalid_argument(
+        "DistributedOptions: latency must be finite and >= 0");
+  }
+  if (!(barrier_cost >= 0.0) || !std::isfinite(barrier_cost)) {
+    throw std::invalid_argument(
+        "DistributedOptions: barrier_cost must be finite and >= 0");
+  }
+}
 
 double DistributedResult::mean_corrections() const {
   if (corrections.empty()) return 0.0;
@@ -40,7 +66,7 @@ double sample_latency(Rng& rng, double mean) {
 DistributedResult simulate_distributed_async(const AdditiveCorrector& corr,
                                              const Vector& b, Vector& x,
                                              const DistributedOptions& opts) {
-  if (opts.t_max < 1) throw std::invalid_argument("t_max must be >= 1");
+  opts.validate();
   const MgSetup& s = corr.setup();
   const CsrMatrix& a = s.a(0);
   const std::size_t grids = corr.num_grids();
@@ -135,7 +161,7 @@ DistributedResult simulate_distributed_async(const AdditiveCorrector& corr,
 DistributedResult simulate_distributed_sync(const AdditiveCorrector& corr,
                                             const Vector& b, Vector& x,
                                             const DistributedOptions& opts) {
-  if (opts.t_max < 1) throw std::invalid_argument("t_max must be >= 1");
+  opts.validate();
   const MgSetup& s = corr.setup();
   const CsrMatrix& a = s.a(0);
   const std::size_t grids = corr.num_grids();

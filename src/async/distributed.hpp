@@ -44,6 +44,10 @@ struct DistributedOptions {
   /// Barrier cost of the synchronous discipline (seconds per cycle).
   double barrier_cost = 5.0e-5;
   std::uint64_t seed = 7;
+
+  /// Throws std::invalid_argument with a field-naming message on the first
+  /// invalid setting (both simulate entry points call this).
+  void validate() const;
 };
 
 struct DistributedResult {

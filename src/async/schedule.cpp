@@ -64,6 +64,17 @@ Schedule sample_schedule(std::size_t num_grids, const AsyncModelOptions& opts) {
   return sched;
 }
 
+Schedule full_schedule(std::size_t num_grids, int t_max) {
+  Schedule s;
+  s.instants.resize(static_cast<std::size_t>(t_max));
+  for (int t = 0; t < t_max; ++t) {
+    auto& inst = s.instants[static_cast<std::size_t>(t)];
+    inst.reserve(num_grids);
+    for (std::size_t g = 0; g < num_grids; ++g) inst.push_back({g, t});
+  }
+  return s;
+}
+
 ScheduleCheck validate_schedule(const Schedule& s, std::size_t num_grids) {
   ScheduleCheck check;
   check.updates_per_grid.assign(num_grids, 0);

@@ -68,6 +68,13 @@ struct Schedule {
 /// semi-async path draw for draw.
 Schedule sample_schedule(std::size_t num_grids, const AsyncModelOptions& opts);
 
+/// The canonical bulk-synchronous schedule: `t_max` instants, every grid
+/// correcting with a fresh read (read_instant = t) at each instant.
+/// Replaying it realizes the synchronous additive method; the sharded
+/// executor (src/shard) uses it as its synchronous discipline and as the
+/// single-shard bitwise oracle.
+Schedule full_schedule(std::size_t num_grids, int t_max);
+
 /// Structural verdict of validate_schedule.
 struct ScheduleCheck {
   bool ok = true;

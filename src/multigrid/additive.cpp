@@ -133,6 +133,30 @@ void AdditiveCorrector::correction_afacx(std::size_t k, const Vector& r_fine,
   c.swap(e);  // see correction_chain
 }
 
+void AdditiveCorrector::accumulate_cycle(const Vector& r, Vector& acc,
+                                         std::size_t row_begin,
+                                         std::size_t row_end,
+                                         CorrectionScratch& ws,
+                                         Vector& c) const {
+  std::size_t k0 = 0;
+  const SmootherType st = s_->smoother(0).type();
+  const bool jacobi_fine = opts_.kind != AdditiveKind::kAfacx &&
+                           !opts_.symmetrized_lambda && num_grids() > 1 &&
+                           (st == SmootherType::kWeightedJacobi ||
+                            st == SmootherType::kL1Jacobi);
+  if (jacobi_fine) {
+    const Vector& d = s_->smoother(0).inv_diag();
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      acc[i] += d[i] * r[i];
+    }
+    k0 = 1;
+  }
+  for (std::size_t k = k0; k < num_grids(); ++k) {
+    correction(k, r, c, ws);
+    for (std::size_t i = row_begin; i < row_end; ++i) acc[i] += c[i];
+  }
+}
+
 std::vector<double> AdditiveCorrector::work() const {
   const std::size_t nl = s_->num_levels();
   std::vector<double> w(nl, 0.0);

@@ -58,6 +58,19 @@ class AdditiveCorrector {
   void correction(std::size_t k, const Vector& r_fine, Vector& c,
                   CorrectionScratch& ws) const;
 
+  /// Shard-local additive cycle: adds every grid's correction computed from
+  /// the fine residual `r` to rows [row_begin, row_end) of `acc` (other
+  /// rows untouched). Grid 0 with a Jacobi-type smoother is applied
+  /// row-locally (c_0[i] = inv_diag[i] * r[i], the apply_zero formula), so
+  /// a shard owning those rows never computes foreign fine-grid rows; the
+  /// remaining grids compute the full-length correction -- the replicated
+  /// coarse-level work of the sharded executor -- and add only the range.
+  /// Per-row arithmetic is identical for every range split: summing the
+  /// ranges of any partition reproduces the full-range result bitwise.
+  void accumulate_cycle(const Vector& r, Vector& acc, std::size_t row_begin,
+                        std::size_t row_end, CorrectionScratch& ws,
+                        Vector& c) const;
+
   /// Per-grid work estimate (flops of one correction) for thread balancing.
   std::vector<double> work() const;
 

@@ -1,0 +1,453 @@
+#include "shard/solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "async/model.hpp"
+#include "sparse/vec.hpp"
+#include "telemetry/sink.hpp"
+#include "util/timer.hpp"
+
+namespace asyncmg {
+
+std::string shard_mode_name(ShardMode m) {
+  switch (m) {
+    case ShardMode::kSynchronous:
+      return "sync";
+    case ShardMode::kAsynchronous:
+      return "async";
+    case ShardMode::kScripted:
+      return "scripted";
+  }
+  return "unknown";
+}
+
+void ShardOptions::validate() const {
+  if (num_shards < 1) {
+    throw std::invalid_argument("ShardOptions: num_shards must be >= 1");
+  }
+  if (t_max < 1) {
+    throw std::invalid_argument("ShardOptions: t_max must be >= 1");
+  }
+  if (channel_capacity < 1) {
+    throw std::invalid_argument(
+        "ShardOptions: channel_capacity must be >= 1");
+  }
+  if (!(latency_us >= 0.0) || !std::isfinite(latency_us)) {
+    throw std::invalid_argument(
+        "ShardOptions: latency_us must be finite and >= 0");
+  }
+  if (max_lag < 0) {
+    throw std::invalid_argument("ShardOptions: max_lag must be >= 0");
+  }
+  if (!(script_alpha > 0.0) || script_alpha > 1.0) {
+    throw std::invalid_argument(
+        "ShardOptions: script_alpha must be in (0, 1]");
+  }
+  if (script_max_delay < 0) {
+    throw std::invalid_argument(
+        "ShardOptions: script_max_delay must be >= 0");
+  }
+}
+
+double ShardResult::mean_corrections() const {
+  if (corrections.empty()) return 0.0;
+  double s = 0.0;
+  for (int c : corrections) s += c;
+  return s / static_cast<double>(corrections.size());
+}
+
+namespace {
+
+/// Ring buffer of the last `depth` snapshots, indexed by absolute instant
+/// (same shape as the model simulator's history window).
+class History {
+ public:
+  History(int depth, const Vector& initial)
+      : depth_(depth),
+        snapshots_(static_cast<std::size_t>(depth), initial) {}
+
+  const Vector& at(int t) const {
+    return snapshots_[static_cast<std::size_t>(t % depth_)];
+  }
+  void push(int t, const Vector& state) {
+    snapshots_[static_cast<std::size_t>(t % depth_)] = state;
+  }
+
+ private:
+  int depth_;
+  std::vector<Vector> snapshots_;
+};
+
+/// Per-shard working set (scripted: reused across the shard's events;
+/// async: owned by the shard's thread, never shared).
+struct ShardState {
+  Vector x_local;   // [owned rows; ghosts]
+  Vector r_view;    // full-length residual view (async)
+  Vector r_read;    // assembled per-event residual view (scripted)
+  Vector staging;   // full length; only the owned range is written
+  Vector ctmp;
+  CorrectionScratch ws;
+  int corrections = 0;
+  int reads_dropped = 0;
+  bool killed = false;
+};
+
+void fill_ghosts(const ShardPlan& plan, std::size_t s, const Vector& from,
+                 Vector& x_local) {
+  const std::size_t owned_size = plan.owned[s].size();
+  const auto& h = plan.halo[s];
+  for (std::size_t pos = 0; pos < h.size(); ++pos) {
+    x_local[owned_size + pos] = from[static_cast<std::size_t>(h[pos])];
+  }
+}
+
+}  // namespace
+
+ShardedSolver::ShardedSolver(const MgSetup& setup, AdditiveOptions ao,
+                             ShardOptions so)
+    : setup_(&setup), corrector_(setup, ao), opts_(so) {
+  opts_.validate();
+  plan_ = make_shard_plan(setup.a(0), opts_.num_shards);
+}
+
+void ShardedSolver::initial_residual(const Vector& b, const Vector& x,
+                                     Vector& r) const {
+  r.resize(b.size());
+  Vector x_local;
+  for (std::size_t s = 0; s < plan_.num_shards; ++s) {
+    const Range rg = plan_.owned[s];
+    x_local.resize(plan_.local_size(s));
+    std::copy(x.begin() + static_cast<std::ptrdiff_t>(rg.begin),
+              x.begin() + static_cast<std::ptrdiff_t>(rg.end),
+              x_local.begin());
+    fill_ghosts(plan_, s, x, x_local);
+    plan_.local_a[s].residual_into(b, x_local, r);
+  }
+}
+
+double ShardedSolver::rel_res(const Vector& b, const Vector& x) const {
+  Vector r;
+  setup_->a(0).residual(b, x, r);
+  const double bnorm = norm2(b);
+  return norm2(r) * (bnorm > 0.0 ? 1.0 / bnorm : 1.0);
+}
+
+ShardResult ShardedSolver::solve(const Vector& b, Vector& x) {
+  if (b.size() != static_cast<std::size_t>(plan_.n) || x.size() != b.size()) {
+    throw std::invalid_argument("ShardedSolver: b/x size mismatch");
+  }
+  switch (opts_.mode) {
+    case ShardMode::kSynchronous:
+      return run_scripted(full_schedule(plan_.num_shards, opts_.t_max), b, x);
+    case ShardMode::kScripted: {
+      if (opts_.schedule != nullptr) {
+        return run_scripted(*opts_.schedule, b, x);
+      }
+      AsyncModelOptions mo;
+      mo.alpha = opts_.script_alpha;
+      mo.max_delay = opts_.script_max_delay;
+      mo.updates_per_grid = opts_.t_max;
+      mo.seed = opts_.seed;
+      return run_scripted(sample_schedule(plan_.num_shards, mo), b, x);
+    }
+    case ShardMode::kAsynchronous:
+      return run_async(b, x);
+  }
+  throw std::logic_error("ShardedSolver: unknown mode");
+}
+
+ShardResult ShardedSolver::run_scripted(const Schedule& sched, const Vector& b,
+                                        Vector& x) {
+  const ScheduleCheck check = validate_schedule(sched, plan_.num_shards);
+  if (!check.ok) {
+    throw std::invalid_argument("ShardedSolver: schedule invalid: " +
+                                check.error);
+  }
+  const std::size_t n = b.size();
+  Timer timer;
+
+  ShardResult result;
+  result.corrections.assign(plan_.num_shards, 0);
+
+  Vector published_r;
+  initial_residual(b, x, published_r);
+  const int depth = check.max_staleness + 1;
+  History hx(depth, x);
+  History hr(depth, published_r);
+
+  std::vector<ShardState> st(plan_.num_shards);
+  for (std::size_t s = 0; s < plan_.num_shards; ++s) {
+    st[s].x_local.resize(plan_.local_size(s));
+    st[s].staging.assign(n, 0.0);
+  }
+
+  TelemetrySink* const tel =
+      (opts_.telemetry != nullptr && opts_.telemetry->enabled())
+          ? opts_.telemetry
+          : nullptr;
+  std::vector<bool> killed(plan_.num_shards, false);
+
+  int t = 0;
+  for (const std::vector<ScheduleEvent>& inst : sched.instants) {
+    if (tel != nullptr) tel->record_at(0, t, EventKind::kInstant, t, 1);
+    // Phase 1 -- residual publish: every scheduled shard computes its own
+    // residual rows from its current owned block and the ghost snapshot of
+    // its read instant, and publishes them. hr snapshot t is the published
+    // state *after* this phase, so a fresh read (z = t) sees every row of
+    // this instant's exchange -- the BSP semantics that make the S-shard
+    // synchronous run bitwise-equal to the single-shard oracle.
+    for (const ScheduleEvent& ev : inst) {
+      const std::size_t s = ev.grid;
+      if (killed[s] || (opts_.faults != nullptr &&
+                        opts_.faults->kills_grid(s, result.corrections[s]))) {
+        if (!killed[s]) {
+          killed[s] = true;
+          result.killed_shards.push_back(s);
+        }
+        continue;
+      }
+      const Range rg = plan_.owned[s];
+      ShardState& sh = st[s];
+      std::copy(x.begin() + static_cast<std::ptrdiff_t>(rg.begin),
+                x.begin() + static_cast<std::ptrdiff_t>(rg.end),
+                sh.x_local.begin());
+      fill_ghosts(plan_, s, hx.at(ev.read_instant), sh.x_local);
+      plan_.local_a[s].residual_into(b, sh.x_local, published_r);
+    }
+    hr.push(t, published_r);
+    // Phase 2 -- correct and commit: each shard assembles its residual view
+    // (foreign rows from its read-instant snapshot, own rows always the
+    // fresh ones it just published), forms the full additive correction,
+    // and commits its owned rows. Ownership is disjoint and reads come from
+    // snapshots, so committing in event order is the joint per-instant
+    // apply of the semi-async model.
+    for (const ScheduleEvent& ev : inst) {
+      const std::size_t s = ev.grid;
+      if (killed[s]) continue;
+      const Range rg = plan_.owned[s];
+      ShardState& sh = st[s];
+      sh.r_read = hr.at(ev.read_instant);
+      std::copy(published_r.begin() + static_cast<std::ptrdiff_t>(rg.begin),
+                published_r.begin() + static_cast<std::ptrdiff_t>(rg.end),
+                sh.r_read.begin() + static_cast<std::ptrdiff_t>(rg.begin));
+      std::fill(sh.staging.begin() + static_cast<std::ptrdiff_t>(rg.begin),
+                sh.staging.begin() + static_cast<std::ptrdiff_t>(rg.end),
+                0.0);
+      corrector_.accumulate_cycle(sh.r_read, sh.staging, rg.begin, rg.end,
+                                  sh.ws, sh.ctmp);
+      for (std::size_t i = rg.begin; i < rg.end; ++i) x[i] += sh.staging[i];
+      ++result.corrections[s];
+      if (tel != nullptr) {
+        tel->record_at(0, t, EventKind::kShardStep,
+                       static_cast<std::int64_t>(s), 1);
+        tel->record_at(0, t, EventKind::kShardExchange,
+                       static_cast<std::int64_t>(s), ev.read_instant);
+      }
+    }
+    ++t;
+    hx.push(t, x);
+    if (opts_.record_history) {
+      result.rel_res_history.push_back(rel_res(b, x));
+    }
+  }
+
+  result.instants = t;
+  result.seconds = timer.seconds();
+  result.final_rel_res = rel_res(b, x);
+  return result;
+}
+
+ShardResult ShardedSolver::run_async(const Vector& b, Vector& x) {
+  const std::size_t S = plan_.num_shards;
+  const std::size_t n = b.size();
+  Timer timer;
+
+  ChannelTransportOptions to;
+  to.num_shards = S;
+  to.capacity = opts_.channel_capacity;
+  to.latency_us = opts_.latency_us;
+  to.seed = opts_.seed;
+  ChannelTransport transport(to);
+
+  Vector r0;
+  initial_residual(b, x, r0);
+
+  std::vector<ShardState> st(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    const Range rg = plan_.owned[s];
+    st[s].x_local.resize(plan_.local_size(s));
+    std::copy(x.begin() + static_cast<std::ptrdiff_t>(rg.begin),
+              x.begin() + static_cast<std::ptrdiff_t>(rg.end),
+              st[s].x_local.begin());
+    fill_ghosts(plan_, s, x, st[s].x_local);
+    st[s].r_view = r0;
+    st[s].staging.assign(n, 0.0);
+  }
+
+  TelemetrySink* const tel =
+      (opts_.telemetry != nullptr && opts_.telemetry->enabled())
+          ? opts_.telemetry
+          : nullptr;
+  const FaultPlan* const faults = opts_.faults;
+  // Shared progress board for the staleness gate: commits[s] is shard s's
+  // committed correction count, dead[s] marks a shard that will never
+  // commit again (killed or finished) so peers must not wait for it
+  // (Criterion-2 recovery). The slowest live shard never waits, so the
+  // gate cannot form a wait cycle.
+  std::vector<std::atomic<int>> commits(S);
+  std::vector<std::atomic<bool>> dead(S);
+
+  auto shard_main = [&](std::size_t s) {
+    const Range rg = plan_.owned[s];
+    ShardState& sh = st[s];
+    HaloPacket pkt;
+
+    auto drain = [&]() {
+      int got = 0;
+      for (std::size_t p = 0; p < S; ++p) {
+        if (p == s) continue;
+        if (transport.recv_latest(s, p, HaloTag::kBoundaryX, pkt)) {
+          const auto& slots = plan_.ghost_slots[s][p];
+          for (std::size_t i = 0; i < slots.size(); ++i) {
+            sh.x_local[slots[i]] = pkt.data[i];
+          }
+          ++got;
+        }
+        if (transport.recv_latest(s, p, HaloTag::kResidualBlock, pkt)) {
+          const Range prg = plan_.owned[p];
+          std::copy(pkt.data.begin(), pkt.data.end(),
+                    sh.r_view.begin() + static_cast<std::ptrdiff_t>(prg.begin));
+          ++got;
+        }
+      }
+      return got;
+    };
+    auto within_lag = [&](int c) {
+      for (std::size_t p = 0; p < S; ++p) {
+        if (p == s || dead[p].load(std::memory_order_acquire)) continue;
+        if (commits[p].load(std::memory_order_acquire) < c - opts_.max_lag) {
+          return false;
+        }
+      }
+      return true;
+    };
+
+    for (int c = 0; c < opts_.t_max; ++c) {
+      if (faults != nullptr && faults->kills_grid(s, c)) {
+        sh.killed = true;
+        break;
+      }
+      if (faults != nullptr) {
+        const double ms = faults->stall_ms(s, c);
+        if (ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(ms));
+        }
+      }
+      // Staleness gate (ShardOptions::max_lag): run at most max_lag
+      // corrections ahead of the slowest live peer, draining channels while
+      // waiting. Bounded skew plus newest-wins channels is the executor's
+      // realization of the model's bounded read delay.
+      while (!within_lag(c)) {
+        drain();
+        std::this_thread::yield();
+      }
+      // Refresh the halo and the foreign residual view from whatever has
+      // arrived; a dropped read keeps the stale view (lost message).
+      if (faults != nullptr && faults->drops_read(s, c)) {
+        ++sh.reads_dropped;
+        if (tel != nullptr) {
+          tel->record(s, EventKind::kShardDrop,
+                      static_cast<std::int64_t>(s), -1);
+        }
+      } else {
+        const int got = drain();
+        if (tel != nullptr && got > 0) {
+          tel->record(s, EventKind::kShardExchange,
+                      static_cast<std::int64_t>(s), got);
+        }
+      }
+
+      const std::int64_t t0 = tel != nullptr ? tel->clock().now_ns() : 0;
+      // Own residual rows from the (possibly stale) halo.
+      plan_.local_a[s].residual_into(b, sh.x_local, sh.r_view);
+      // Publish the residual block (pre-correction) to every peer.
+      for (std::size_t p = 0; p < S; ++p) {
+        if (p == s) continue;
+        HaloPacket out;
+        out.seq = static_cast<std::uint64_t>(c);
+        out.data.assign(
+            sh.r_view.begin() + static_cast<std::ptrdiff_t>(rg.begin),
+            sh.r_view.begin() + static_cast<std::ptrdiff_t>(rg.end));
+        if (!transport.send(s, p, HaloTag::kResidualBlock, std::move(out)) &&
+            tel != nullptr) {
+          tel->record(s, EventKind::kShardDrop, static_cast<std::int64_t>(s),
+                      static_cast<std::int64_t>(p));
+        }
+      }
+      // Full additive correction from the shard's residual view; commit
+      // the owned rows only.
+      std::fill(sh.staging.begin() + static_cast<std::ptrdiff_t>(rg.begin),
+                sh.staging.begin() + static_cast<std::ptrdiff_t>(rg.end),
+                0.0);
+      corrector_.accumulate_cycle(sh.r_view, sh.staging, rg.begin, rg.end,
+                                  sh.ws, sh.ctmp);
+      for (std::size_t i = rg.begin; i < rg.end; ++i) {
+        sh.x_local[i - rg.begin] += sh.staging[i];
+      }
+      // Publish the committed boundary values.
+      for (std::size_t p = 0; p < S; ++p) {
+        if (p == s || plan_.send[s][p].empty()) continue;
+        HaloPacket out;
+        out.seq = static_cast<std::uint64_t>(c + 1);
+        out.data.resize(plan_.send[s][p].size());
+        for (std::size_t i = 0; i < out.data.size(); ++i) {
+          out.data[i] = sh.x_local[static_cast<std::size_t>(
+                            plan_.send[s][p][i]) -
+                        rg.begin];
+        }
+        if (!transport.send(s, p, HaloTag::kBoundaryX, std::move(out)) &&
+            tel != nullptr) {
+          tel->record(s, EventKind::kShardDrop, static_cast<std::int64_t>(s),
+                      static_cast<std::int64_t>(p));
+        }
+      }
+      ++sh.corrections;
+      commits[s].store(c + 1, std::memory_order_release);
+      if (tel != nullptr) {
+        tel->record_at(s, t0, EventKind::kShardStep,
+                       static_cast<std::int64_t>(s),
+                       tel->clock().now_ns() - t0);
+      }
+    }
+    dead[s].store(true, std::memory_order_release);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(S);
+  for (std::size_t s = 0; s < S; ++s) threads.emplace_back(shard_main, s);
+  for (std::thread& th : threads) th.join();
+
+  ShardResult result;
+  result.corrections.resize(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    const Range rg = plan_.owned[s];
+    std::copy(st[s].x_local.begin(),
+              st[s].x_local.begin() + static_cast<std::ptrdiff_t>(rg.size()),
+              x.begin() + static_cast<std::ptrdiff_t>(rg.begin));
+    result.corrections[s] = st[s].corrections;
+    result.reads_dropped += st[s].reads_dropped;
+    if (st[s].killed) result.killed_shards.push_back(s);
+  }
+  result.packets_sent = transport.packets_sent();
+  result.packets_dropped = transport.packets_dropped();
+  result.seconds = timer.seconds();
+  result.final_rel_res = rel_res(b, x);
+  return result;
+}
+
+}  // namespace asyncmg

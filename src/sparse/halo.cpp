@@ -1,0 +1,80 @@
+#include "sparse/halo.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace asyncmg {
+
+LocalStencil LocalStencil::from_rows(const CsrMatrix& a, Index row_begin,
+                                     Index row_end,
+                                     std::span<const Index> global_to_local,
+                                     Index local_cols) {
+  if (row_begin < 0 || row_end < row_begin || row_end > a.rows()) {
+    throw std::invalid_argument("LocalStencil: row range out of bounds");
+  }
+  if (static_cast<Index>(global_to_local.size()) != a.cols()) {
+    throw std::invalid_argument("LocalStencil: global_to_local size mismatch");
+  }
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.values();
+
+  LocalStencil s;
+  s.row_begin_ = row_begin;
+  s.local_cols_ = local_cols;
+  const std::size_t nrows = static_cast<std::size_t>(row_end - row_begin);
+  s.row_ptr_.resize(nrows + 1);
+  const Index first = rp[static_cast<std::size_t>(row_begin)];
+  const Index last = rp[static_cast<std::size_t>(row_end)];
+  s.col_idx_.reserve(static_cast<std::size_t>(last - first));
+  s.values_.assign(v.begin() + first, v.begin() + last);
+  s.row_ptr_[0] = 0;
+  for (std::size_t i = 0; i < nrows; ++i) {
+    s.row_ptr_[i + 1] =
+        rp[static_cast<std::size_t>(row_begin) + i + 1] - first;
+  }
+  for (Index k = first; k < last; ++k) {
+    const Index g = ci[static_cast<std::size_t>(k)];
+    const Index l = global_to_local[static_cast<std::size_t>(g)];
+    if (l < 0 || l >= local_cols) {
+      throw std::invalid_argument(
+          "LocalStencil: referenced column has no local index");
+    }
+    s.col_idx_.push_back(l);
+  }
+  return s;
+}
+
+void LocalStencil::spmv(const Vector& x_local, Vector& y) const {
+  assert(static_cast<Index>(x_local.size()) == local_cols_);
+  const std::size_t nrows = row_ptr_.size() - 1;
+  y.resize(nrows);
+  for (std::size_t i = 0; i < nrows; ++i) {
+    double s = 0.0;
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      s += values_[static_cast<std::size_t>(k)] *
+           x_local[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    y[i] = s;
+  }
+}
+
+void LocalStencil::residual_into(const Vector& b_full, const Vector& x_local,
+                                 Vector& r_full) const {
+  assert(static_cast<Index>(x_local.size()) == local_cols_);
+  assert(b_full.size() == r_full.size());
+  const std::size_t nrows = row_ptr_.size() - 1;
+  const std::size_t off = static_cast<std::size_t>(row_begin_);
+  // Same accumulation order as CsrMatrix::residual_rows: s starts at b_i
+  // and subtracts the row's products in storage order.
+  for (std::size_t i = 0; i < nrows; ++i) {
+    double s = b_full[off + i];
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      s -= values_[static_cast<std::size_t>(k)] *
+           x_local[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    r_full[off + i] = s;
+  }
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,58 @@
+#pragma once
+// Halo-aware local stencil: the rows of a global CSR matrix owned by one
+// shard, with column indices renumbered into that shard's local vector
+// layout [owned rows; ghost (halo) entries].
+//
+// The renumbering only relabels columns -- the in-row entry order of the
+// global matrix is preserved exactly -- so the local SpMV/residual visit
+// the same values in the same order as the global row-range kernels. When
+// the local vector holds the true global values (fresh halo), the results
+// are bitwise identical to CsrMatrix::spmv_rows / residual_rows on the
+// global matrix; a stale halo changes only the x values read, never the
+// arithmetic order. That property is what lets the sharded executor's
+// bulk-synchronous discipline reproduce the single-shard oracle bit for
+// bit at any shard count (src/shard).
+
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace asyncmg {
+
+class LocalStencil {
+ public:
+  LocalStencil() = default;
+
+  /// Rows [row_begin, row_end) of `a` with every column index g replaced by
+  /// global_to_local[g]. `local_cols` is the local vector length (owned +
+  /// ghosts). Throws std::invalid_argument when a referenced column maps to
+  /// a negative local index or out of range.
+  static LocalStencil from_rows(const CsrMatrix& a, Index row_begin,
+                                Index row_end,
+                                std::span<const Index> global_to_local,
+                                Index local_cols);
+
+  Index rows() const { return static_cast<Index>(row_ptr_.size()) - 1; }
+  Index local_cols() const { return local_cols_; }
+  Index nnz() const { return static_cast<Index>(values_.size()); }
+  Index row_begin() const { return row_begin_; }
+
+  /// y = A_loc x_local; y is resized to rows().
+  void spmv(const Vector& x_local, Vector& y) const;
+
+  /// Owned rows of the global residual, written in place at their global
+  /// positions: r_full[row_begin + i] = b_full[row_begin + i] - (A x)_i.
+  /// b_full and r_full are full-length global vectors; x_local is the local
+  /// [owned; ghost] vector.
+  void residual_into(const Vector& b_full, const Vector& x_local,
+                     Vector& r_full) const;
+
+ private:
+  Index row_begin_ = 0;
+  Index local_cols_ = 0;
+  std::vector<Index> row_ptr_;  // local, size rows+1
+  std::vector<Index> col_idx_;  // local indices, global in-row order
+  std::vector<double> values_;
+};
+
+}  // namespace asyncmg

@@ -31,6 +31,12 @@ const char* event_name(EventKind k) {
     case EventKind::kPhaseBegin:
     case EventKind::kPhaseEnd:
       return "phase";
+    case EventKind::kShardStep:
+      return "shard-step";
+    case EventKind::kShardExchange:
+      return "shard-exchange";
+    case EventKind::kShardDrop:
+      return "shard-drop";
   }
   return "unknown";
 }

@@ -35,6 +35,11 @@ enum class EventKind : std::uint8_t {
   // Multiplicative-cycle phases (B/E pair). a = CyclePhase, b = level.
   kPhaseBegin,
   kPhaseEnd,
+  // Sharded executor (shard/solver.hpp); a = shard id throughout.
+  kShardStep,      // a = shard, b = duration (ns, or 1 tick scripted)
+  kShardExchange,  // a = shard, b = packets merged (read instant scripted)
+  kShardDrop,      // a = shard, b = peer the send to was dropped (-1 = a
+                   //     FaultPlan drop-read skipped the whole refresh)
 };
 
 /// Stable display name of an event kind (used by the Chrome exporter).
@@ -68,5 +73,10 @@ struct DrainedEvent {
 /// Ring id used for control-plane events recorded from arbitrary threads
 /// (cache, admission queue) via TelemetrySink::record_control.
 inline constexpr std::size_t kControlTid = 1000000;
+
+/// Trace-track offset for shard events: shard s displays on track
+/// kShardTrackBase + s ("shard s"), keeping shard tracks clear of grid and
+/// thread tracks in mixed traces.
+inline constexpr std::size_t kShardTrackBase = 500000;
 
 }  // namespace asyncmg

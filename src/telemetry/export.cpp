@@ -23,9 +23,18 @@ std::size_t track_of(const DrainedEvent& de) {
     case EventKind::kPhaseBegin:
     case EventKind::kPhaseEnd:
       return de.tid;
+    case EventKind::kShardStep:
+    case EventKind::kShardExchange:
+    case EventKind::kShardDrop:
+      return kShardTrackBase + static_cast<std::size_t>(de.ev.a);
     default:
       return kControlTid;
   }
+}
+
+bool is_shard_event(EventKind k) {
+  return k == EventKind::kShardStep || k == EventKind::kShardExchange ||
+         k == EventKind::kShardDrop;
 }
 
 bool is_grid_event(EventKind k) {
@@ -58,6 +67,8 @@ std::string chrome_trace_json(const std::vector<DrainedEvent>& events,
     const std::size_t track = track_of(de);
     if (is_grid_event(de.ev.kind)) {
       names[track] = "grid " + std::to_string(de.ev.a);
+    } else if (is_shard_event(de.ev.kind)) {
+      names[track] = "shard " + std::to_string(de.ev.a);
     } else if (track == kControlTid) {
       names.emplace(track, "control");
     } else {
@@ -128,6 +139,19 @@ std::string chrome_trace_json(const std::vector<DrainedEvent>& events,
         o << "\"name\":\"queue-depth\",\"cat\":\"service\",\"ph\":\"C\","
           << "\"ts\":" << ts << ",\"pid\":1,\"tid\":" << track
           << ",\"args\":{\"depth\":" << e.a << "}";
+        break;
+      case EventKind::kShardStep:
+        o << "\"name\":\"shard-step\",\"cat\":\"shard\",\"ph\":\"X\",\"ts\":"
+          << ts << ",\"dur\":" << us_string(e.b, opts.logical_time)
+          << ",\"pid\":1,\"tid\":" << track << ",\"args\":{\"shard\":" << e.a
+          << "}";
+        break;
+      case EventKind::kShardExchange:
+      case EventKind::kShardDrop:
+        o << "\"name\":\"" << event_name(e.kind)
+          << "\",\"cat\":\"shard\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts
+          << ",\"pid\":1,\"tid\":" << track << ",\"args\":{\"shard\":" << e.a
+          << ",\"detail\":" << e.b << "}";
         break;
     }
     o << "}";

@@ -118,6 +118,30 @@ TEST(Distributed, RejectsBadOptions) {
                std::invalid_argument);
   EXPECT_THROW(simulate_distributed_sync(*f.corr, f.b, x, o),
                std::invalid_argument);
+  o = {};
+  o.latency = -1e-6;
+  EXPECT_THROW(simulate_distributed_async(*f.corr, f.b, x, o),
+               std::invalid_argument);
+  o = {};
+  o.jitter = -0.1;
+  EXPECT_THROW(simulate_distributed_sync(*f.corr, f.b, x, o),
+               std::invalid_argument);
+  o = {};
+  o.jitter = 1.0;  // a jitter of 1 can zero a correction's duration
+  EXPECT_THROW(simulate_distributed_async(*f.corr, f.b, x, o),
+               std::invalid_argument);
+  o = {};
+  o.heterogeneity = 1.0;
+  EXPECT_THROW(simulate_distributed_async(*f.corr, f.b, x, o),
+               std::invalid_argument);
+  o = {};
+  o.flops_per_second = 0.0;
+  EXPECT_THROW(simulate_distributed_sync(*f.corr, f.b, x, o),
+               std::invalid_argument);
+  o = {};
+  o.barrier_cost = -1.0;
+  EXPECT_THROW(simulate_distributed_sync(*f.corr, f.b, x, o),
+               std::invalid_argument);
 }
 
 }  // namespace
