@@ -95,9 +95,11 @@ int main(int argc, char** argv) {
   using namespace asyncmg;
 
   Cli cli(argc, argv);
-  const Index n = static_cast<Index>(cli.get_int("n", 32));
-  const auto threads = cli.get_int_list("threads", {1, 2, 4, 8});
-  const int repeats = static_cast<int>(cli.get_int("repeats", 3));
+  const bool smoke = cli.has("smoke");
+  const Index n = static_cast<Index>(cli.get_int("n", smoke ? 12 : 32));
+  const auto threads = smoke ? std::vector<std::int64_t>{1, 2}
+                             : cli.get_int_list("threads", {1, 2, 4, 8});
+  const int repeats = static_cast<int>(cli.get_int("repeats", smoke ? 1 : 3));
   const int aggressive = static_cast<int>(cli.get_int("aggressive", 1));
   const std::string json_path = cli.get("json", "BENCH_setup.json");
 

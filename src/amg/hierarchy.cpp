@@ -67,6 +67,26 @@ Hierarchy Hierarchy::build(CsrMatrix a_fine, const AmgOptions& opts) {
     h.levels_.back().split = std::move(split);
     h.levels_.push_back(AmgLevel{std::move(ac), {}, {}});
   }
+
+  // Demote per the precision policy only after the whole (fp64) setup is
+  // done: Galerkin products, strength, and interpolation all see full
+  // precision, and the stored hierarchy is identical whether it is used
+  // fresh or round-tripped through the spill serializer. The interpolant
+  // P_k couples level k to level k+1 and follows the coarser level's
+  // width.
+  const std::size_t nl = h.levels_.size();
+  const std::size_t fine_nnz = static_cast<std::size_t>(h.levels_[0].a.nnz());
+  for (std::size_t k = 0; k < nl; ++k) {
+    const Precision pk = opts.precision.level_precision(
+        k, nl, static_cast<std::size_t>(h.levels_[k].a.nnz()), fine_nnz);
+    h.levels_[k].a.convert_precision(pk);
+    if (k + 1 < nl && h.levels_[k].p.rows() > 0) {
+      const Precision pc = opts.precision.level_precision(
+          k + 1, nl, static_cast<std::size_t>(h.levels_[k + 1].a.nnz()),
+          fine_nnz);
+      h.levels_[k].p.convert_precision(pc);
+    }
+  }
   return h;
 }
 

@@ -10,6 +10,7 @@
 
 #include "amg/coarsen.hpp"
 #include "amg/interp.hpp"
+#include "amg/precision.hpp"
 #include "amg/strength.hpp"
 #include "sparse/csr.hpp"
 
@@ -42,6 +43,13 @@ struct AmgOptions {
   /// budget instead of oversubscribing. Every value yields a bit-identical
   /// hierarchy (see DESIGN.md on setup determinism).
   int setup_threads = 0;
+  /// Per-level stored scalar width (DESIGN.md section 12). Setup always
+  /// runs in fp64; the policy demotes coarse operators/interpolants at the
+  /// end of build(), so fresh builds and spill-reloaded hierarchies see
+  /// identical (rounded) values. Defaults to all-fp64 unless the
+  /// ASYNCMG_PRECISION environment variable overrides it; assign
+  /// `PrecisionPolicy{}` to pin the fp64 oracle regardless of environment.
+  PrecisionPolicy precision = default_precision_policy();
 };
 
 /// One level of the hierarchy. `p` interpolates from level k+1 to level k

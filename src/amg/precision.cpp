@@ -1,0 +1,59 @@
+#include "amg/precision.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace asyncmg {
+
+Precision PrecisionPolicy::level_precision(std::size_t level,
+                                           std::size_t num_levels,
+                                           std::size_t level_nnz,
+                                           std::size_t fine_nnz) const {
+  (void)num_levels;
+  if (level == 0) return Precision::kF64;
+  if (level < per_level.size()) return per_level[level];
+  switch (mode) {
+    case Mode::kF64:
+      return Precision::kF64;
+    case Mode::kF32Coarse: {
+      const auto first =
+          static_cast<std::size_t>(std::max<Index>(1, first_low_level));
+      return level >= first ? Precision::kF32 : Precision::kF64;
+    }
+    case Mode::kAuto: {
+      const double frac = fine_nnz == 0
+                              ? 0.0
+                              : static_cast<double>(level_nnz) /
+                                    static_cast<double>(fine_nnz);
+      return frac <= auto_nnz_fraction ? Precision::kF32 : Precision::kF64;
+    }
+  }
+  return Precision::kF64;
+}
+
+const char* precision_mode_name(PrecisionPolicy::Mode m) {
+  switch (m) {
+    case PrecisionPolicy::Mode::kF64:
+      return "f64";
+    case PrecisionPolicy::Mode::kF32Coarse:
+      return "f32coarse";
+    case PrecisionPolicy::Mode::kAuto:
+      return "auto";
+  }
+  return "f64";
+}
+
+PrecisionPolicy default_precision_policy() {
+  PrecisionPolicy p;
+  const char* env = std::getenv("ASYNCMG_PRECISION");
+  if (env == nullptr) return p;
+  if (std::strcmp(env, "f32coarse") == 0) {
+    p.mode = PrecisionPolicy::Mode::kF32Coarse;
+  } else if (std::strcmp(env, "auto") == 0) {
+    p.mode = PrecisionPolicy::Mode::kAuto;
+  }
+  return p;
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,71 @@
+#pragma once
+// Per-level precision policy for the hierarchy (DESIGN.md section 12).
+//
+// The solve phase is bandwidth-bound, and after the SELL/fused-kernel work
+// the remaining factor-of-two in operator bytes is scalar width. Following
+// Murray & Weinzierl's dynamic-precision multigrid argument, coarse levels —
+// where algebraic error dominates discretization accuracy anyway — can store
+// their operators and interpolants in fp32 while every iteration vector,
+// accumulator, and the outer residual/correction loop stays fp64. The fp64
+// defect-correction wrapper on the fine level absorbs the rounded coarse
+// corrections, so convergence degrades by bounded error norms, not bitwise.
+//
+// Discipline: the all-fp64 policy (the default) is the bitwise correctness
+// oracle — it must produce results identical to the pre-policy code for
+// every thread count. Reduced-precision policies are accepted only by
+// error-norm/convergence-rate bounds against that oracle.
+
+#include <string>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace asyncmg {
+
+struct PrecisionPolicy {
+  enum class Mode {
+    /// Everything fp64 (the default and the bitwise oracle).
+    kF64 = 0,
+    /// Levels >= first_low_level store operators and interpolants in fp32.
+    kF32Coarse = 1,
+    /// Demote by size: levels whose operator nnz is at most
+    /// auto_nnz_fraction of the fine level's nnz go fp32. Coarse operators
+    /// shrink geometrically, so this demotes everything below the first
+    /// level or two without needing a depth knob.
+    kAuto = 2,
+  };
+
+  Mode mode = Mode::kF64;
+
+  /// First fp32 level under kF32Coarse. Clamped to >= 1: level 0 always
+  /// stays fp64 — the defect-correction residual is computed there and the
+  /// async runtime's fine-level refresh assumes full precision.
+  Index first_low_level = 1;
+
+  /// kAuto demotion threshold: level k (k >= 1) is demoted when
+  /// nnz(A_k) <= auto_nnz_fraction * nnz(A_0).
+  double auto_nnz_fraction = 0.5;
+
+  /// Explicit per-level overrides; entry k (when present) wins over the
+  /// mode for level k. Level 0 still cannot be demoted.
+  std::vector<Precision> per_level;
+
+  /// Stored width for level `level` of `num_levels` under this policy.
+  /// `level_nnz`/`fine_nnz` feed the kAuto threshold.
+  Precision level_precision(std::size_t level, std::size_t num_levels,
+                            std::size_t level_nnz,
+                            std::size_t fine_nnz) const;
+};
+
+/// Stable mode name ("f64" / "f32coarse" / "auto") for summaries and JSON.
+const char* precision_mode_name(PrecisionPolicy::Mode m);
+
+/// Policy picked up by AmgOptions{}: kF64 unless the ASYNCMG_PRECISION
+/// environment variable says otherwise ("f64", "f32coarse", "auto";
+/// anything else is ignored). This is how CI forces the whole ctest suite
+/// through the fp32-coarse path without touching call sites. Tests that
+/// need the bitwise oracle pin `PrecisionPolicy{}` explicitly, which
+/// bypasses the environment.
+PrecisionPolicy default_precision_policy();
+
+}  // namespace asyncmg

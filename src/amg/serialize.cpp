@@ -9,17 +9,25 @@
 namespace asyncmg {
 
 namespace {
-constexpr const char* kMagic = "asyncmg-hierarchy-v1";
+// v2 adds a per-level "precision <a> <p>" line carrying the stored scalar
+// widths; v1 files (all-fp64) are still accepted by load_hierarchy.
+constexpr const char* kMagic = "asyncmg-hierarchy-v2";
+constexpr const char* kMagicV1 = "asyncmg-hierarchy-v1";
 }
 
 void save_hierarchy(std::ostream& out, const Hierarchy& h) {
   out << kMagic << '\n' << h.num_levels() << '\n';
   for (std::size_t k = 0; k < h.num_levels(); ++k) {
     const AmgLevel& lvl = h.level(k);
+    const bool coarsest = k + 1 == h.num_levels();
     out << "level " << k << '\n';
+    // Values are written as exactly-widened doubles (Matrix Market text);
+    // the precision tags restore the stored width on load, so fp32 levels
+    // round-trip bit for bit.
+    out << "precision " << precision_name(lvl.a.precision()) << ' '
+        << (coarsest ? "-" : precision_name(lvl.p.precision())) << '\n';
     out << "matrix\n";
     write_matrix_market(out, lvl.a);
-    const bool coarsest = k + 1 == h.num_levels();
     out << "interp " << (coarsest ? 0 : 1) << '\n';
     if (!coarsest) write_matrix_market(out, lvl.p);
     out << "split " << lvl.split.size() << '\n';
@@ -51,10 +59,18 @@ void require(bool cond, const std::string& msg) {
   if (!cond) throw std::runtime_error("load_hierarchy: " + msg);
 }
 
+Precision parse_precision(const std::string& tok) {
+  if (tok == "f32") return Precision::kF32;
+  require(tok == "f64", "bad precision tag '" + tok + "'");
+  return Precision::kF64;
+}
+
 }  // namespace
 
 Hierarchy load_hierarchy(std::istream& in) {
-  require(expect_token(in, "magic") == kMagic, "bad magic");
+  const std::string magic = expect_token(in, "magic");
+  const bool v1 = magic == kMagicV1;
+  require(v1 || magic == kMagic, "bad magic");
   std::size_t nl = 0;
   in >> nl;
   require(in.good() && nl > 0 && nl < 1000, "bad level count");
@@ -66,16 +82,27 @@ Hierarchy load_hierarchy(std::istream& in) {
     std::size_t idx = 0;
     in >> idx;
     require(idx == k, "level index mismatch");
+    Precision a_prec = Precision::kF64;
+    Precision p_prec = Precision::kF64;
+    if (!v1) {
+      require(expect_token(in, "precision") == "precision",
+              "expected 'precision'");
+      a_prec = parse_precision(expect_token(in, "matrix precision"));
+      const std::string ptok = expect_token(in, "interp precision");
+      if (ptok != "-") p_prec = parse_precision(ptok);
+    }
     require(expect_token(in, "matrix") == "matrix", "expected 'matrix'");
     in.ignore();  // consume newline before the Matrix Market banner
     AmgLevel lvl;
     lvl.a = read_matrix_market(in);
+    lvl.a.convert_precision(a_prec);
     require(expect_token(in, "interp") == "interp", "expected 'interp'");
     int has_p = 0;
     in >> has_p;
     if (has_p) {
       in.ignore();
       lvl.p = read_matrix_market(in);
+      lvl.p.convert_precision(p_prec);
     }
     require(expect_token(in, "split") == "split", "expected 'split'");
     std::size_t ns = 0;

@@ -51,31 +51,33 @@ void team_residual_update_shared(const Ctx& c, const CsrMatrix& a,
     c.tbar();  // see team_read_shared
     if (c.rank == 0) c.sh->lock.lock();
     c.tbar();
-    for (Index i = rb; i < re; ++i) {
-      double s = 0.0;
+    a.with_values([&](const auto* v) {
       const auto rp = a.row_ptr();
       const auto ci = a.col_idx();
-      const auto v = a.values();
-      for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-        s += v[static_cast<std::size_t>(k)] *
-             e[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
+      for (Index i = rb; i < re; ++i) {
+        double s = 0.0;
+        for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+          s += v[static_cast<std::size_t>(k)] *
+               e[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
+        }
+        r[static_cast<std::size_t>(i)] -= s;
       }
-      r[static_cast<std::size_t>(i)] -= s;
-    }
+    });
     c.tbar();
     if (c.rank == 0) c.sh->lock.unlock();
   } else {
-    for (Index i = rb; i < re; ++i) {
-      double s = 0.0;
+    a.with_values([&](const auto* v) {
       const auto rp = a.row_ptr();
       const auto ci = a.col_idx();
-      const auto v = a.values();
-      for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-        s += v[static_cast<std::size_t>(k)] *
-             e[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
+      for (Index i = rb; i < re; ++i) {
+        double s = 0.0;
+        for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+          s += v[static_cast<std::size_t>(k)] *
+               e[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])];
+        }
+        relaxed_add(r[static_cast<std::size_t>(i)], -s);
       }
-      relaxed_add(r[static_cast<std::size_t>(i)], -s);
-    }
+    });
     c.tbar();
   }
 }
@@ -91,20 +93,22 @@ void thread_refresh_global_residual(const Ctx& c) {
   if (locking) c.sh->lock.lock();
   const auto rp = a.row_ptr();
   const auto ci = a.col_idx();
-  const auto v = a.values();
-  for (std::size_t i = rg.begin; i < rg.end; ++i) {
-    double s = b[i];
-    const auto row = static_cast<Index>(i);
-    for (Index k = rp[row]; k < rp[row + 1]; ++k) {
-      const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
-      s -= v[static_cast<std::size_t>(k)] * (locking ? x[j] : relaxed_load(x[j]));
+  a.with_values([&](const auto* v) {
+    for (std::size_t i = rg.begin; i < rg.end; ++i) {
+      double s = b[i];
+      const auto row = static_cast<Index>(i);
+      for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+        s -= v[static_cast<std::size_t>(k)] *
+             (locking ? x[j] : relaxed_load(x[j]));
+      }
+      if (locking) {
+        r[i] = s;
+      } else {
+        relaxed_store(r[i], s);
+      }
     }
-    if (locking) {
-      r[i] = s;
-    } else {
-      relaxed_store(r[i], s);
-    }
-  }
+  });
   if (locking) c.sh->lock.unlock();
 }
 

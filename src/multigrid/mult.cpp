@@ -33,6 +33,16 @@ void MultiplicativeMg::set_telemetry(TelemetrySink* sink, std::size_t tid) {
   if (sink != nullptr) {
     ctr_bytes_ = &sink->metrics().counter("kernel.bytes_moved");
     ctr_sweeps_ = &sink->metrics().counter("kernel.fused_sweeps");
+    // Tag reduced-precision levels once per attach. All-fp64 setups emit
+    // nothing, keeping the golden trace fixtures byte-identical.
+    for (std::size_t k = 0; k < s_->num_levels(); ++k) {
+      const Precision p = s_->a(k).precision();
+      if (p != Precision::kF64) {
+        sink->record(tid, EventKind::kLevelPrecision,
+                     static_cast<std::int64_t>(k),
+                     static_cast<std::int64_t>(p));
+      }
+    }
   } else {
     ctr_bytes_ = nullptr;
     ctr_sweeps_ = nullptr;

@@ -37,12 +37,17 @@ void MgSetup::init() {
   }
 
   // Smoothed interpolants for Multadd, one per non-coarsest level, built
-  // from the Jacobi-type iteration matrix of the configured smoother.
+  // from the Jacobi-type iteration matrix of the configured smoother. The
+  // SpGEMM chain always produces fp64; each Pbar is then demoted to match
+  // its plain interpolant's stored width (set by the precision policy at
+  // hierarchy build), so the additive transfer operators stream the same
+  // number of bytes as the multiplicative ones.
   pbar_.reserve(nl > 0 ? nl - 1 : 0);
   for (std::size_t k = 0; k + 1 < nl; ++k) {
     pbar_.push_back(smoothed_interpolant(
         h_.matrix(k), h_.interpolation(k), opts_.smoother.type,
         opts_.smoother.omega, opts_.amg.setup_threads));
+    pbar_.back().convert_precision(h_.interpolation(k).precision());
   }
 
   rt_.reserve(pbar_.size());

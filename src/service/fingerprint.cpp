@@ -35,7 +35,12 @@ MatrixFingerprint matrix_fingerprint(const CsrMatrix& a) {
   std::uint64_t h = fnv1a_bytes(a.row_ptr().data(),
                                 a.row_ptr().size_bytes());
   h = fnv1a_bytes(a.col_idx().data(), a.col_idx().size_bytes(), h);
-  h = fnv1a_bytes(a.values().data(), a.values().size_bytes(), h);
+  // Hash the value bytes at the stored width: client matrices are fp64 (so
+  // existing fingerprints are unchanged), and an fp32 copy of the same
+  // operator keys differently from its fp64 original, as it must.
+  a.with_values([&](const auto* v) {
+    h = fnv1a_bytes(v, a.value_bytes(), h);
+  });
   f.hash = h;
   return f;
 }

@@ -13,7 +13,10 @@ namespace asyncmg {
 namespace {
 
 std::size_t csr_bytes(const CsrMatrix& m) {
-  return static_cast<std::size_t>(m.nnz()) * (sizeof(Index) + sizeof(double)) +
+  // Value bytes at the stored scalar width: fp32 levels are half price, so
+  // the byte budget and LRU/spill decisions stay honest under the mixed-
+  // precision policy.
+  return m.value_bytes() + static_cast<std::size_t>(m.nnz()) * sizeof(Index) +
          (static_cast<std::size_t>(m.rows()) + 1) * sizeof(Index);
 }
 

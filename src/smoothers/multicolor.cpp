@@ -61,40 +61,45 @@ void MulticolorGS::apply_zero(const Vector& r, Vector& e) const {
   e.assign(r.size(), 0.0);
   const auto rp = a_->row_ptr();
   const auto ci = a_->col_idx();
-  const auto v = a_->values();
-  for (const auto& rows : by_color_) {
-    // Rows of one color have no mutual couplings: any execution order
-    // (including concurrent) yields this exact result.
-    for (Index i : rows) {
-      double s = r[static_cast<std::size_t>(i)];
-      for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
-        if (static_cast<Index>(j) != i) {
-          s -= v[static_cast<std::size_t>(k)] * e[j];
+  a_->with_values([&](const auto* v) {
+    for (const auto& rows : by_color_) {
+      // Rows of one color have no mutual couplings: any execution order
+      // (including concurrent) yields this exact result.
+      for (Index i : rows) {
+        double s = r[static_cast<std::size_t>(i)];
+        for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+          const auto j =
+              static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+          if (static_cast<Index>(j) != i) {
+            s -= v[static_cast<std::size_t>(k)] * e[j];
+          }
         }
+        e[static_cast<std::size_t>(i)] =
+            s * inv_diag_[static_cast<std::size_t>(i)];
       }
-      e[static_cast<std::size_t>(i)] = s * inv_diag_[static_cast<std::size_t>(i)];
     }
-  }
+  });
 }
 
 void MulticolorGS::sweep(const Vector& b, Vector& x) const {
   const auto rp = a_->row_ptr();
   const auto ci = a_->col_idx();
-  const auto v = a_->values();
-  for (const auto& rows : by_color_) {
-    for (Index i : rows) {
-      double s = b[static_cast<std::size_t>(i)];
-      for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
-        if (static_cast<Index>(j) != i) {
-          s -= v[static_cast<std::size_t>(k)] * x[j];
+  a_->with_values([&](const auto* v) {
+    for (const auto& rows : by_color_) {
+      for (Index i : rows) {
+        double s = b[static_cast<std::size_t>(i)];
+        for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+          const auto j =
+              static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+          if (static_cast<Index>(j) != i) {
+            s -= v[static_cast<std::size_t>(k)] * x[j];
+          }
         }
+        x[static_cast<std::size_t>(i)] =
+            s * inv_diag_[static_cast<std::size_t>(i)];
       }
-      x[static_cast<std::size_t>(i)] =
-          s * inv_diag_[static_cast<std::size_t>(i)];
     }
-  }
+  });
 }
 
 }  // namespace asyncmg

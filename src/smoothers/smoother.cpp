@@ -67,19 +67,21 @@ Smoother::Smoother(const CsrMatrix& a, SmootherOptions opts)
     }
     const auto rp = a.row_ptr();
     const auto ci = a.col_idx();
-    const auto v = a.values();
-    for (std::size_t i = 0; i < n; ++i) {
-      double off = 0.0;
-      const auto row = static_cast<Index>(i);
-      for (Index k = rp[row]; k < rp[row + 1]; ++k) {
-        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
-        if (block_of[j] != block_of[i]) {
-          off += std::abs(v[static_cast<std::size_t>(k)]);
+    a.with_values([&](const auto* v) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double off = 0.0;
+        const auto row = static_cast<Index>(i);
+        for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+          const auto j =
+              static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+          if (block_of[j] != block_of[i]) {
+            off += std::abs(static_cast<double>(v[static_cast<std::size_t>(k)]));
+          }
         }
+        diag_[i] += off;
+        inv_diag_[i] = 1.0 / diag_[i];
       }
-      diag_[i] += off;
-      inv_diag_[i] = 1.0 / diag_[i];
-    }
+    });
   }
 }
 
@@ -116,35 +118,37 @@ void Smoother::triangular_apply_block(const Vector& r, Vector& e,
   const Range rg = blocks_[blk];
   const auto rp = a_->row_ptr();
   const auto ci = a_->col_idx();
-  const auto v = a_->values();
-  for (std::size_t i = rg.begin; i < rg.end; ++i) {
-    double s = r[i];
-    const auto row = static_cast<Index>(i);
-    for (Index k = rp[row]; k < rp[row + 1]; ++k) {
-      const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
-      if (j == i) continue;
-      double ej;
-      if (live) {
-        // Asynchronous Gauss-Seidel: read whatever value the owning thread
-        // has published so far (relaxed atomic load; Eq. 5's mixed-age
-        // reads). Our own block's earlier rows are always current.
-        ej = std::atomic_ref<const double>(e[j]).load(std::memory_order_relaxed);
-      } else {
-        // Hybrid JGS: only earlier rows of *this* block contribute (the
-        // block's strictly-lower triangle); everything else is the zero
-        // initial guess.
-        if (j < rg.begin || j >= i) continue;
-        ej = e[j];
+  a_->with_values([&](const auto* v) {
+    for (std::size_t i = rg.begin; i < rg.end; ++i) {
+      double s = r[i];
+      const auto row = static_cast<Index>(i);
+      for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+        if (j == i) continue;
+        double ej;
+        if (live) {
+          // Asynchronous Gauss-Seidel: read whatever value the owning thread
+          // has published so far (relaxed atomic load; Eq. 5's mixed-age
+          // reads). Our own block's earlier rows are always current.
+          ej = std::atomic_ref<const double>(e[j]).load(
+              std::memory_order_relaxed);
+        } else {
+          // Hybrid JGS: only earlier rows of *this* block contribute (the
+          // block's strictly-lower triangle); everything else is the zero
+          // initial guess.
+          if (j < rg.begin || j >= i) continue;
+          ej = e[j];
+        }
+        s -= v[static_cast<std::size_t>(k)] * ej;
       }
-      s -= v[static_cast<std::size_t>(k)] * ej;
+      const double val = s * inv_diag_[i];
+      if (live) {
+        std::atomic_ref<double>(e[i]).store(val, std::memory_order_relaxed);
+      } else {
+        e[i] = val;
+      }
     }
-    const double val = s * inv_diag_[i];
-    if (live) {
-      std::atomic_ref<double>(e[i]).store(val, std::memory_order_relaxed);
-    } else {
-      e[i] = val;
-    }
-  }
+  });
 }
 
 void Smoother::sweep(const Vector& b, Vector& x) const {
@@ -164,16 +168,18 @@ void Smoother::sweep(const Vector& b, Vector& x) const {
       // sweep (every read returns the freshest value).
       const auto rp = a_->row_ptr();
       const auto ci = a_->col_idx();
-      const auto v = a_->values();
-      for (std::size_t i = 0; i < n; ++i) {
-        double s = b[i];
-        const auto row = static_cast<Index>(i);
-        for (Index k = rp[row]; k < rp[row + 1]; ++k) {
-          const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
-          if (j != i) s -= v[static_cast<std::size_t>(k)] * x[j];
+      a_->with_values([&](const auto* v) {
+        for (std::size_t i = 0; i < n; ++i) {
+          double s = b[i];
+          const auto row = static_cast<Index>(i);
+          for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+            const auto j =
+                static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+            if (j != i) s -= v[static_cast<std::size_t>(k)] * x[j];
+          }
+          x[i] = s * inv_diag_[i];
         }
-        x[i] = s * inv_diag_[i];
-      }
+      });
       break;
     }
   }
@@ -218,18 +224,22 @@ void Smoother::block_lower_substitute(Vector& r) const {
   // forward substitution on the block's lower triangle.
   const auto rp = a_->row_ptr();
   const auto ci = a_->col_idx();
-  const auto v = a_->values();
-  for (const Range& rg : blocks_) {
-    for (std::size_t i = rg.begin; i < rg.end; ++i) {
-      double s = r[i];
-      const auto row = static_cast<Index>(i);
-      for (Index k = rp[row]; k < rp[row + 1]; ++k) {
-        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
-        if (j >= rg.begin && j < i) s -= v[static_cast<std::size_t>(k)] * r[j];
+  a_->with_values([&](const auto* v) {
+    for (const Range& rg : blocks_) {
+      for (std::size_t i = rg.begin; i < rg.end; ++i) {
+        double s = r[i];
+        const auto row = static_cast<Index>(i);
+        for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+          const auto j =
+              static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+          if (j >= rg.begin && j < i) {
+            s -= v[static_cast<std::size_t>(k)] * r[j];
+          }
+        }
+        r[i] = s * inv_diag_[i];
       }
-      r[i] = s * inv_diag_[i];
     }
-  }
+  });
 }
 
 void Smoother::sweep_ws(const Vector& b, Vector& x, Vector& scratch) const {
@@ -284,19 +294,21 @@ void Smoother::async_gs_sweep_block(const Vector& b, Vector& x,
   const Range rg = blocks_[blk];
   const auto rp = a_->row_ptr();
   const auto ci = a_->col_idx();
-  const auto v = a_->values();
-  for (std::size_t i = rg.begin; i < rg.end; ++i) {
-    double s = b[i];
-    const auto row = static_cast<Index>(i);
-    for (Index k = rp[row]; k < rp[row + 1]; ++k) {
-      const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
-      if (j == i) continue;
-      s -= v[static_cast<std::size_t>(k)] *
-           std::atomic_ref<const double>(x[j]).load(std::memory_order_relaxed);
+  a_->with_values([&](const auto* v) {
+    for (std::size_t i = rg.begin; i < rg.end; ++i) {
+      double s = b[i];
+      const auto row = static_cast<Index>(i);
+      for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+        if (j == i) continue;
+        s -= v[static_cast<std::size_t>(k)] *
+             std::atomic_ref<const double>(x[j]).load(
+                 std::memory_order_relaxed);
+      }
+      std::atomic_ref<double>(x[i]).store(s * inv_diag_[i],
+                                          std::memory_order_relaxed);
     }
-    std::atomic_ref<double>(x[i]).store(s * inv_diag_[i],
-                                        std::memory_order_relaxed);
-  }
+  });
 }
 
 void Smoother::smooth_zero(const Vector& b, Vector& x, int sweeps) const {
@@ -311,18 +323,22 @@ void Smoother::lower_solve(const Vector& r, Vector& y) const {
   y.assign(n, 0.0);
   const auto rp = a_->row_ptr();
   const auto ci = a_->col_idx();
-  const auto v = a_->values();
-  for (const Range& rg : blocks_) {
-    for (std::size_t i = rg.begin; i < rg.end; ++i) {
-      double s = r[i];
-      const auto row = static_cast<Index>(i);
-      for (Index k = rp[row]; k < rp[row + 1]; ++k) {
-        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
-        if (j >= rg.begin && j < i) s -= v[static_cast<std::size_t>(k)] * y[j];
+  a_->with_values([&](const auto* v) {
+    for (const Range& rg : blocks_) {
+      for (std::size_t i = rg.begin; i < rg.end; ++i) {
+        double s = r[i];
+        const auto row = static_cast<Index>(i);
+        for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+          const auto j =
+              static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+          if (j >= rg.begin && j < i) {
+            s -= v[static_cast<std::size_t>(k)] * y[j];
+          }
+        }
+        y[i] = s / diag_[i];
       }
-      y[i] = s / diag_[i];
     }
-  }
+  });
 }
 
 void Smoother::upper_solve(const Vector& r, Vector& y) const {
@@ -334,19 +350,23 @@ void Smoother::upper_solve(const Vector& r, Vector& y) const {
   y.assign(n, 0.0);
   const auto rp = a_->row_ptr();
   const auto ci = a_->col_idx();
-  const auto v = a_->values();
-  for (const Range& rg : blocks_) {
-    for (std::size_t ii = rg.end; ii-- > rg.begin;) {
-      double s = r[ii];
-      const auto row = static_cast<Index>(ii);
-      for (Index k = rp[row]; k < rp[row + 1]; ++k) {
-        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
-        if (j > ii && j < rg.end) s -= v[static_cast<std::size_t>(k)] * y[j];
+  a_->with_values([&](const auto* v) {
+    for (const Range& rg : blocks_) {
+      for (std::size_t ii = rg.end; ii-- > rg.begin;) {
+        double s = r[ii];
+        const auto row = static_cast<Index>(ii);
+        for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+          const auto j =
+              static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+          if (j > ii && j < rg.end) {
+            s -= v[static_cast<std::size_t>(k)] * y[j];
+          }
+        }
+        y[ii] = s / diag_[ii];
+        if (ii == 0) break;
       }
-      y[ii] = s / diag_[ii];
-      if (ii == 0) break;
     }
-  }
+  });
 }
 
 void Smoother::apply_symmetrized(const Vector& r, Vector& e) const {
@@ -386,21 +406,22 @@ void Smoother::apply_symmetrized_ws(const Vector& r, Vector& e,
       // (M + M^T) y: block lower + block upper, diagonal counted twice.
       const auto rp = a_->row_ptr();
       const auto ci = a_->col_idx();
-      const auto v = a_->values();
-      for (const Range& rg : blocks_) {
-        for (std::size_t i = rg.begin; i < rg.end; ++i) {
-          double s = 2.0 * diag_[i] * y[i];
-          const auto row = static_cast<Index>(i);
-          for (Index k = rp[row]; k < rp[row + 1]; ++k) {
-            const auto j =
-                static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
-            if (j != i && j >= rg.begin && j < rg.end) {
-              s += v[static_cast<std::size_t>(k)] * y[j];
+      a_->with_values([&](const auto* v) {
+        for (const Range& rg : blocks_) {
+          for (std::size_t i = rg.begin; i < rg.end; ++i) {
+            double s = 2.0 * diag_[i] * y[i];
+            const auto row = static_cast<Index>(i);
+            for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+              const auto j =
+                  static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+              if (j != i && j >= rg.begin && j < rg.end) {
+                s += v[static_cast<std::size_t>(k)] * y[j];
+              }
             }
+            z[i] = s - ay[i];
           }
-          z[i] = s - ay[i];
         }
-      }
+      });
       upper_solve(z, e);
       break;
     }

@@ -38,27 +38,29 @@ double spectral_radius_abs_iteration(const Smoother& smoother, int iterations,
   const std::size_t n = static_cast<std::size_t>(a.rows());
   const auto rp = a.row_ptr();
   const auto ci = a.col_idx();
-  const auto v = a.values();
 
   // y = |G| x with G = I - D~ A; diagonal entries |1 - d_i a_ii|,
   // off-diagonals |d_i a_ij|. (A zero stored diagonal is handled by the
   // delta term either way.)
   auto apply_abs = [&](const Vector& x, Vector& y) {
-    for (std::size_t i = 0; i < n; ++i) {
-      double s = 0.0;
-      bool saw_diag = false;
-      const auto row = static_cast<Index>(i);
-      for (Index k = rp[row]; k < rp[row + 1]; ++k) {
-        const auto j = static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
-        const double g = (j == i)
-                             ? 1.0 - d[i] * v[static_cast<std::size_t>(k)]
-                             : -d[i] * v[static_cast<std::size_t>(k)];
-        if (j == i) saw_diag = true;
-        s += std::abs(g) * x[j];
+    a.with_values([&](const auto* v) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        bool saw_diag = false;
+        const auto row = static_cast<Index>(i);
+        for (Index k = rp[row]; k < rp[row + 1]; ++k) {
+          const auto j =
+              static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+          const double g = (j == i)
+                               ? 1.0 - d[i] * v[static_cast<std::size_t>(k)]
+                               : -d[i] * v[static_cast<std::size_t>(k)];
+          if (j == i) saw_diag = true;
+          s += std::abs(g) * x[j];
+        }
+        if (!saw_diag) s += x[i];  // implicit identity contribution
+        y[i] = s;
       }
-      if (!saw_diag) s += x[i];  // implicit identity contribution
-      y[i] = s;
-    }
+    });
   };
 
   Rng rng(seed);

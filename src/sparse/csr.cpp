@@ -8,6 +8,7 @@
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <type_traits>
 
 #include "sparse/parallel.hpp"
 #include "util/thread_context.hpp"
@@ -42,8 +43,14 @@ RowRange static_rows(Index n, int nt, int t) {
 // the vectorizer needs; the outlined form measures ~30% slower at one
 // thread. Rows write disjoint outputs, so the partition cannot affect the
 // result.
+//
+// Bodies are templated over the stored value type (double or float, per the
+// matrix's Precision): values widen to double on load and every accumulator
+// stays double, so the fp64 instantiation is bit-for-bit the pre-template
+// code and the fp32 instantiation only narrows the streamed operator bytes.
 
-void spmv_body(const Index* rp, const Index* ci, const double* av,
+template <class AV>
+void spmv_body(const Index* rp, const Index* ci, const AV* av,
                const double* xp, double* yp, Index lo, Index hi) {
   for (Index i = lo; i < hi; ++i) {
     double s = 0.0;
@@ -54,7 +61,8 @@ void spmv_body(const Index* rp, const Index* ci, const double* av,
   }
 }
 
-void spmv_add_body(const Index* rp, const Index* ci, const double* av,
+template <class AV>
+void spmv_add_body(const Index* rp, const Index* ci, const AV* av,
                    const double* xp, double* yp, double alpha, Index lo,
                    Index hi) {
   for (Index i = lo; i < hi; ++i) {
@@ -66,7 +74,8 @@ void spmv_add_body(const Index* rp, const Index* ci, const double* av,
   }
 }
 
-void residual_body(const Index* rp, const Index* ci, const double* av,
+template <class AV>
+void residual_body(const Index* rp, const Index* ci, const AV* av,
                    const double* bp, const double* xp, double* rr, Index lo,
                    Index hi) {
   for (Index i = lo; i < hi; ++i) {
@@ -79,6 +88,20 @@ void residual_body(const Index* rp, const Index* ci, const double* av,
 }
 
 }  // namespace
+
+void CsrMatrix::convert_precision(Precision p) {
+  if (p == prec_) return;
+  if (p == Precision::kF32) {
+    values_f32_.assign(values_.begin(), values_.end());
+    values_.clear();
+    values_.shrink_to_fit();
+  } else {
+    values_.assign(values_f32_.begin(), values_f32_.end());
+    values_f32_.clear();
+    values_f32_.shrink_to_fit();
+  }
+  prec_ = p;
+}
 
 CsrMatrix::CsrMatrix(Index rows, Index cols)
     : rows_(rows), cols_(cols), row_ptr_(static_cast<std::size_t>(rows) + 1, 0) {
@@ -175,33 +198,39 @@ double CsrMatrix::at(Index i, Index j) const {
   const auto last = col_idx_.begin() + e;
   const auto it = std::lower_bound(first, last, j);
   if (it != last && *it == j) {
-    return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+    return with_values([&](const auto* v) -> double {
+      return v[static_cast<std::size_t>(it - col_idx_.begin())];
+    });
   }
   return 0.0;
 }
 
 Vector CsrMatrix::diag() const {
   Vector d(static_cast<std::size_t>(rows_), 0.0);
-  for (Index i = 0; i < rows_; ++i) {
-    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      if (col_idx_[static_cast<std::size_t>(k)] == i) {
-        d[static_cast<std::size_t>(i)] = values_[static_cast<std::size_t>(k)];
-        break;
+  with_values([&](const auto* v) {
+    for (Index i = 0; i < rows_; ++i) {
+      for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        if (col_idx_[static_cast<std::size_t>(k)] == i) {
+          d[static_cast<std::size_t>(i)] = v[static_cast<std::size_t>(k)];
+          break;
+        }
       }
     }
-  }
+  });
   return d;
 }
 
 Vector CsrMatrix::l1_row_norms() const {
   Vector d(static_cast<std::size_t>(rows_), 0.0);
-  for (Index i = 0; i < rows_; ++i) {
-    double s = 0.0;
-    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      s += std::abs(values_[static_cast<std::size_t>(k)]);
+  with_values([&](const auto* v) {
+    for (Index i = 0; i < rows_; ++i) {
+      double s = 0.0;
+      for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        s += std::abs(static_cast<double>(v[static_cast<std::size_t>(k)]));
+      }
+      d[static_cast<std::size_t>(i)] = s;
     }
-    d[static_cast<std::size_t>(i)] = s;
-  }
+  });
   return d;
 }
 
@@ -214,14 +243,10 @@ void CsrMatrix::spmv(const Vector& x, Vector& y) const {
 void CsrMatrix::spmv_rows(const Vector& x, Vector& y, Index row_begin,
                           Index row_end) const {
   assert(row_begin >= 0 && row_end <= rows_);
-  for (Index i = row_begin; i < row_end; ++i) {
-    double s = 0.0;
-    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      s += values_[static_cast<std::size_t>(k)] *
-           x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
-    }
-    y[static_cast<std::size_t>(i)] = s;
-  }
+  with_values([&](const auto* av) {
+    spmv_body(row_ptr_.data(), col_idx_.data(), av, x.data(), y.data(),
+              row_begin, row_end);
+  });
 }
 
 void CsrMatrix::spmv_omp(const Vector& x, Vector& y) const {
@@ -229,32 +254,29 @@ void CsrMatrix::spmv_omp(const Vector& x, Vector& y) const {
   y.resize(static_cast<std::size_t>(rows_));
   const Index* const rp = row_ptr_.data();
   const Index* const ci = col_idx_.data();
-  const double* const av = values_.data();
   const double* const xp = x.data();
   double* const yp = y.data();
-  if (!use_solve_omp(rows_)) {
-    spmv_body(rp, ci, av, xp, yp, 0, rows_);
-    return;
-  }
+  with_values([&](const auto* av) {
+    if (!use_solve_omp(rows_)) {
+      spmv_body(rp, ci, av, xp, yp, 0, rows_);
+      return;
+    }
 #pragma omp parallel
-  {
-    const RowRange rg =
-        static_rows(rows_, omp_get_num_threads(), omp_get_thread_num());
-    spmv_body(rp, ci, av, xp, yp, rg.lo, rg.hi);
-  }
+    {
+      const RowRange rg =
+          static_rows(rows_, omp_get_num_threads(), omp_get_thread_num());
+      spmv_body(rp, ci, av, xp, yp, rg.lo, rg.hi);
+    }
+  });
 }
 
 void CsrMatrix::spmv_add(const Vector& x, Vector& y, double alpha) const {
   assert(static_cast<Index>(x.size()) == cols_ &&
          static_cast<Index>(y.size()) == rows_);
-  for (Index i = 0; i < rows_; ++i) {
-    double s = 0.0;
-    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      s += values_[static_cast<std::size_t>(k)] *
-           x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
-    }
-    y[static_cast<std::size_t>(i)] += alpha * s;
-  }
+  with_values([&](const auto* av) {
+    spmv_add_body(row_ptr_.data(), col_idx_.data(), av, x.data(), y.data(),
+                  alpha, 0, rows_);
+  });
 }
 
 void CsrMatrix::spmv_add_omp(const Vector& x, Vector& y, double alpha) const {
@@ -262,19 +284,20 @@ void CsrMatrix::spmv_add_omp(const Vector& x, Vector& y, double alpha) const {
          static_cast<Index>(y.size()) == rows_);
   const Index* const rp = row_ptr_.data();
   const Index* const ci = col_idx_.data();
-  const double* const av = values_.data();
   const double* const xp = x.data();
   double* const yp = y.data();
-  if (!use_solve_omp(rows_)) {
-    spmv_add_body(rp, ci, av, xp, yp, alpha, 0, rows_);
-    return;
-  }
+  with_values([&](const auto* av) {
+    if (!use_solve_omp(rows_)) {
+      spmv_add_body(rp, ci, av, xp, yp, alpha, 0, rows_);
+      return;
+    }
 #pragma omp parallel
-  {
-    const RowRange rg =
-        static_rows(rows_, omp_get_num_threads(), omp_get_thread_num());
-    spmv_add_body(rp, ci, av, xp, yp, alpha, rg.lo, rg.hi);
-  }
+    {
+      const RowRange rg =
+          static_rows(rows_, omp_get_num_threads(), omp_get_thread_num());
+      spmv_add_body(rp, ci, av, xp, yp, alpha, rg.lo, rg.hi);
+    }
+  });
 }
 
 void CsrMatrix::residual(const Vector& b, const Vector& x, Vector& r) const {
@@ -289,40 +312,51 @@ void CsrMatrix::residual_omp(const Vector& b, const Vector& x,
   r.resize(static_cast<std::size_t>(rows_));
   const Index* const rp = row_ptr_.data();
   const Index* const ci = col_idx_.data();
-  const double* const av = values_.data();
   const double* const bp = b.data();
   const double* const xp = x.data();
   double* const rr = r.data();
-  if (!use_solve_omp(rows_)) {
-    residual_body(rp, ci, av, bp, xp, rr, 0, rows_);
-    return;
-  }
+  with_values([&](const auto* av) {
+    if (!use_solve_omp(rows_)) {
+      residual_body(rp, ci, av, bp, xp, rr, 0, rows_);
+      return;
+    }
 #pragma omp parallel
-  {
-    const RowRange rg =
-        static_rows(rows_, omp_get_num_threads(), omp_get_thread_num());
-    residual_body(rp, ci, av, bp, xp, rr, rg.lo, rg.hi);
-  }
+    {
+      const RowRange rg =
+          static_rows(rows_, omp_get_num_threads(), omp_get_thread_num());
+      residual_body(rp, ci, av, bp, xp, rr, rg.lo, rg.hi);
+    }
+  });
 }
 
 void CsrMatrix::residual_rows(const Vector& b, const Vector& x, Vector& r,
                               Index row_begin, Index row_end) const {
   assert(static_cast<Index>(b.size()) == rows_ &&
          static_cast<Index>(x.size()) == cols_);
-  for (Index i = row_begin; i < row_end; ++i) {
-    double s = b[static_cast<std::size_t>(i)];
-    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      s -= values_[static_cast<std::size_t>(k)] *
-           x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
-    }
-    r[static_cast<std::size_t>(i)] = s;
-  }
+  with_values([&](const auto* av) {
+    residual_body(row_ptr_.data(), col_idx_.data(), av, b.data(), x.data(),
+                  r.data(), row_begin, row_end);
+  });
 }
 
 CsrMatrix CsrMatrix::transpose(int num_threads) const {
   CsrMatrix t(cols_, rows_);
-  t.col_idx_.resize(values_.size());
-  t.values_.resize(values_.size());
+  const auto nz = static_cast<std::size_t>(nnz());
+  t.prec_ = prec_;
+  t.col_idx_.resize(nz);
+  if (prec_ == Precision::kF32) {
+    t.values_f32_.resize(nz);
+  } else {
+    t.values_.resize(nz);
+  }
+  // Width-generic scatter target: same element type as the source array.
+  const auto dst = [&t](const auto* src) {
+    if constexpr (std::is_same_v<std::decay_t<decltype(*src)>, float>) {
+      return t.values_f32_.data();
+    } else {
+      return t.values_.data();
+    }
+  };
   const int nt =
       rows_ >= kSetupSerialCutoff ? resolve_setup_threads(num_threads) : 1;
   if (nt == 1) {
@@ -332,15 +366,17 @@ CsrMatrix CsrMatrix::transpose(int num_threads) const {
       t.row_ptr_[r + 1] += t.row_ptr_[r];
     }
     std::vector<Index> next(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
-    for (Index i = 0; i < rows_; ++i) {
-      for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-        const Index c = col_idx_[static_cast<std::size_t>(k)];
-        const Index pos = next[static_cast<std::size_t>(c)]++;
-        t.col_idx_[static_cast<std::size_t>(pos)] = i;
-        t.values_[static_cast<std::size_t>(pos)] =
-            values_[static_cast<std::size_t>(k)];
+    with_values([&](const auto* sv) {
+      auto* tv = dst(sv);
+      for (Index i = 0; i < rows_; ++i) {
+        for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+          const Index c = col_idx_[static_cast<std::size_t>(k)];
+          const Index pos = next[static_cast<std::size_t>(c)]++;
+          t.col_idx_[static_cast<std::size_t>(pos)] = i;
+          tv[static_cast<std::size_t>(pos)] = sv[static_cast<std::size_t>(k)];
+        }
       }
-    }
+    });
     return t;  // rows visited in increasing i => columns sorted per row
   }
 
@@ -377,37 +413,44 @@ CsrMatrix CsrMatrix::transpose(int num_threads) const {
     }
     t.row_ptr_[c + 1] = pos;
   }
+  with_values([&](const auto* sv) {
+    auto* tv = dst(sv);
 #pragma omp parallel for schedule(static, 1) num_threads(nt)
-  for (int b = 0; b < nb; ++b) {
-    Index* next = offsets.data() + static_cast<std::size_t>(b) * ncols;
-    const Range rg = blocks[static_cast<std::size_t>(b)];
-    for (std::size_t i = rg.begin; i < rg.end; ++i) {
-      for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-        const Index c = col_idx_[static_cast<std::size_t>(k)];
-        const Index p = next[static_cast<std::size_t>(c)]++;
-        t.col_idx_[static_cast<std::size_t>(p)] = static_cast<Index>(i);
-        t.values_[static_cast<std::size_t>(p)] =
-            values_[static_cast<std::size_t>(k)];
+    for (int b = 0; b < nb; ++b) {
+      Index* next = offsets.data() + static_cast<std::size_t>(b) * ncols;
+      const Range rg = blocks[static_cast<std::size_t>(b)];
+      for (std::size_t i = rg.begin; i < rg.end; ++i) {
+        for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+          const Index c = col_idx_[static_cast<std::size_t>(k)];
+          const Index p = next[static_cast<std::size_t>(c)]++;
+          t.col_idx_[static_cast<std::size_t>(p)] = static_cast<Index>(i);
+          tv[static_cast<std::size_t>(p)] = sv[static_cast<std::size_t>(k)];
+        }
       }
     }
-  }
+  });
   return t;
 }
 
 void CsrMatrix::spmv_transpose(const Vector& x, Vector& y) const {
   assert(static_cast<Index>(x.size()) == rows_);
   y.assign(static_cast<std::size_t>(cols_), 0.0);
-  for (Index i = 0; i < rows_; ++i) {
-    const double xi = x[static_cast<std::size_t>(i)];
-    if (xi == 0.0) continue;
-    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      y[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] +=
-          values_[static_cast<std::size_t>(k)] * xi;
+  with_values([&](const auto* av) {
+    for (Index i = 0; i < rows_; ++i) {
+      const double xi = x[static_cast<std::size_t>(i)];
+      if (xi == 0.0) continue;
+      for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        y[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] +=
+            av[static_cast<std::size_t>(k)] * xi;
+      }
     }
-  }
+  });
 }
 
 void CsrMatrix::scale_rows(const Vector& s) {
+  // Setup-phase only: scaling mutates fp64 assembly values (demotion to a
+  // narrower stored width happens after all setup algebra).
+  assert(prec_ == Precision::kF64);
   assert(static_cast<Index>(s.size()) == rows_);
   for (Index i = 0; i < rows_; ++i) {
     for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
@@ -417,29 +460,40 @@ void CsrMatrix::scale_rows(const Vector& s) {
 }
 
 double CsrMatrix::frobenius_norm() const {
-  double s = 0.0;
-  for (double v : values_) s += v * v;
-  return std::sqrt(s);
+  return with_values([&](const auto* av) {
+    double s = 0.0;
+    const auto nz = static_cast<std::size_t>(nnz());
+    for (std::size_t k = 0; k < nz; ++k) {
+      const double v = av[k];
+      s += v * v;
+    }
+    return std::sqrt(s);
+  });
 }
 
 bool CsrMatrix::approx_equal(const CsrMatrix& other, double tol) const {
   if (rows_ != other.rows_ || cols_ != other.cols_) return false;
-  for (Index i = 0; i < rows_; ++i) {
-    // Merge the two sorted rows, comparing values entrywise.
-    Index ka = row_ptr_[i], kb = other.row_ptr_[i];
-    const Index ea = row_ptr_[i + 1], eb = other.row_ptr_[i + 1];
-    while (ka < ea || kb < eb) {
-      const Index ca = ka < ea ? col_idx_[static_cast<std::size_t>(ka)]
+  return with_values([&](const auto* av) {
+    return other.with_values([&](const auto* bv) {
+      for (Index i = 0; i < rows_; ++i) {
+        // Merge the two sorted rows, comparing values entrywise.
+        Index ka = row_ptr_[i], kb = other.row_ptr_[i];
+        const Index ea = row_ptr_[i + 1], eb = other.row_ptr_[i + 1];
+        while (ka < ea || kb < eb) {
+          const Index ca = ka < ea ? col_idx_[static_cast<std::size_t>(ka)]
+                                   : std::numeric_limits<Index>::max();
+          const Index cb = kb < eb
+                               ? other.col_idx_[static_cast<std::size_t>(kb)]
                                : std::numeric_limits<Index>::max();
-      const Index cb = kb < eb ? other.col_idx_[static_cast<std::size_t>(kb)]
-                               : std::numeric_limits<Index>::max();
-      double va = 0.0, vb = 0.0;
-      if (ca <= cb) va = values_[static_cast<std::size_t>(ka++)];
-      if (cb <= ca) vb = other.values_[static_cast<std::size_t>(kb++)];
-      if (std::abs(va - vb) > tol) return false;
-    }
-  }
-  return true;
+          double va = 0.0, vb = 0.0;
+          if (ca <= cb) va = av[static_cast<std::size_t>(ka++)];
+          if (cb <= ca) vb = bv[static_cast<std::size_t>(kb++)];
+          if (std::abs(va - vb) > tol) return false;
+        }
+      }
+      return true;
+    });
+  });
 }
 
 bool CsrMatrix::rows_sorted() const {
@@ -462,6 +516,7 @@ bool CsrMatrix::is_symmetric(double tol) const {
 std::string CsrMatrix::summary() const {
   std::ostringstream os;
   os << rows_ << " x " << cols_ << ", nnz=" << nnz();
+  if (prec_ != Precision::kF64) os << ", " << precision_name(prec_);
   return os.str();
 }
 

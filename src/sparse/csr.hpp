@@ -7,6 +7,7 @@
 // the range forms are what the per-grid thread teams of the asynchronous
 // runtime execute (Section IV of the paper).
 
+#include <cassert>
 #include <cstddef>
 #include <span>
 #include <string>
@@ -49,12 +50,58 @@ class CsrMatrix {
 
   Index rows() const { return rows_; }
   Index cols() const { return cols_; }
-  Index nnz() const { return static_cast<Index>(values_.size()); }
+  Index nnz() const {
+    return static_cast<Index>(prec_ == Precision::kF32 ? values_f32_.size()
+                                                       : values_.size());
+  }
 
   std::span<const Index> row_ptr() const { return row_ptr_; }
   std::span<const Index> col_idx() const { return col_idx_; }
-  std::span<const double> values() const { return values_; }
-  std::span<double> values_mutable() { return values_; }
+
+  /// Stored scalar width of the value array. Matrices are assembled in fp64;
+  /// convert_precision() narrows coarse-level operators after setup.
+  Precision precision() const { return prec_; }
+
+  /// fp64 value array; only valid when precision() == kF64 (the assembly,
+  /// setup, and oracle paths). Reduced-precision matrices expose values_f32()
+  /// or the width-generic with_values() below.
+  std::span<const double> values() const {
+    assert(prec_ == Precision::kF64);
+    return values_;
+  }
+  std::span<double> values_mutable() {
+    assert(prec_ == Precision::kF64);
+    return values_;
+  }
+
+  /// fp32 value array; only valid when precision() == kF32.
+  std::span<const float> values_f32() const {
+    assert(prec_ == Precision::kF32);
+    return values_f32_;
+  }
+
+  /// Width-generic value access: invokes `fn` with the stored value pointer
+  /// (`const double*` or `const float*`), instantiating the caller's loop
+  /// body once per width so products still accumulate in double (float
+  /// operands promote). This is how every solve kernel and the triangular
+  /// smoother substitutions stay precision-agnostic without a per-entry
+  /// branch.
+  template <class Fn>
+  decltype(auto) with_values(Fn&& fn) const {
+    return prec_ == Precision::kF32 ? fn(values_f32_.data())
+                                    : fn(values_.data());
+  }
+
+  /// Converts the stored value array. kF64 -> kF32 rounds each entry to the
+  /// nearest float and frees the fp64 array (this is the lossy
+  /// demotion applied to coarse levels by the precision policy); kF32 ->
+  /// kF64 widens exactly. No-op when already at `p`.
+  void convert_precision(Precision p);
+
+  /// Bytes held by the value array at the stored width (cache accounting).
+  std::size_t value_bytes() const {
+    return static_cast<std::size_t>(nnz()) * scalar_width(prec_);
+  }
 
   /// Entry lookup (binary search within the row); zero when absent.
   double at(Index i, Index j) const;
@@ -126,9 +173,11 @@ class CsrMatrix {
  private:
   Index rows_ = 0;
   Index cols_ = 0;
+  Precision prec_ = Precision::kF64;
   std::vector<Index> row_ptr_;  // size rows_+1
   std::vector<Index> col_idx_;  // size nnz
-  std::vector<double> values_;  // size nnz
+  std::vector<double> values_;      // size nnz when prec_ == kF64, else empty
+  std::vector<float> values_f32_;   // size nnz when prec_ == kF32, else empty
 };
 
 }  // namespace asyncmg

@@ -16,12 +16,13 @@ DenseMatrix DenseMatrix::from_csr(const CsrMatrix& a) {
   DenseMatrix d(a.rows(), a.cols());
   const auto rp = a.row_ptr();
   const auto ci = a.col_idx();
-  const auto v = a.values();
-  for (Index i = 0; i < a.rows(); ++i) {
-    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-      d(i, ci[static_cast<std::size_t>(k)]) += v[static_cast<std::size_t>(k)];
+  a.with_values([&](const auto* v) {
+    for (Index i = 0; i < a.rows(); ++i) {
+      for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+        d(i, ci[static_cast<std::size_t>(k)]) += v[static_cast<std::size_t>(k)];
+      }
     }
-  }
+  });
   return d;
 }
 

@@ -17,7 +17,6 @@ LocalStencil LocalStencil::from_rows(const CsrMatrix& a, Index row_begin,
   }
   const auto rp = a.row_ptr();
   const auto ci = a.col_idx();
-  const auto v = a.values();
 
   LocalStencil s;
   s.row_begin_ = row_begin;
@@ -27,7 +26,10 @@ LocalStencil LocalStencil::from_rows(const CsrMatrix& a, Index row_begin,
   const Index first = rp[static_cast<std::size_t>(row_begin)];
   const Index last = rp[static_cast<std::size_t>(row_end)];
   s.col_idx_.reserve(static_cast<std::size_t>(last - first));
-  s.values_.assign(v.begin() + first, v.begin() + last);
+  // Local stencils keep fp64 values; fp32 sources widen exactly.
+  a.with_values([&](const auto* v) {
+    s.values_.assign(v + first, v + last);
+  });
   s.row_ptr_[0] = 0;
   for (std::size_t i = 0; i < nrows; ++i) {
     s.row_ptr_[i + 1] =

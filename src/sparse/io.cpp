@@ -64,14 +64,17 @@ void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
   out << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
   const auto rp = a.row_ptr();
   const auto ci = a.col_idx();
-  const auto v = a.values();
+  // fp32 values widen exactly to double; 17 significant digits round-trips
+  // either width through the text form.
   out.precision(17);
-  for (Index i = 0; i < a.rows(); ++i) {
-    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-      out << (i + 1) << ' ' << (ci[static_cast<std::size_t>(k)] + 1) << ' '
-          << v[static_cast<std::size_t>(k)] << '\n';
+  a.with_values([&](const auto* v) {
+    for (Index i = 0; i < a.rows(); ++i) {
+      for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+        out << (i + 1) << ' ' << (ci[static_cast<std::size_t>(k)] + 1) << ' '
+            << static_cast<double>(v[static_cast<std::size_t>(k)]) << '\n';
+      }
     }
-  }
+  });
 }
 
 void write_matrix_market_file(const std::string& path, const CsrMatrix& a) {

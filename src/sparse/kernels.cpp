@@ -36,7 +36,12 @@ RowRange static_rows(Index n, int nt, int t) {
 // serial/parallel bitwise identity true by construction: both run exactly
 // this code per row.
 
-void diag_sweep_rows(const Index* rp, const Index* ci, const double* av,
+// Templated over the stored value type (double/float per the matrix's
+// Precision): values widen to double on load and accumulators stay double,
+// so the fp64 instantiation is the pre-template code bit for bit.
+
+template <class AV>
+void diag_sweep_rows(const Index* rp, const Index* ci, const AV* av,
                      const double* dp, const double* bp, const double* xi,
                      double* xo, Index lo, Index hi) {
   for (Index i = lo; i < hi; ++i) {
@@ -48,7 +53,8 @@ void diag_sweep_rows(const Index* rp, const Index* ci, const double* av,
   }
 }
 
-void sub_spmv_rows(const Index* rp, const Index* ci, const double* av,
+template <class AV>
+void sub_spmv_rows(const Index* rp, const Index* ci, const AV* av,
                    const double* ep, const double* rr, double* tp, Index lo,
                    Index hi) {
   for (Index i = lo; i < hi; ++i) {
@@ -75,8 +81,10 @@ void fused_diag_sweep(const CsrMatrix& a, const Vector& d, const Vector& b,
          static_cast<Index>(x_in.size()) == a.rows() && &x_in != &x_out);
   const Index n = a.rows();
   x_out.resize(static_cast<std::size_t>(n));
-  diag_sweep_rows(a.row_ptr().data(), a.col_idx().data(), a.values().data(),
-                  d.data(), b.data(), x_in.data(), x_out.data(), 0, n);
+  a.with_values([&](const auto* av) {
+    diag_sweep_rows(a.row_ptr().data(), a.col_idx().data(), av, d.data(),
+                    b.data(), x_in.data(), x_out.data(), 0, n);
+  });
 }
 
 void fused_diag_sweep_omp(const CsrMatrix& a, const Vector& d, const Vector& b,
@@ -88,21 +96,22 @@ void fused_diag_sweep_omp(const CsrMatrix& a, const Vector& d, const Vector& b,
   x_out.resize(static_cast<std::size_t>(n));
   const Index* const rp = a.row_ptr().data();
   const Index* const ci = a.col_idx().data();
-  const double* const av = a.values().data();
   const double* const xi = x_in.data();
   const double* const bp = b.data();
   const double* const dp = d.data();
   double* const xo = x_out.data();
-  if (!use_solve_omp(n)) {
-    diag_sweep_rows(rp, ci, av, dp, bp, xi, xo, 0, n);
-    return;
-  }
+  a.with_values([&](const auto* av) {
+    if (!use_solve_omp(n)) {
+      diag_sweep_rows(rp, ci, av, dp, bp, xi, xo, 0, n);
+      return;
+    }
 #pragma omp parallel
-  {
-    const RowRange rg =
-        static_rows(n, omp_get_num_threads(), omp_get_thread_num());
-    diag_sweep_rows(rp, ci, av, dp, bp, xi, xo, rg.lo, rg.hi);
-  }
+    {
+      const RowRange rg =
+          static_rows(n, omp_get_num_threads(), omp_get_thread_num());
+      diag_sweep_rows(rp, ci, av, dp, bp, xi, xo, rg.lo, rg.hi);
+    }
+  });
 }
 
 void fused_sub_spmv(const CsrMatrix& a, const Vector& r, const Vector& e,
@@ -111,8 +120,10 @@ void fused_sub_spmv(const CsrMatrix& a, const Vector& r, const Vector& e,
          static_cast<Index>(e.size()) == a.cols());
   const Index n = a.rows();
   tmp.resize(static_cast<std::size_t>(n));
-  sub_spmv_rows(a.row_ptr().data(), a.col_idx().data(), a.values().data(),
-                e.data(), r.data(), tmp.data(), 0, n);
+  a.with_values([&](const auto* av) {
+    sub_spmv_rows(a.row_ptr().data(), a.col_idx().data(), av, e.data(),
+                  r.data(), tmp.data(), 0, n);
+  });
 }
 
 void fused_sub_spmv_omp(const CsrMatrix& a, const Vector& r, const Vector& e,
@@ -123,20 +134,21 @@ void fused_sub_spmv_omp(const CsrMatrix& a, const Vector& r, const Vector& e,
   tmp.resize(static_cast<std::size_t>(n));
   const Index* const rp = a.row_ptr().data();
   const Index* const ci = a.col_idx().data();
-  const double* const av = a.values().data();
   const double* const ep = e.data();
   const double* const rr = r.data();
   double* const tp = tmp.data();
-  if (!use_solve_omp(n)) {
-    sub_spmv_rows(rp, ci, av, ep, rr, tp, 0, n);
-    return;
-  }
+  a.with_values([&](const auto* av) {
+    if (!use_solve_omp(n)) {
+      sub_spmv_rows(rp, ci, av, ep, rr, tp, 0, n);
+      return;
+    }
 #pragma omp parallel
-  {
-    const RowRange rg =
-        static_rows(n, omp_get_num_threads(), omp_get_thread_num());
-    sub_spmv_rows(rp, ci, av, ep, rr, tp, rg.lo, rg.hi);
-  }
+    {
+      const RowRange rg =
+          static_rows(n, omp_get_num_threads(), omp_get_thread_num());
+      sub_spmv_rows(rp, ci, av, ep, rr, tp, rg.lo, rg.hi);
+    }
+  });
 }
 
 double fused_residual_norm_sq(const CsrMatrix& a, const Vector& b,
@@ -147,20 +159,21 @@ double fused_residual_norm_sq(const CsrMatrix& a, const Vector& b,
   r.resize(static_cast<std::size_t>(n));
   const Index* const rp = a.row_ptr().data();
   const Index* const ci = a.col_idx().data();
-  const double* const av = a.values().data();
   const double* const xp = x.data();
   const double* const bp = b.data();
   double* const rr = r.data();
-  double sumsq = 0.0;
-  for (Index i = 0; i < n; ++i) {
-    double s = bp[i];
-    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-      s -= av[k] * xp[ci[k]];
+  return a.with_values([&](const auto* av) {
+    double sumsq = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      double s = bp[i];
+      for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+        s -= av[k] * xp[ci[k]];
+      }
+      rr[i] = s;
+      sumsq += s * s;
     }
-    rr[i] = s;
-    sumsq += s * s;
-  }
-  return sumsq;
+    return sumsq;
+  });
 }
 
 double fused_residual_norm_sq_omp(const CsrMatrix& a, const Vector& b,

@@ -96,10 +96,10 @@ double fused_residual_norm_sq(const CsrMatrix& a, const Vector& b,
 double fused_residual_norm_sq_omp(const CsrMatrix& a, const Vector& b,
                                   const Vector& x, Vector& r);
 
-/// Approximate bytes one pass over `a` streams (values + columns + row
-/// pointers), for the telemetry bytes-moved counters.
+/// Approximate bytes one pass over `a` streams (values at the stored scalar
+/// width + columns + row pointers), for the telemetry bytes-moved counters.
 inline std::size_t csr_pass_bytes(const CsrMatrix& a) {
-  return static_cast<std::size_t>(a.nnz()) * (sizeof(double) + sizeof(Index)) +
+  return a.value_bytes() + static_cast<std::size_t>(a.nnz()) * sizeof(Index) +
          (static_cast<std::size_t>(a.rows()) + 1) * sizeof(Index);
 }
 

@@ -76,8 +76,8 @@ struct SubSpmvOp {  // tmp = r - A e (spmv order: full sum, then subtract)
 
 }  // namespace
 
-template <class Op>
-void SellMatrix::apply_chunks(const double* x, const Op& op,
+template <class VT, class Op>
+void SellMatrix::apply_chunks(const VT* va, const double* x, const Op& op,
                               std::size_t chunk_begin,
                               std::size_t chunk_end) const {
   const Index c = c_;
@@ -93,7 +93,7 @@ void SellMatrix::apply_chunks(const double* x, const Op& op,
     for (Index lane = 0; lane < lanes; ++lane) {
       acc[lane] = op.init(perm_[s0 + static_cast<std::size_t>(lane)]);
     }
-    const double* vals = values_.data() + chunk_ptr_[ch];
+    const VT* vals = va + chunk_ptr_[ch];
     const Index* cols = col_idx_.data() + chunk_ptr_[ch];
     const Index width = chunk_width_[ch];
     if (ucol_ofs_[ch] >= 0) {
@@ -105,7 +105,7 @@ void SellMatrix::apply_chunks(const double* x, const Op& op,
       // order is identical to the general path below.
       const Index* ub = ucol_base_.data() + ucol_ofs_[ch];
       for (Index j = 0; j < width; ++j) {
-        const double* v = vals + static_cast<std::size_t>(j) * c;
+        const VT* v = vals + static_cast<std::size_t>(j) * c;
         const double* xs = x + static_cast<std::size_t>(ub[j]);
         for (Index lane = 0; lane < c; ++lane) {
           const double p = v[lane] * xs[lane];
@@ -127,7 +127,7 @@ void SellMatrix::apply_chunks(const double* x, const Op& op,
       // tracking, so the compiler can unroll and keep acc in registers.
       // Identical per-lane accumulation order to the general path below.
       for (Index j = 0; j < width; ++j) {
-        const double* v = vals + static_cast<std::size_t>(j) * c;
+        const VT* v = vals + static_cast<std::size_t>(j) * c;
         const Index* cc = cols + static_cast<std::size_t>(j) * c;
         for (Index lane = 0; lane < c; ++lane) {
           const double p = v[lane] * x[static_cast<std::size_t>(cc[lane])];
@@ -151,7 +151,7 @@ void SellMatrix::apply_chunks(const double* x, const Op& op,
              slot_len_[s0 + static_cast<std::size_t>(active) - 1] <= j) {
         --active;
       }
-      const double* v = vals + static_cast<std::size_t>(j) * c;
+      const VT* v = vals + static_cast<std::size_t>(j) * c;
       const Index* cc = cols + static_cast<std::size_t>(j) * c;
       for (Index lane = 0; lane < active; ++lane) {
         const double p =
@@ -171,9 +171,19 @@ void SellMatrix::apply_chunks(const double* x, const Op& op,
 
 template <class Op>
 void SellMatrix::run(const double* x, const Op& op, bool parallel) const {
+  if (prec_ == Precision::kF32) {
+    run_values(values_f32_.data(), x, op, parallel);
+  } else {
+    run_values(values_.data(), x, op, parallel);
+  }
+}
+
+template <class VT, class Op>
+void SellMatrix::run_values(const VT* va, const double* x, const Op& op,
+                            bool parallel) const {
   const std::size_t nchunks = chunk_width_.size();
   if (!parallel || nchunks <= 1) {
-    apply_chunks(x, op, 0, nchunks);
+    apply_chunks(va, x, op, 0, nchunks);
     return;
   }
   const std::span<const Index> prefix(chunk_ptr_);
@@ -182,7 +192,7 @@ void SellMatrix::run(const double* x, const Op& op, bool parallel) const {
     const auto nt = static_cast<std::size_t>(omp_get_num_threads());
     const auto t = static_cast<std::size_t>(omp_get_thread_num());
     const Range rg = nnz_balanced_chunk(prefix, nt, t);
-    apply_chunks(x, op, rg.begin, rg.end);
+    apply_chunks(va, x, op, rg.begin, rg.end);
   }
 }
 
@@ -239,24 +249,38 @@ SellMatrix SellMatrix::from_csr(const CsrMatrix& a, Index chunk, Index sigma) {
   }
 
   m.col_idx_.assign(total, 0);
-  m.values_.assign(total, 0.0);
-  const auto ci = a.col_idx();
-  const auto av = a.values();
-  for (std::size_t ch = 0; ch < nchunks; ++ch) {
-    const auto base = static_cast<std::size_t>(m.chunk_ptr_[ch]);
-    for (std::size_t lane = 0; lane < c; ++lane) {
-      const Index row = m.perm_[ch * c + lane];
-      if (row < 0) continue;
-      const auto kb = static_cast<std::size_t>(rp[static_cast<std::size_t>(row)]);
-      const auto ke =
-          static_cast<std::size_t>(rp[static_cast<std::size_t>(row) + 1]);
-      for (std::size_t k = kb; k < ke; ++k) {
-        const std::size_t dst = base + (k - kb) * c + lane;
-        m.col_idx_[dst] = ci[k];
-        m.values_[dst] = av[k];
-      }
-    }
+  m.prec_ = a.precision();
+  if (m.prec_ == Precision::kF32) {
+    m.values_f32_.assign(total, 0.0f);
+  } else {
+    m.values_.assign(total, 0.0);
   }
+  const auto ci = a.col_idx();
+  a.with_values([&](const auto* av) {
+    const auto scatter = [&](auto* dst_vals) {
+      for (std::size_t ch = 0; ch < nchunks; ++ch) {
+        const auto base = static_cast<std::size_t>(m.chunk_ptr_[ch]);
+        for (std::size_t lane = 0; lane < c; ++lane) {
+          const Index row = m.perm_[ch * c + lane];
+          if (row < 0) continue;
+          const auto kb =
+              static_cast<std::size_t>(rp[static_cast<std::size_t>(row)]);
+          const auto ke =
+              static_cast<std::size_t>(rp[static_cast<std::size_t>(row) + 1]);
+          for (std::size_t k = kb; k < ke; ++k) {
+            const std::size_t dst = base + (k - kb) * c + lane;
+            m.col_idx_[dst] = ci[k];
+            dst_vals[dst] = av[k];
+          }
+        }
+      }
+    };
+    if (m.prec_ == Precision::kF32) {
+      scatter(m.values_f32_.data());
+    } else {
+      scatter(m.values_.data());
+    }
+  });
 
   // Contiguous-column detection: a chunk qualifies when every lane is a
   // real row of full chunk width and, at each column j, the lane columns
@@ -357,17 +381,19 @@ void SellMatrix::fused_sub_spmv_omp(const Vector& r, const Vector& e,
 
 std::string SellMatrix::summary() const {
   std::ostringstream os;
-  const double pad_pct =
-      values_.empty() ? 0.0
-                      : 100.0 * static_cast<double>(padded_entries()) /
-                            static_cast<double>(values_.size());
-  const double contig_pct =
-      values_.empty() ? 0.0
-                      : 100.0 * static_cast<double>(contig_entries_) /
-                            static_cast<double>(values_.size());
+  const std::size_t stored = stored_entries();
+  const double pad_pct = stored == 0
+                             ? 0.0
+                             : 100.0 * static_cast<double>(padded_entries()) /
+                                   static_cast<double>(stored);
+  const double contig_pct = stored == 0
+                                ? 0.0
+                                : 100.0 * static_cast<double>(contig_entries_) /
+                                      static_cast<double>(stored);
   os << rows_ << " x " << cols_ << ", nnz=" << nnz_ << ", C=" << c_
      << ", sigma=" << sigma_ << ", padding=" << pad_pct
      << "%, contig=" << contig_pct << "%";
+  if (prec_ != Precision::kF64) os << ", " << precision_name(prec_);
   return os.str();
 }
 

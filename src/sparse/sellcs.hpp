@@ -37,6 +37,8 @@ class SellMatrix {
   /// every chunk is descending-sorted and the active-lane prefix trick
   /// applies). The sort is stable, so matrices with uniform row lengths
   /// (stencils) keep the identity permutation and padding-free chunks.
+  /// The stored scalar width is inherited from `a` (fp32 coarse levels stay
+  /// fp32 in SELL form).
   static SellMatrix from_csr(const CsrMatrix& a, Index chunk = 8,
                              Index sigma = 256);
 
@@ -50,10 +52,15 @@ class SellMatrix {
   Index sigma() const { return sigma_; }
   bool empty() const { return rows_ == 0; }
 
+  /// Stored scalar width, inherited from the source CsrMatrix at from_csr.
+  Precision precision() const { return prec_; }
+
   /// Stored entries including padding; padded_entries() = stored - nnz.
-  std::size_t stored_entries() const { return values_.size(); }
+  std::size_t stored_entries() const {
+    return prec_ == Precision::kF32 ? values_f32_.size() : values_.size();
+  }
   std::size_t padded_entries() const {
-    return values_.size() - static_cast<std::size_t>(nnz_);
+    return stored_entries() - static_cast<std::size_t>(nnz_);
   }
 
   /// slot -> original row index (identity when sigma disables sorting or
@@ -100,12 +107,13 @@ class SellMatrix {
   void fused_sub_spmv_omp(const Vector& r, const Vector& e,
                           Vector& tmp) const;
 
-  /// Approximate bytes streamed by one matrix pass (values + columns +
-  /// chunk metadata), for the telemetry bytes-moved counters. Contiguous
-  /// chunks skip the col_idx stream and read one base index per column.
+  /// Approximate bytes streamed by one matrix pass (values at the stored
+  /// scalar width + columns + chunk metadata), for the telemetry bytes-moved
+  /// counters. Contiguous chunks skip the col_idx stream and read one base
+  /// index per column.
   std::size_t pass_bytes() const {
-    return values_.size() * sizeof(double) +
-           (values_.size() - contig_entries_) * sizeof(Index) +
+    return stored_entries() * scalar_width(prec_) +
+           (stored_entries() - contig_entries_) * sizeof(Index) +
            (ucol_base_.size() + chunk_ptr_.size() + chunk_width_.size() +
             slot_len_.size() + perm_.size()) *
                sizeof(Index);
@@ -120,27 +128,35 @@ class SellMatrix {
   // (store), and whether products are subtracted (residual order) or added
   // (spmv order). Every concrete kernel is one Op instantiation, so the
   // entry walk — and therefore the floating-point ordering — is shared.
-  template <class Op>
-  void apply_chunks(const double* x, const Op& op, std::size_t chunk_begin,
-                    std::size_t chunk_end) const;
+  // `VT` is the stored value type (double/float per prec_); products widen
+  // to double and the accumulators stay double either way.
+  template <class VT, class Op>
+  void apply_chunks(const VT* va, const double* x, const Op& op,
+                    std::size_t chunk_begin, std::size_t chunk_end) const;
 
   // Serial/OpenMP dispatch shared by the public kernels: the OpenMP path
   // splits chunks nnz-balanced across the team; chunks own disjoint output
-  // rows, so results are identical for every thread count.
+  // rows, so results are identical for every thread count. run() picks the
+  // stored value array by prec_ and forwards to the width-templated body.
   template <class Op>
   void run(const double* x, const Op& op, bool parallel) const;
+  template <class VT, class Op>
+  void run_values(const VT* va, const double* x, const Op& op,
+                  bool parallel) const;
 
   Index rows_ = 0;
   Index cols_ = 0;
   Index nnz_ = 0;
   Index c_ = 8;
   Index sigma_ = 0;
+  Precision prec_ = Precision::kF64;
   std::vector<Index> perm_;        // slot -> original row; -1 for pad slots
   std::vector<Index> slot_len_;    // nnz per slot (descending per chunk)
   std::vector<Index> chunk_ptr_;   // entry offset per chunk (size nchunks+1)
   std::vector<Index> chunk_width_; // widest row per chunk
   std::vector<Index> col_idx_;     // column-major per chunk, padded
-  std::vector<double> values_;     // padding entries are 0.0, never read
+  std::vector<double> values_;     // padding is 0.0, never read (kF64)
+  std::vector<float> values_f32_;  // stored values when prec_ == kF32
   // Contiguous-column fast path (see contiguous_chunks()): ucol_ofs_[ch] is
   // -1 for general chunks, else the offset into ucol_base_ of the chunk's
   // chunk_width_[ch] per-column base indices.

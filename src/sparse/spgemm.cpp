@@ -18,10 +18,8 @@ CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b, int num_threads) {
   const Index n = b.cols();
   const auto arp = a.row_ptr();
   const auto aci = a.col_idx();
-  const auto av = a.values();
   const auto brp = b.row_ptr();
   const auto bci = b.col_idx();
-  const auto bv = b.values();
   const int nt =
       m >= kSetupSerialCutoff ? resolve_setup_threads(num_threads) : 1;
 
@@ -54,38 +52,45 @@ CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b, int num_threads) {
 
   // Numeric pass: Gustavson dense accumulator per thread, filling each row's
   // preallocated [row_ptr[i], row_ptr[i+1]) slice. The accumulation order
-  // within a row is the serial one for every thread count.
+  // within a row is the serial one for every thread count. Inputs may be
+  // reduced-precision (demoted coarse operators); products and accumulators
+  // are double, and the output is always fp64.
+  a.with_values([&](const auto* av) {
+    b.with_values([&](const auto* bv) {
 #pragma omp parallel num_threads(nt)
-  {
-    std::vector<double> acc(static_cast<std::size_t>(n), 0.0);
-    std::vector<Index> marker(static_cast<std::size_t>(n), -1);
-    std::vector<Index> row_cols;
+      {
+        std::vector<double> acc(static_cast<std::size_t>(n), 0.0);
+        std::vector<Index> marker(static_cast<std::size_t>(n), -1);
+        std::vector<Index> row_cols;
 #pragma omp for schedule(static)
-    for (Index i = 0; i < m; ++i) {
-      row_cols.clear();
-      for (Index ka = arp[i]; ka < arp[i + 1]; ++ka) {
-        const Index k = aci[static_cast<std::size_t>(ka)];
-        const double aval = av[static_cast<std::size_t>(ka)];
-        for (Index kb = brp[k]; kb < brp[k + 1]; ++kb) {
-          const Index j = bci[static_cast<std::size_t>(kb)];
-          if (marker[static_cast<std::size_t>(j)] != i) {
-            marker[static_cast<std::size_t>(j)] = i;
-            acc[static_cast<std::size_t>(j)] = 0.0;
-            row_cols.push_back(j);
+        for (Index i = 0; i < m; ++i) {
+          row_cols.clear();
+          for (Index ka = arp[i]; ka < arp[i + 1]; ++ka) {
+            const Index k = aci[static_cast<std::size_t>(ka)];
+            const double aval = av[static_cast<std::size_t>(ka)];
+            for (Index kb = brp[k]; kb < brp[k + 1]; ++kb) {
+              const Index j = bci[static_cast<std::size_t>(kb)];
+              if (marker[static_cast<std::size_t>(j)] != i) {
+                marker[static_cast<std::size_t>(j)] = i;
+                acc[static_cast<std::size_t>(j)] = 0.0;
+                row_cols.push_back(j);
+              }
+              acc[static_cast<std::size_t>(j)] +=
+                  aval * bv[static_cast<std::size_t>(kb)];
+            }
           }
-          acc[static_cast<std::size_t>(j)] +=
-              aval * bv[static_cast<std::size_t>(kb)];
+          std::sort(row_cols.begin(), row_cols.end());
+          auto out =
+              static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
+          for (Index j : row_cols) {
+            col_idx[out] = j;
+            values[out] = acc[static_cast<std::size_t>(j)];
+            ++out;
+          }
         }
       }
-      std::sort(row_cols.begin(), row_cols.end());
-      auto out = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
-      for (Index j : row_cols) {
-        col_idx[out] = j;
-        values[out] = acc[static_cast<std::size_t>(j)];
-        ++out;
-      }
-    }
-  }
+    });
+  });
   return CsrMatrix::from_csr(m, n, std::move(row_ptr), std::move(col_idx),
                              std::move(values));
 }
@@ -98,10 +103,8 @@ CsrMatrix add(const CsrMatrix& a, const CsrMatrix& b, double alpha,
   const Index m = a.rows();
   const auto arp = a.row_ptr();
   const auto aci = a.col_idx();
-  const auto av = a.values();
   const auto brp = b.row_ptr();
   const auto bci = b.col_idx();
-  const auto bv = b.values();
   const int nt =
       m >= kSetupSerialCutoff ? resolve_setup_threads(num_threads) : 1;
 
@@ -129,34 +132,39 @@ CsrMatrix add(const CsrMatrix& a, const CsrMatrix& b, double alpha,
   std::vector<Index> col_idx(total);
   std::vector<double> values(total);
 
+  a.with_values([&](const auto* av) {
+    b.with_values([&](const auto* bv) {
 #pragma omp parallel for schedule(static) num_threads(nt)
-  for (Index i = 0; i < m; ++i) {
-    Index ka = arp[i], kb = brp[i];
-    const Index ea = arp[i + 1], eb = brp[i + 1];
-    auto out = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
-    while (ka < ea || kb < eb) {
-      const Index ca = ka < ea ? aci[static_cast<std::size_t>(ka)]
-                               : std::numeric_limits<Index>::max();
-      const Index cb = kb < eb ? bci[static_cast<std::size_t>(kb)]
-                               : std::numeric_limits<Index>::max();
-      double v = 0.0;
-      Index c;
-      if (ca < cb) {
-        c = ca;
-        v = alpha * av[static_cast<std::size_t>(ka++)];
-      } else if (cb < ca) {
-        c = cb;
-        v = beta * bv[static_cast<std::size_t>(kb++)];
-      } else {
-        c = ca;
-        v = alpha * av[static_cast<std::size_t>(ka++)] +
-            beta * bv[static_cast<std::size_t>(kb++)];
+      for (Index i = 0; i < m; ++i) {
+        Index ka = arp[i], kb = brp[i];
+        const Index ea = arp[i + 1], eb = brp[i + 1];
+        auto out =
+            static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
+        while (ka < ea || kb < eb) {
+          const Index ca = ka < ea ? aci[static_cast<std::size_t>(ka)]
+                                   : std::numeric_limits<Index>::max();
+          const Index cb = kb < eb ? bci[static_cast<std::size_t>(kb)]
+                                   : std::numeric_limits<Index>::max();
+          double v = 0.0;
+          Index c;
+          if (ca < cb) {
+            c = ca;
+            v = alpha * av[static_cast<std::size_t>(ka++)];
+          } else if (cb < ca) {
+            c = cb;
+            v = beta * bv[static_cast<std::size_t>(kb++)];
+          } else {
+            c = ca;
+            v = alpha * av[static_cast<std::size_t>(ka++)] +
+                beta * bv[static_cast<std::size_t>(kb++)];
+          }
+          col_idx[out] = c;
+          values[out] = v;
+          ++out;
+        }
       }
-      col_idx[out] = c;
-      values[out] = v;
-      ++out;
-    }
-  }
+    });
+  });
   return CsrMatrix::from_csr(m, a.cols(), std::move(row_ptr),
                              std::move(col_idx), std::move(values));
 }
@@ -170,10 +178,8 @@ CsrMatrix galerkin_product(const CsrMatrix& a, const CsrMatrix& p,
   const Index nc = p.cols();
   const auto arp = a.row_ptr();
   const auto aci = a.col_idx();
-  const auto av = a.values();
   const auto prp = p.row_ptr();
   const auto pci = p.col_idx();
-  const auto pv = p.values();
   const auto pnnz = static_cast<std::size_t>(p.nnz());
 
   // Coarse-row -> fine-row adjacency of P (raw arrays, fine rows ascending
@@ -189,7 +195,9 @@ CsrMatrix galerkin_product(const CsrMatrix& a, const CsrMatrix& p,
   for (std::size_t c = 0; c < static_cast<std::size_t>(nc); ++c) {
     tptr[c + 1] += tptr[c];
   }
-  {
+  // Transposed weights widen to double here; the rest of the product then
+  // only streams P's values once more (the expansion pass below).
+  p.with_values([&](const auto* pv) {
     std::vector<Index> next(tptr.begin(), tptr.end() - 1);
     for (Index i = 0; i < n; ++i) {
       for (Index k = prp[i]; k < prp[i + 1]; ++k) {
@@ -200,7 +208,7 @@ CsrMatrix galerkin_product(const CsrMatrix& a, const CsrMatrix& p,
         tval[pos] = pv[static_cast<std::size_t>(k)];
       }
     }
-  }
+  });
 
   const int nt =
       nc >= kSetupSerialCutoff ? resolve_setup_threads(num_threads) : 1;
@@ -254,56 +262,60 @@ CsrMatrix galerkin_product(const CsrMatrix& a, const CsrMatrix& p,
   // expansion through P into a coarse-column accumulator. Accumulation
   // order per row is fixed (fine rows ascending, then A-row and P-row
   // order), so values are bit-identical across thread counts.
+  a.with_values([&](const auto* av) {
+    p.with_values([&](const auto* pv) {
 #pragma omp parallel num_threads(nt)
-  {
-    std::vector<Index> fmark(static_cast<std::size_t>(n), -1);
-    std::vector<Index> cmark(static_cast<std::size_t>(nc), -1);
-    std::vector<double> facc(static_cast<std::size_t>(n), 0.0);
-    std::vector<double> cacc(static_cast<std::size_t>(nc), 0.0);
-    std::vector<Index> fcols;
-    std::vector<Index> ccols;
+      {
+        std::vector<Index> fmark(static_cast<std::size_t>(n), -1);
+        std::vector<Index> cmark(static_cast<std::size_t>(nc), -1);
+        std::vector<double> facc(static_cast<std::size_t>(n), 0.0);
+        std::vector<double> cacc(static_cast<std::size_t>(nc), 0.0);
+        std::vector<Index> fcols;
+        std::vector<Index> ccols;
 #pragma omp for schedule(static)
-    for (Index ic = 0; ic < nc; ++ic) {
-      fcols.clear();
-      ccols.clear();
-      for (Index t = tptr[static_cast<std::size_t>(ic)];
-           t < tptr[static_cast<std::size_t>(ic) + 1]; ++t) {
-        const Index i = tfine[static_cast<std::size_t>(t)];
-        const double w = tval[static_cast<std::size_t>(t)];
-        for (Index ka = arp[i]; ka < arp[i + 1]; ++ka) {
-          const Index k = aci[static_cast<std::size_t>(ka)];
-          if (fmark[static_cast<std::size_t>(k)] != ic) {
-            fmark[static_cast<std::size_t>(k)] = ic;
-            facc[static_cast<std::size_t>(k)] = 0.0;
-            fcols.push_back(k);
+        for (Index ic = 0; ic < nc; ++ic) {
+          fcols.clear();
+          ccols.clear();
+          for (Index t = tptr[static_cast<std::size_t>(ic)];
+               t < tptr[static_cast<std::size_t>(ic) + 1]; ++t) {
+            const Index i = tfine[static_cast<std::size_t>(t)];
+            const double w = tval[static_cast<std::size_t>(t)];
+            for (Index ka = arp[i]; ka < arp[i + 1]; ++ka) {
+              const Index k = aci[static_cast<std::size_t>(ka)];
+              if (fmark[static_cast<std::size_t>(k)] != ic) {
+                fmark[static_cast<std::size_t>(k)] = ic;
+                facc[static_cast<std::size_t>(k)] = 0.0;
+                fcols.push_back(k);
+              }
+              facc[static_cast<std::size_t>(k)] +=
+                  w * av[static_cast<std::size_t>(ka)];
+            }
           }
-          facc[static_cast<std::size_t>(k)] +=
-              w * av[static_cast<std::size_t>(ka)];
+          for (Index k : fcols) {
+            const double v = facc[static_cast<std::size_t>(k)];
+            for (Index kp = prp[k]; kp < prp[k + 1]; ++kp) {
+              const Index j = pci[static_cast<std::size_t>(kp)];
+              if (cmark[static_cast<std::size_t>(j)] != ic) {
+                cmark[static_cast<std::size_t>(j)] = ic;
+                cacc[static_cast<std::size_t>(j)] = 0.0;
+                ccols.push_back(j);
+              }
+              cacc[static_cast<std::size_t>(j)] +=
+                  v * pv[static_cast<std::size_t>(kp)];
+            }
+          }
+          std::sort(ccols.begin(), ccols.end());
+          auto out =
+              static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(ic)]);
+          for (Index j : ccols) {
+            col_idx[out] = j;
+            values[out] = cacc[static_cast<std::size_t>(j)];
+            ++out;
+          }
         }
       }
-      for (Index k : fcols) {
-        const double v = facc[static_cast<std::size_t>(k)];
-        for (Index kp = prp[k]; kp < prp[k + 1]; ++kp) {
-          const Index j = pci[static_cast<std::size_t>(kp)];
-          if (cmark[static_cast<std::size_t>(j)] != ic) {
-            cmark[static_cast<std::size_t>(j)] = ic;
-            cacc[static_cast<std::size_t>(j)] = 0.0;
-            ccols.push_back(j);
-          }
-          cacc[static_cast<std::size_t>(j)] +=
-              v * pv[static_cast<std::size_t>(kp)];
-        }
-      }
-      std::sort(ccols.begin(), ccols.end());
-      auto out =
-          static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(ic)]);
-      for (Index j : ccols) {
-        col_idx[out] = j;
-        values[out] = cacc[static_cast<std::size_t>(j)];
-        ++out;
-      }
-    }
-  }
+    });
+  });
   return CsrMatrix::from_csr(nc, nc, std::move(row_ptr), std::move(col_idx),
                              std::move(values));
 }
@@ -315,20 +327,21 @@ CsrMatrix drop_small(const CsrMatrix& a, double tol) {
   std::vector<double> values;
   const auto rp = a.row_ptr();
   const auto ci = a.col_idx();
-  const auto v = a.values();
   const bool square = a.rows() == a.cols();
-  for (Index i = 0; i < m; ++i) {
-    for (Index k = rp[i]; k < rp[i + 1]; ++k) {
-      const Index j = ci[static_cast<std::size_t>(k)];
-      const double val = v[static_cast<std::size_t>(k)];
-      if (std::abs(val) > tol || (square && j == i)) {
-        col_idx.push_back(j);
-        values.push_back(val);
+  a.with_values([&](const auto* v) {
+    for (Index i = 0; i < m; ++i) {
+      for (Index k = rp[i]; k < rp[i + 1]; ++k) {
+        const Index j = ci[static_cast<std::size_t>(k)];
+        const double val = v[static_cast<std::size_t>(k)];
+        if (std::abs(val) > tol || (square && j == i)) {
+          col_idx.push_back(j);
+          values.push_back(val);
+        }
       }
+      row_ptr[static_cast<std::size_t>(i) + 1] =
+          static_cast<Index>(col_idx.size());
     }
-    row_ptr[static_cast<std::size_t>(i) + 1] =
-        static_cast<Index>(col_idx.size());
-  }
+  });
   return CsrMatrix::from_csr(m, a.cols(), std::move(row_ptr),
                              std::move(col_idx), std::move(values));
 }

@@ -1,6 +1,7 @@
 #pragma once
 // Common scalar/index typedefs for the sparse kernels.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -13,5 +14,27 @@ using Index = std::int32_t;
 
 /// Dense vector of doubles.
 using Vector = std::vector<double>;
+
+/// Stored scalar width of a sparse operator's values. Iteration vectors,
+/// accumulators, and the outer residual/correction loop are always fp64;
+/// kF32 only narrows the *stored* operator entries (the bandwidth-bound
+/// stream), which every kernel widens back to double on load. The fp64 form
+/// is the bitwise correctness oracle; fp32 paths are accepted by error-norm
+/// bounds, never bitwise.
+enum class Precision : std::uint8_t {
+  kF64 = 0,
+  kF32 = 1,
+};
+
+/// Bytes of one stored value at `p`.
+inline std::size_t scalar_width(Precision p) {
+  return p == Precision::kF32 ? sizeof(float) : sizeof(double);
+}
+
+/// Stable display name ("f64" / "f32"), used by summaries, serialization,
+/// and telemetry traces.
+inline const char* precision_name(Precision p) {
+  return p == Precision::kF32 ? "f32" : "f64";
+}
 
 }  // namespace asyncmg

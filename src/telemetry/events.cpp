@@ -37,6 +37,8 @@ const char* event_name(EventKind k) {
       return "shard-exchange";
     case EventKind::kShardDrop:
       return "shard-drop";
+    case EventKind::kLevelPrecision:
+      return "level-precision";
   }
   return "unknown";
 }

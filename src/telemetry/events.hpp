@@ -40,6 +40,10 @@ enum class EventKind : std::uint8_t {
   kShardExchange,  // a = shard, b = packets merged (read instant scripted)
   kShardDrop,      // a = shard, b = peer the send to was dropped (-1 = a
                    //     FaultPlan drop-read skipped the whole refresh)
+  // Mixed-precision hierarchy (amg/precision.hpp). Emitted once per solver
+  // attach and only for levels stored below fp64, so all-fp64 traces (the
+  // golden fixtures) are unchanged.
+  kLevelPrecision,  // a = level, b = Precision enum value of the operator
 };
 
 /// Stable display name of an event kind (used by the Chrome exporter).

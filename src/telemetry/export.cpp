@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sparse/types.hpp"
+
 namespace asyncmg {
 
 namespace {
@@ -152,6 +154,12 @@ std::string chrome_trace_json(const std::vector<DrainedEvent>& events,
           << "\",\"cat\":\"shard\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts
           << ",\"pid\":1,\"tid\":" << track << ",\"args\":{\"shard\":" << e.a
           << ",\"detail\":" << e.b << "}";
+        break;
+      case EventKind::kLevelPrecision:
+        o << "\"name\":\"level-precision\",\"cat\":\"precision\",\"ph\":\"i\","
+          << "\"s\":\"t\",\"ts\":" << ts << ",\"pid\":1,\"tid\":" << track
+          << ",\"args\":{\"level\":" << e.a << ",\"precision\":\""
+          << precision_name(static_cast<Precision>(e.b)) << "\"}";
         break;
     }
     o << "}";

@@ -306,6 +306,11 @@ TEST(Hierarchy, UnknownBasedKeepsComponentsSeparate) {
 TEST(Hierarchy, BuildsMultipleLevelsAndStaysSpd) {
   Problem prob = make_laplace_7pt(10);
   AmgOptions opts;
+  // fp64 oracle: the 1e-10 Galerkin-consistency check below compares a
+  // freshly computed RAP against the stored coarse operator, which only
+  // holds to that tolerance when nothing was demoted. Mixed-precision
+  // hierarchies are covered by test_precision.
+  opts.precision = PrecisionPolicy{};
   Hierarchy h = Hierarchy::build(std::move(prob.a), opts);
   EXPECT_GE(h.num_levels(), 3u);
   EXPECT_LE(h.matrix(h.num_levels() - 1).rows(), opts.coarse_size);

@@ -16,13 +16,17 @@ namespace asyncmg {
 namespace {
 
 std::unique_ptr<MgSetup> make_setup(Index n, SmootherType st,
-                                    double omega = 0.9, int aggressive = 0) {
+                                    double omega = 0.9, int aggressive = 0,
+                                    bool pin_f64 = false) {
   Problem prob = make_laplace_7pt(n);
   MgOptions mo;
   mo.smoother.type = st;
   mo.smoother.omega = omega;
   mo.smoother.num_blocks = 4;
   mo.amg.num_aggressive_levels = aggressive;
+  // Tight cross-scheme equivalence tests are fp64 identities; they pin the
+  // policy so ASYNCMG_PRECISION=f32coarse runs do not loosen their bounds.
+  if (pin_f64) mo.amg.precision = PrecisionPolicy{};
   return std::make_unique<MgSetup>(std::move(prob.a), mo);
 }
 
@@ -105,7 +109,8 @@ INSTANTIATE_TEST_SUITE_P(
 // Section II-B1: with the symmetrized smoothing matrix as Lambda_k, Multadd
 // is mathematically equivalent to the symmetric multiplicative V(1,1)-cycle.
 TEST(Multadd, SymmetrizedLambdaEqualsSymmetricVCycle) {
-  auto s = make_setup(8, SmootherType::kWeightedJacobi, 0.9);
+  auto s = make_setup(8, SmootherType::kWeightedJacobi, 0.9, 0,
+                      /*pin_f64=*/true);
   Vector b = rhs_for(*s, 4);
 
   Vector x_mult(b.size(), 0.0);
@@ -130,7 +135,8 @@ TEST(Multadd, SymmetrizedLambdaEqualsSymmetricVCycle) {
 
 // The equivalence must hold cycle after cycle, not just for the first one.
 TEST(Multadd, SymmetrizedEquivalenceOverManyCycles) {
-  auto s = make_setup(6, SmootherType::kWeightedJacobi, 0.8);
+  auto s = make_setup(6, SmootherType::kWeightedJacobi, 0.8, 0,
+                      /*pin_f64=*/true);
   Vector b = rhs_for(*s, 5);
   Vector x_mult(b.size(), 0.0), x_add(b.size(), 0.0);
   MultiplicativeMg mult(*s, /*symmetric=*/true);

@@ -215,6 +215,9 @@ TEST(ParallelHierarchy, LaplaceIdenticalAcrossSetupThreads) {
   const CsrMatrix a = big_laplacian();
   AmgOptions opts;
   opts.num_aggressive_levels = 1;  // exercise multipass + distance-2 too
+  // Bitwise determinism is defined on the fp64 setup; pin the policy so the
+  // values() reads in expect_identical stay valid under ASYNCMG_PRECISION.
+  opts.precision = PrecisionPolicy{};
   opts.setup_threads = 1;
   const Hierarchy ref = Hierarchy::build(a, opts);
   ASSERT_GE(ref.num_levels(), 2u);
@@ -230,6 +233,7 @@ TEST(ParallelHierarchy, ElasticityIdenticalAcrossSetupThreads) {
   AmgOptions opts;
   opts.strength_norm = StrengthNorm::kAbsolute;
   opts.num_functions = 3;
+  opts.precision = PrecisionPolicy{};
   opts.setup_threads = 1;
   const Hierarchy ref = Hierarchy::build(a, opts);
   ASSERT_GE(ref.num_levels(), 2u);
