@@ -1,23 +1,41 @@
 // AMG setup-phase thread-scaling bench: wall time of the full setup and a
 // per-phase breakdown (strength / coarsen / interp / RAP) as a function of
-// the setup thread count. Writes a machine-readable summary to --json
-// (default BENCH_setup.json).
+// the setup thread count, plus a cold-request latency comparison with and
+// without the background setup pipeline. Writes a machine-readable summary
+// to --json (default BENCH_setup.json).
 //
 // The per-phase numbers come from re-running the build loop phase by phase
-// through the public kernel APIs with the same options Hierarchy::build
-// uses, so they add up to (slightly less than) the end-to-end build time.
+// through the public kernel APIs with the same options -- and, via
+// coarsen_level_seed, the exact same per-level splittings -- as
+// Hierarchy::build. Each level's four phase timings are committed together
+// only once the level completes, and the mirrored level count is checked
+// against the end-to-end build (exit 2 on mismatch): without that check a
+// level collapsing under aggressive coarsening lets a dangling RAP or
+// interp timing smear into the previous level's numbers.
+//
+// Determinism gate: at every thread count and level, the parallel C/F
+// splitting is compared bitwise against coarsen_parallel_oracle (and the
+// aggressive second stage against its own single-thread run). Any mismatch
+// makes the bench exit 1 -- CI treats parallel-coarsening determinism as a
+// hard failure, not a perf number.
 //
 // Speedup is whatever the hardware gives: on a single-core container every
 // thread count measures ~1x, and that is reported honestly rather than
-// failing the run.
+// failing the run (the JSON carries hardware_threads for context).
 
 #include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "amg/coarsen.hpp"
+#include "amg/hierarchy.hpp"
+#include "amg/interp.hpp"
+#include "amg/strength.hpp"
 #include "bench_common.hpp"
+#include "service/solve_service.hpp"
 #include "sparse/spgemm.hpp"
 #include "util/timer.hpp"
 
@@ -27,50 +45,91 @@ namespace {
 struct PhaseTimes {
   double strength = 0.0;
   double coarsen = 0.0;
+  double coarsen_oracle = 0.0;  // serial naive-rounds reference, untimed path
   double interp = 0.0;
   double rap = 0.0;
   double total = 0.0;  // end-to-end Hierarchy::build, measured separately
+  int levels = 0;      // levels of the end-to-end hierarchy
+  bool deterministic = true;
+  bool attribution_ok = true;
 };
 
+bool same_splitting(const Splitting& a, const Splitting& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
 /// Mirrors Hierarchy::build level by level, timing each phase. Options match
-/// bench::paper_mg_options (HMIS + classical modified interpolation).
+/// bench::paper_mg_options (HMIS + classical modified interpolation); the
+/// splitting runs the default row-parallel path with the build's per-level
+/// seeds, so the mirrored hierarchy is the built hierarchy.
 PhaseTimes run_setup(const CsrMatrix& a_fine, const AmgOptions& opts) {
   PhaseTimes pt;
   Timer timer;
   {
     Hierarchy h = Hierarchy::build(a_fine, opts);
     pt.total = timer.seconds();
+    pt.levels = static_cast<int>(h.num_levels());
     if (h.num_levels() < 2) {
       std::cerr << "warning: hierarchy degenerated to one level\n";
     }
   }
 
-  Rng rng(opts.seed);
   CsrMatrix a = a_fine;
+  int mirrored = 0;
   for (Index lvl = 0; lvl + 1 < opts.max_levels; ++lvl) {
     if (a.rows() <= opts.coarse_size) break;
 
+    // Phase timings accumulate into locals and commit only when the level
+    // completes: a level that stalls mid-phase must not leak partial
+    // timings into the totals.
     timer.reset();
     const CsrMatrix s = strength_matrix(a, opts.strength_theta,
                                         opts.strength_norm, opts.num_functions,
                                         opts.setup_threads);
-    pt.strength += timer.seconds();
+    const double t_strength = timer.seconds();
 
-    timer.reset();
-    Splitting split = coarsen(opts.coarsening, s, rng);
+    CoarsenParams cp;
+    cp.algo = opts.coarsening;
+    cp.weights = opts.coarsen_weights;
+    cp.seed = coarsen_level_seed(opts.seed, lvl);
+    cp.num_threads = opts.setup_threads;
     const bool aggressive =
         lvl < static_cast<Index>(opts.num_aggressive_levels);
-    if (aggressive) {
-      split = coarsen_aggressive(opts.coarsening, s, split, rng,
-                                 opts.setup_threads);
+
+    timer.reset();
+    Splitting split = coarsen_parallel(s, cp);
+    Splitting aggr_split;
+    if (aggressive) aggr_split = coarsen_aggressive_parallel(s, split, cp);
+    const double t_coarsen = timer.seconds();
+
+    // Determinism gate: the timed parallel splitting against the naive
+    // serial oracle of the same rounds, and the aggressive stage against
+    // its single-thread self.
+    timer.reset();
+    if (!same_splitting(split, coarsen_parallel_oracle(s, cp))) {
+      std::cerr << "DETERMINISM FAILURE: coarsen_parallel != oracle at level "
+                << lvl << " (threads=" << opts.setup_threads << ")\n";
+      pt.deterministic = false;
     }
-    pt.coarsen += timer.seconds();
+    pt.coarsen_oracle += timer.seconds();
+    if (aggressive) {
+      CoarsenParams cp1 = cp;
+      cp1.num_threads = 1;
+      if (!same_splitting(aggr_split,
+                          coarsen_aggressive_parallel(s, split, cp1))) {
+        std::cerr << "DETERMINISM FAILURE: aggressive stage thread-dependent "
+                     "at level "
+                  << lvl << " (threads=" << opts.setup_threads << ")\n";
+        pt.deterministic = false;
+      }
+      split = std::move(aggr_split);
+    }
 
     const Index nc = count_coarse(split);
     if (nc == 0 || nc >= a.rows() ||
         static_cast<double>(nc) >
             opts.max_coarsen_ratio * static_cast<double>(a.rows())) {
-      break;
+      break;  // stalled before interpolation: discard this level's timings
     }
 
     timer.reset();
@@ -79,13 +138,45 @@ PhaseTimes run_setup(const CsrMatrix& a_fine, const AmgOptions& opts) {
     CsrMatrix p = build_interpolation(interp_algo, a, s, split,
                                       opts.setup_threads);
     p = truncate_interpolation(p, opts.trunc_factor, opts.setup_threads);
-    pt.interp += timer.seconds();
+    const double t_interp = timer.seconds();
 
     timer.reset();
     a = galerkin_product(a, p, opts.setup_threads);
-    pt.rap += timer.seconds();
+    const double t_rap = timer.seconds();
+
+    // Level complete: commit all four phases together.
+    pt.strength += t_strength;
+    pt.coarsen += t_coarsen;
+    pt.interp += t_interp;
+    pt.rap += t_rap;
+    ++mirrored;
+  }
+
+  // Phase-attribution check: the mirror must have built exactly the levels
+  // the end-to-end build did, or the per-phase sums describe a different
+  // hierarchy.
+  if (mirrored + 1 != pt.levels) {
+    std::cerr << "ATTRIBUTION FAILURE: mirrored " << (mirrored + 1)
+              << " levels, Hierarchy::build made " << pt.levels << "\n";
+    pt.attribution_ok = false;
   }
   return pt;
+}
+
+/// One cold request against a fresh SolveService; returns wall seconds of
+/// submit()..get() and reports the partial-cycle count through `resp`.
+double cold_request_seconds(const CsrMatrix& a, const Vector& b,
+                            std::size_t threads, bool background,
+                            SolveResponse& resp) {
+  ServiceOptions so;
+  so.num_threads = threads;
+  so.cache.mg =
+      bench::paper_mg_options(SmootherType::kWeightedJacobi, 0.9, 1);
+  so.background_setup = background;
+  SolveService svc(so);
+  Timer timer;
+  resp = svc.submit(a, b).get();
+  return timer.seconds();
 }
 
 }  // namespace
@@ -102,9 +193,15 @@ int main(int argc, char** argv) {
   const int repeats = static_cast<int>(cli.get_int("repeats", smoke ? 1 : 3));
   const int aggressive = static_cast<int>(cli.get_int("aggressive", 1));
   const std::string json_path = cli.get("json", "BENCH_setup.json");
+  const unsigned hw = std::thread::hardware_concurrency();
 
   std::cout << "setup_scaling: 27pt Laplacian n=" << n << " ("
-            << n * n * n << " dofs), " << repeats << " repeats\n";
+            << n * n * n << " dofs), " << repeats
+            << " repeats, hardware_threads=" << hw << "\n";
+  if (hw <= 1) {
+    std::cout << "  note: single-hardware-thread machine; thread-sweep "
+                 "speedups are expected to be ~1x (see EXPERIMENTS.md)\n";
+  }
   const CsrMatrix a = make_laplace_27pt(n).a;
 
   AmgOptions opts =
@@ -116,41 +213,92 @@ int main(int argc, char** argv) {
     PhaseTimes best;
   };
   std::vector<Row> rows;
+  bool deterministic = true;
+  bool attribution_ok = true;
   for (std::int64_t t : threads) {
     opts.setup_threads = static_cast<int>(t);
     PhaseTimes best;
     for (int r = 0; r < repeats; ++r) {
       const PhaseTimes pt = run_setup(a, opts);
+      deterministic = deterministic && pt.deterministic;
+      attribution_ok = attribution_ok && pt.attribution_ok;
       if (r == 0 || pt.total < best.total) best = pt;
     }
     rows.push_back({static_cast<int>(t), best});
     std::cout << "  threads=" << t << ": total " << best.total << " s"
               << "  (strength " << best.strength << ", coarsen "
-              << best.coarsen << ", interp " << best.interp << ", RAP "
-              << best.rap << ")\n";
+              << best.coarsen << " [oracle " << best.coarsen_oracle
+              << "], interp " << best.interp << ", RAP " << best.rap
+              << ")  levels=" << best.levels << "\n";
   }
 
   const double base = rows.empty() ? 0.0 : rows.front().best.total;
+  const double coarsen_base = rows.empty() ? 0.0 : rows.front().best.coarsen;
   for (const Row& r : rows) {
     std::cout << "  speedup x" << r.threads << " = "
-              << (r.best.total > 0.0 ? base / r.best.total : 0.0) << "\n";
+              << (r.best.total > 0.0 ? base / r.best.total : 0.0)
+              << "  (coarsen "
+              << (r.best.coarsen > 0.0 ? coarsen_base / r.best.coarsen : 0.0)
+              << ")\n";
   }
+
+  // Cold-request latency: the same matrix through a fresh service, blocking
+  // setup vs the background pipeline (partial cycles while levels land).
+  const std::size_t svc_threads =
+      static_cast<std::size_t>(threads.empty() ? 2 : threads.back());
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  SolveResponse blocking_resp;
+  SolveResponse background_resp;
+  const double blocking_s =
+      cold_request_seconds(a, b, svc_threads, false, blocking_resp);
+  const double background_s =
+      cold_request_seconds(a, b, svc_threads, true, background_resp);
+  std::cout << "  cold request: blocking " << blocking_s << " s ("
+            << blocking_resp.stats.cycles << " cycles), background "
+            << background_s << " s (" << background_resp.stats.cycles
+            << " cycles, " << background_resp.partial_cycles
+            << " on partial hierarchies)\n";
 
   std::ofstream out(json_path);
   out << "{\"bench\":\"setup_scaling\",\"problem\":\"27pt\",\"n\":" << n
       << ",\"dofs\":" << n * n * n << ",\"repeats\":" << repeats
-      << ",\"aggressive\":" << aggressive << ",\"runs\":[";
+      << ",\"aggressive\":" << aggressive
+      << ",\"hardware_threads\":" << hw
+      << ",\"deterministic\":" << (deterministic ? "true" : "false")
+      << ",\"runs\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     if (i) out << ",";
     out << "{\"threads\":" << r.threads << ",\"total_seconds\":"
         << r.best.total << ",\"speedup\":"
         << (r.best.total > 0.0 ? base / r.best.total : 0.0)
+        << ",\"levels\":" << r.best.levels
         << ",\"phases\":{\"strength\":" << r.best.strength << ",\"coarsen\":"
-        << r.best.coarsen << ",\"interp\":" << r.best.interp << ",\"rap\":"
-        << r.best.rap << "}}";
+        << r.best.coarsen << ",\"coarsen_oracle\":" << r.best.coarsen_oracle
+        << ",\"interp\":" << r.best.interp << ",\"rap\":"
+        << r.best.rap << "}"
+        << ",\"coarsen_speedup\":"
+        << (r.best.coarsen > 0.0 ? coarsen_base / r.best.coarsen : 0.0)
+        << "}";
   }
-  out << "]}\n";
+  out << "],\"cold_request\":{\"threads\":" << svc_threads
+      << ",\"blocking_seconds\":" << blocking_s
+      << ",\"blocking_cycles\":" << blocking_resp.stats.cycles
+      << ",\"background_seconds\":" << background_s
+      << ",\"background_cycles\":" << background_resp.stats.cycles
+      << ",\"background_partial_cycles\":" << background_resp.partial_cycles
+      << "}}\n";
   std::cout << "\nwrote " << json_path << "\n";
+
+  if (!deterministic) {
+    std::cerr << "FAILED: parallel coarsening disagreed with the serial "
+                 "oracle\n";
+    return 1;
+  }
+  if (!attribution_ok) {
+    std::cerr << "FAILED: per-phase attribution diverged from the "
+                 "end-to-end build\n";
+    return 2;
+  }
   return 0;
 }

@@ -7,66 +7,110 @@
 
 namespace asyncmg {
 
-Hierarchy Hierarchy::build(CsrMatrix a_fine, const AmgOptions& opts) {
-  Hierarchy h;
-  Rng rng(opts.seed);
-  h.levels_.push_back(AmgLevel{std::move(a_fine), {}, {}});
+HierarchyBuilder::HierarchyBuilder(CsrMatrix a_fine, const AmgOptions& opts)
+    : opts_(opts), rng_(opts.seed) {
+  levels_.push_back(AmgLevel{std::move(a_fine), {}, {}});
 
   // Per-dof function map for unknown-based AMG; carried to coarse levels
   // (a C point keeps its fine-level component).
-  std::vector<int> funcs;
-  if (opts.num_functions > 1) {
-    funcs.resize(static_cast<std::size_t>(h.levels_.back().a.rows()));
-    for (std::size_t i = 0; i < funcs.size(); ++i) {
-      funcs[i] =
-          static_cast<int>(i % static_cast<std::size_t>(opts.num_functions));
+  if (opts_.num_functions > 1) {
+    funcs_.resize(static_cast<std::size_t>(levels_.back().a.rows()));
+    for (std::size_t i = 0; i < funcs_.size(); ++i) {
+      funcs_[i] =
+          static_cast<int>(i % static_cast<std::size_t>(opts_.num_functions));
     }
   }
+}
 
-  for (Index lvl = 0; lvl + 1 < opts.max_levels; ++lvl) {
-    const CsrMatrix& a = h.levels_.back().a;
-    const Index n = a.rows();
-    if (n <= opts.coarse_size) break;
+bool HierarchyBuilder::step() {
+  if (done_) return false;
+  if (lvl_ + 1 >= opts_.max_levels) {
+    done_ = true;
+    return false;
+  }
+  const CsrMatrix& a = levels_.back().a;
+  const Index n = a.rows();
+  if (n <= opts_.coarse_size) {
+    done_ = true;
+    return false;
+  }
 
-    const CsrMatrix s = strength_matrix_mapped(
-        a, opts.strength_theta, opts.strength_norm, funcs, opts.setup_threads);
-    Splitting split = coarsen(opts.coarsening, s, rng);
-    const bool aggressive = lvl < static_cast<Index>(opts.num_aggressive_levels);
+  const CsrMatrix s = strength_matrix_mapped(a, opts_.strength_theta,
+                                             opts_.strength_norm, funcs_,
+                                             opts_.setup_threads);
+  const bool aggressive =
+      lvl_ < static_cast<Index>(opts_.num_aggressive_levels);
+  Splitting split;
+  if (opts_.coarsen_mode == CoarsenMode::kSerialOracle) {
+    split = coarsen(opts_.coarsening, s, rng_);
     if (aggressive) {
-      split =
-          coarsen_aggressive(opts.coarsening, s, split, rng, opts.setup_threads);
+      split = coarsen_aggressive(opts_.coarsening, s, split, rng_,
+                                 opts_.setup_threads);
     }
-
-    const Index nc = count_coarse(split);
-    if (nc == 0 || nc >= n ||
-        static_cast<double>(nc) >
-            opts.max_coarsen_ratio * static_cast<double>(n)) {
-      break;  // coarsening stalled; keep current coarsest level
-    }
-
-    // Aggressive coarsening leaves F points without strong C neighbors, so
-    // it always pairs with multipass interpolation (as in BoomerAMG).
-    const InterpAlgo interp_algo =
-        aggressive ? InterpAlgo::kMultipass : opts.interpolation;
-    CsrMatrix p =
-        build_interpolation(interp_algo, a, s, split, opts.setup_threads);
-    p = truncate_interpolation(p, opts.trunc_factor, opts.setup_threads);
-
-    CsrMatrix ac = galerkin_product(a, p, opts.setup_threads);
-
-    if (!funcs.empty()) {
-      std::vector<int> coarse_funcs;
-      coarse_funcs.reserve(static_cast<std::size_t>(nc));
-      for (std::size_t i = 0; i < split.size(); ++i) {
-        if (split[i] == PointType::kCoarse) coarse_funcs.push_back(funcs[i]);
-      }
-      funcs = std::move(coarse_funcs);
-    }
-
-    h.levels_.back().p = std::move(p);
-    h.levels_.back().split = std::move(split);
-    h.levels_.push_back(AmgLevel{std::move(ac), {}, {}});
+  } else {
+    CoarsenParams cp;
+    cp.algo = opts_.coarsening;
+    cp.weights = opts_.coarsen_weights;
+    cp.seed = coarsen_level_seed(opts_.seed, lvl_);
+    cp.num_threads = opts_.setup_threads;
+    split = coarsen_parallel(s, cp);
+    if (aggressive) split = coarsen_aggressive_parallel(s, split, cp);
   }
+
+  const Index nc = count_coarse(split);
+  if (nc == 0 || nc >= n ||
+      static_cast<double>(nc) >
+          opts_.max_coarsen_ratio * static_cast<double>(n)) {
+    done_ = true;  // coarsening stalled; keep current coarsest level
+    return false;
+  }
+
+  // Aggressive coarsening leaves F points without strong C neighbors, so
+  // it always pairs with multipass interpolation (as in BoomerAMG).
+  const InterpAlgo interp_algo =
+      aggressive ? InterpAlgo::kMultipass : opts_.interpolation;
+  CsrMatrix p =
+      build_interpolation(interp_algo, a, s, split, opts_.setup_threads);
+  p = truncate_interpolation(p, opts_.trunc_factor, opts_.setup_threads);
+
+  CsrMatrix ac = galerkin_product(a, p, opts_.setup_threads);
+
+  if (!funcs_.empty()) {
+    std::vector<int> coarse_funcs;
+    coarse_funcs.reserve(static_cast<std::size_t>(nc));
+    for (std::size_t i = 0; i < split.size(); ++i) {
+      if (split[i] == PointType::kCoarse) coarse_funcs.push_back(funcs_[i]);
+    }
+    funcs_ = std::move(coarse_funcs);
+  }
+
+  levels_.back().p = std::move(p);
+  levels_.back().split = std::move(split);
+  levels_.push_back(AmgLevel{std::move(ac), {}, {}});
+  ++lvl_;
+  return !done_;
+}
+
+Hierarchy HierarchyBuilder::snapshot_prefix(std::size_t k) const {
+  if (k < 1 || k > levels_.size()) {
+    throw std::invalid_argument("snapshot_prefix: bad level count");
+  }
+  std::vector<AmgLevel> pre(levels_.begin(),
+                            levels_.begin() + static_cast<std::ptrdiff_t>(k));
+  // The snapshot's coarsest level is a working level mid-coarsening: drop
+  // its (not yet existing or pending) interpolation and splitting so it
+  // validates as a coarsest level.
+  pre.back().p = CsrMatrix{};
+  pre.back().split = Splitting{};
+  return Hierarchy::from_levels(std::move(pre));
+}
+
+Hierarchy HierarchyBuilder::finish() {
+  while (step()) {
+  }
+
+  Hierarchy h;
+  h.levels_ = std::move(levels_);
 
   // Demote per the precision policy only after the whole (fp64) setup is
   // done: Galerkin products, strength, and interpolation all see full
@@ -77,17 +121,22 @@ Hierarchy Hierarchy::build(CsrMatrix a_fine, const AmgOptions& opts) {
   const std::size_t nl = h.levels_.size();
   const std::size_t fine_nnz = static_cast<std::size_t>(h.levels_[0].a.nnz());
   for (std::size_t k = 0; k < nl; ++k) {
-    const Precision pk = opts.precision.level_precision(
+    const Precision pk = opts_.precision.level_precision(
         k, nl, static_cast<std::size_t>(h.levels_[k].a.nnz()), fine_nnz);
     h.levels_[k].a.convert_precision(pk);
     if (k + 1 < nl && h.levels_[k].p.rows() > 0) {
-      const Precision pc = opts.precision.level_precision(
+      const Precision pc = opts_.precision.level_precision(
           k + 1, nl, static_cast<std::size_t>(h.levels_[k + 1].a.nnz()),
           fine_nnz);
       h.levels_[k].p.convert_precision(pc);
     }
   }
   return h;
+}
+
+Hierarchy Hierarchy::build(CsrMatrix a_fine, const AmgOptions& opts) {
+  HierarchyBuilder builder(std::move(a_fine), opts);
+  return builder.finish();
 }
 
 Hierarchy Hierarchy::from_levels(std::vector<AmgLevel> levels) {

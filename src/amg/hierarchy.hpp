@@ -25,6 +25,15 @@ struct AmgOptions {
   /// component structure under C-point renumbering).
   int num_functions = 1;
   CoarsenAlgo coarsening = CoarsenAlgo::kHMIS;
+  /// C/F splitting implementation (coarsen.hpp). kParallel (default) runs
+  /// the row-parallel frontier rounds, bit-identical for every
+  /// setup_threads value; kSerialOracle runs the original sequential
+  /// algorithms (heap RS, rng-sequence PMIS) kept verbatim as the oracle.
+  /// The two modes produce different (both valid) hierarchies.
+  CoarsenMode coarsen_mode = CoarsenMode::kParallel;
+  /// Tie-break weight source of the parallel rounds (ignored by the serial
+  /// oracle). kHash has no serial dependency at all.
+  CoarsenWeights coarsen_weights = CoarsenWeights::kHash;
   InterpAlgo interpolation = InterpAlgo::kClassicalModified;
   /// Aggressive (distance-2) coarsening is applied on this many of the
   /// finest levels, with multipass interpolation (as in BoomerAMG).
@@ -86,7 +95,54 @@ class Hierarchy {
   std::string summary() const;
 
  private:
+  friend class HierarchyBuilder;
   std::vector<AmgLevel> levels_;
+};
+
+/// Resumable level-by-level setup (DESIGN.md section 13). Each step() runs
+/// one coarsening iteration: strength + C/F splitting + interpolation +
+/// Galerkin product, appending one coarse level. The background setup
+/// pipeline drives steps on pool lanes and serves truncated snapshots of
+/// the finished prefix; finish() is bit-identical to Hierarchy::build
+/// (which delegates here), including the end-of-build precision demotion.
+///
+/// Not thread-safe: callers serialize step()/finish() against
+/// snapshot_prefix() externally (BackgroundSetup holds the lock).
+class HierarchyBuilder {
+ public:
+  HierarchyBuilder(CsrMatrix a_fine, const AmgOptions& opts = {});
+
+  /// True once no further coarse level will be appended.
+  bool done() const { return done_; }
+
+  /// Number of levels currently built (>= 1 from construction on).
+  std::size_t levels_built() const { return levels_.size(); }
+
+  /// Rows of the current coarsest level (the next step coarsens it).
+  Index coarsest_rows() const { return levels_.back().a.rows(); }
+
+  /// Builds one more coarse level. Returns false when the hierarchy is
+  /// complete (and from then on). Stored values stay fp64 until finish().
+  bool step();
+
+  /// Copies the first `k` finished levels (1 <= k <= levels_built()) into a
+  /// standalone truncated hierarchy: the k-th level becomes a temporary
+  /// coarsest (its pending interpolation is dropped). Values are the
+  /// builder's working fp64 state; the precision policy only applies to the
+  /// finished hierarchy.
+  Hierarchy snapshot_prefix(std::size_t k) const;
+
+  /// Runs any remaining steps, applies the precision policy, and returns
+  /// the finished hierarchy. The builder is consumed.
+  Hierarchy finish();
+
+ private:
+  AmgOptions opts_;
+  Rng rng_;                 // serial-oracle tie-break stream
+  std::vector<AmgLevel> levels_;
+  std::vector<int> funcs_;  // unknown-based AMG component map
+  Index lvl_ = 0;
+  bool done_ = false;
 };
 
 }  // namespace asyncmg

@@ -17,6 +17,7 @@ MultiplicativeMg::MultiplicativeMg(const MgSetup& setup, bool symmetric,
       post_sweeps_(post_sweeps),
       gamma_(gamma),
       fused_(setup.options().engine.fused),
+      active_(setup.num_levels()),
       ws_(setup, setup.options().engine.first_touch) {
   if (pre_sweeps < 0 || post_sweeps < 0 || pre_sweeps + post_sweeps == 0) {
     throw std::invalid_argument(
@@ -103,12 +104,20 @@ void MultiplicativeMg::coarse_corrections(std::size_t k) {
   }
 }
 
+void MultiplicativeMg::set_active_levels(std::size_t n) {
+  if (n < 1 || n > s_->num_levels()) {
+    throw std::invalid_argument("set_active_levels: out of range");
+  }
+  active_ = n;
+}
+
 void MultiplicativeMg::level_solve(std::size_t k) {
-  const std::size_t coarsest = s_->num_levels() - 1;
+  const std::size_t coarsest = active_ - 1;
   if (k == coarsest) {
-    // Exact solve when available, a smoothing sweep otherwise.
+    // Exact solve when available, a smoothing sweep otherwise. A truncated
+    // cycle's temporary coarsest never owns the LU, so it smooths.
     pb(CyclePhase::kCoarseSolve, k);
-    if (!s_->coarse_solver().empty()) {
+    if (active_ == s_->num_levels() && !s_->coarse_solver().empty()) {
       s_->coarse_solver().solve(ws_.r(k), ws_.e(k));
     } else {
       s_->smoother(k).apply_zero(ws_.r(k), ws_.e(k));

@@ -47,6 +47,14 @@ class MultiplicativeMg {
   void set_fused(bool fused) { fused_ = fused; }
   bool fused() const { return fused_; }
 
+  /// Truncate the cycle at the first `n` levels (1 <= n <= num_levels):
+  /// level n-1 acts as a temporary coarsest, solved with its smoother's
+  /// zero-guess apply (the dense LU only ever belongs to the true coarsest
+  /// level). The background setup pipeline deepens this as coarse levels
+  /// finish; n = num_levels restores the full cycle.
+  void set_active_levels(std::size_t n);
+  std::size_t active_levels() const { return active_; }
+
   /// The per-instance scratch arena (sizing diagnostics).
   const CycleWorkspace& workspace() const { return ws_; }
 
@@ -86,6 +94,7 @@ class MultiplicativeMg {
   int post_sweeps_;
   int gamma_ = 1;
   bool fused_;
+  std::size_t active_;  // cycle depth; num_levels unless truncated
   // Per-level scratch arena reused across cycles (no allocations inside a
   // cycle, even on the reference path's vectors).
   CycleWorkspace ws_;

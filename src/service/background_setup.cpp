@@ -1,0 +1,134 @@
+#include "service/background_setup.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "service/solver_pool.hpp"
+#include "telemetry/sink.hpp"
+
+namespace asyncmg {
+
+namespace {
+
+void mark_level_ready(TelemetrySink* tel, std::size_t level, Index rows) {
+  if (tel == nullptr || !tel->enabled()) return;
+  tel->record_control(EventKind::kLevelReady, static_cast<std::int64_t>(level),
+                      static_cast<std::int64_t>(rows));
+  tel->metrics().counter("setup.levels_ready").add(1);
+}
+
+}  // namespace
+
+BackgroundSetup::BackgroundSetup(CsrMatrix a_fine, BackgroundSetupOptions opts)
+    : opts_(std::move(opts)), builder_(std::move(a_fine), opts_.mg.amg) {
+  prefix_ = builder_.snapshot_prefix(1);
+  ready_.store(1);
+  mark_level_ready(opts_.telemetry, 0, prefix_.matrix(0).rows());
+}
+
+void BackgroundSetup::start() {
+  if (opts_.pool == nullptr) return;
+  // The lane shares ownership: it may outlive the requester that created us.
+  auto self = shared_from_this();
+  opts_.pool->post([self]() { self->lane_loop(); });
+}
+
+void BackgroundSetup::lane_loop() {
+  for (;;) {
+    if (complete_.load()) return;
+    const auto built = ready_.load();
+    if (opts_.fail_after_levels >= 0 &&
+        built >= static_cast<std::size_t>(opts_.fail_after_levels)) {
+      // Injected lane death: stop stepping without finishing. Requesters
+      // keep calling advance(), so the build completes on their threads.
+      lane_dead_.store(true);
+      if (TelemetrySink* const tel = opts_.telemetry;
+          tel != nullptr && tel->enabled()) {
+        tel->record_control(EventKind::kSetupFallback,
+                            static_cast<std::int64_t>(built));
+        tel->metrics().counter("setup.fallbacks").add(1);
+      }
+      return;
+    }
+    if (!step_once()) std::this_thread::yield();
+  }
+}
+
+bool BackgroundSetup::step_once() {
+  const std::unique_lock<std::mutex> step(step_mu_, std::try_to_lock);
+  if (!step.owns_lock()) return false;
+  if (complete_.load()) return true;
+
+  if (builder_.step()) {
+    // One more coarse level landed: publish a fresh prefix copy for
+    // snapshots (the builder's own levels keep mutating on later steps).
+    const std::size_t nl = builder_.levels_built();
+    Hierarchy snap = builder_.snapshot_prefix(nl);
+    const Index rows = builder_.coarsest_rows();
+    {
+      const std::lock_guard<std::mutex> g(state_mu_);
+      prefix_ = std::move(snap);
+      ready_.store(nl);
+    }
+    state_cv_.notify_all();
+    mark_level_ready(opts_.telemetry, nl - 1, rows);
+  } else {
+    // No further level: finalize. finish() reruns nothing (the builder is
+    // done) but applies the precision policy, so the result is bit-identical
+    // to a direct Hierarchy::build; the full MgSetup gets the real options,
+    // dense coarse LU included.
+    auto setup =
+        std::make_shared<const MgSetup>(builder_.finish(), opts_.mg);
+    {
+      const std::lock_guard<std::mutex> g(state_mu_);
+      full_setup_ = setup;
+      snap_setup_ = setup;
+      snap_levels_ = setup->num_levels();
+      ready_.store(setup->num_levels());
+      complete_.store(true);
+    }
+    state_cv_.notify_all();
+  }
+  return true;
+}
+
+std::size_t BackgroundSetup::advance() {
+  if (!complete_.load()) step_once();
+  return ready_.load();
+}
+
+std::shared_ptr<const MgSetup> BackgroundSetup::snapshot() {
+  const std::lock_guard<std::mutex> g(state_mu_);
+  if (full_setup_) return full_setup_;
+  if (snap_setup_ && snap_levels_ == prefix_.num_levels()) return snap_setup_;
+  // Truncated serving setup: the temporary coarsest is smoothed, never
+  // LU-solved, so disable the dense coarse solver outright.
+  MgOptions o = opts_.mg;
+  o.max_dense_coarse = 0;
+  Hierarchy copy = prefix_;
+  snap_setup_ = std::make_shared<const MgSetup>(std::move(copy), o);
+  snap_levels_ = prefix_.num_levels();
+  return snap_setup_;
+}
+
+std::shared_ptr<const MgSetup> BackgroundSetup::full() const {
+  const std::lock_guard<std::mutex> g(state_mu_);
+  return full_setup_;
+}
+
+std::shared_ptr<const MgSetup> BackgroundSetup::wait_full() {
+  for (;;) {
+    if (complete_.load()) return full();
+    if (!step_once()) {
+      // The lane is mid-step; wait for its publish instead of spinning.
+      // The timeout re-arms the step attempt in case the lane died between
+      // our try-lock and this wait.
+      std::unique_lock<std::mutex> g(state_mu_);
+      state_cv_.wait_for(g, std::chrono::milliseconds(1),
+                         [&] { return complete_.load(); });
+    }
+  }
+}
+
+}  // namespace asyncmg

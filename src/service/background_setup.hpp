@@ -1,0 +1,107 @@
+#pragma once
+// Background setup pipeline (DESIGN.md section 13): a cold-cache request
+// should not wait for the full AMG hierarchy. A BackgroundSetup wraps a
+// resumable HierarchyBuilder; a SolverPool lane (and, cooperatively, the
+// requester itself) drives one coarsening step at a time, and after every
+// finished level an immutable truncated MgSetup of the ready prefix can be
+// snapshotted. The solve loop cycles on the deepest ready prefix -- the
+// temporary coarsest level is smoothed rather than LU-solved -- and deepens
+// as levels land, until the full setup (bit-identical to a direct
+// Hierarchy::build of the same options) replaces it.
+//
+// Progress discipline: stepping is guarded by a try-lock. Anyone may call
+// advance(); if the lane is mid-step the call returns immediately, so the
+// requester never blocks on the pool (a pool task must not wait on its own
+// pool) and a killed or absent lane degrades to the requester building the
+// hierarchy itself between cycles -- the Criterion-2-style recovery of the
+// async runtime applied to setup: progress never depends on any one lane
+// surviving.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "multigrid/setup.hpp"
+
+namespace asyncmg {
+
+class SolverPool;
+class TelemetrySink;
+
+struct BackgroundSetupOptions {
+  /// Setup options of the finished hierarchy; snapshots reuse them with the
+  /// dense coarse LU disabled (a truncated coarsest is temporary).
+  MgOptions mg;
+  /// Lane host. nullptr: no lane is posted and the requester does every
+  /// step itself (pure cooperative mode).
+  SolverPool* pool = nullptr;
+  /// kLevelReady / kSetupFallback control-plane events. Not owned.
+  TelemetrySink* telemetry = nullptr;
+  /// Fault injection: the background lane dies (stops stepping) once this
+  /// many levels are built (-1 = never). Requesters keep advancing, so the
+  /// build still completes -- that takeover is what tests assert.
+  int fail_after_levels = -1;
+};
+
+class BackgroundSetup : public std::enable_shared_from_this<BackgroundSetup> {
+ public:
+  BackgroundSetup(CsrMatrix a_fine, BackgroundSetupOptions opts);
+
+  /// Posts the builder lane onto the pool (no-op without one). Call once.
+  /// The object must already be owned by a shared_ptr: the lane task shares
+  /// ownership so it can outlive the requester.
+  void start();
+
+  /// Levels finished so far (>= 1 immediately after construction).
+  std::size_t ready_levels() const { return ready_.load(); }
+
+  /// True once the full hierarchy (and its final MgSetup) exists.
+  bool complete() const { return complete_.load(); }
+
+  /// True when the injected fault killed the lane (the build then finished
+  /// on requester threads).
+  bool fell_back() const { return lane_dead_.load(); }
+
+  /// Tries to run one builder step on the calling thread; returns without
+  /// doing work when another thread is mid-step. Never blocks on the pool.
+  /// Returns ready_levels() afterwards.
+  std::size_t advance();
+
+  /// Immutable setup of the current ready prefix. Returns the full setup
+  /// once complete; otherwise a truncated one (no coarse LU). Cached per
+  /// ready-count, so repeated calls between level completions are cheap.
+  std::shared_ptr<const MgSetup> snapshot();
+
+  /// The finished full setup, or nullptr until complete().
+  std::shared_ptr<const MgSetup> full() const;
+
+  /// Drives (and, when the lane holds the step lock, waits for) the build
+  /// to completion; returns the full setup.
+  std::shared_ptr<const MgSetup> wait_full();
+
+ private:
+  void lane_loop();
+  /// One locked builder step; finalizes on the last. Returns false when
+  /// the step lock was contended (no work done).
+  bool step_once();
+
+  BackgroundSetupOptions opts_;
+
+  std::mutex step_mu_;  // serializes builder stepping + finalization
+  HierarchyBuilder builder_;
+
+  mutable std::mutex state_mu_;  // guards the members below
+  std::condition_variable state_cv_;
+  Hierarchy prefix_;  // copy of the ready prefix (fp64 working values)
+  std::shared_ptr<const MgSetup> snap_setup_;  // lazily built from prefix_
+  std::size_t snap_levels_ = 0;
+  std::shared_ptr<const MgSetup> full_setup_;
+
+  std::atomic<std::size_t> ready_{0};
+  std::atomic<bool> complete_{false};
+  std::atomic<bool> lane_dead_{false};
+};
+
+}  // namespace asyncmg

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "service/background_setup.hpp"
 #include "sparse/vec.hpp"
 #include "telemetry/sink.hpp"
 #include "util/stats.hpp"
@@ -50,6 +51,55 @@ SolveStats solve_with_deadline(const MgSetup& s, const Vector& b, Vector& x,
   return stats;
 }
 
+/// Cold-path loop against a BackgroundSetup: each iteration tries one
+/// cooperative builder step (try-lock; returns instantly while the lane is
+/// mid-step), re-snapshots when new levels landed, and cycles on the
+/// deepest ready prefix. Converges on whatever depth is available; once the
+/// build completes the loop runs the full cycle, LU coarse solve included.
+SolveStats solve_with_background(BackgroundSetup& bg, const Vector& b,
+                                 Vector& x, int t_max, double tol,
+                                 bool has_deadline, Clock::time_point deadline,
+                                 bool& timed_out,
+                                 std::size_t& partial_cycles) {
+  SolveStats stats;
+  const double bnorm = norm2(b);
+  const double scale = bnorm > 0.0 ? 1.0 / bnorm : 1.0;
+  Vector r;
+  const auto t0 = Clock::now();
+
+  std::shared_ptr<const MgSetup> setup = bg.snapshot();
+  auto mg = std::make_unique<MultiplicativeMg>(*setup);
+  setup->a(0).residual(b, x, r);
+  stats.rel_res_history.push_back(norm2(r) * scale);
+  for (int t = 0; t < t_max; ++t) {
+    if (has_deadline && Clock::now() >= deadline) {
+      timed_out = true;
+      break;
+    }
+    bg.advance();
+    if (bg.ready_levels() > setup->num_levels()) {
+      std::shared_ptr<const MgSetup> deeper = bg.snapshot();
+      if (deeper != setup) {
+        setup = std::move(deeper);
+        mg = std::make_unique<MultiplicativeMg>(*setup);
+      }
+    }
+    const bool partial = setup != bg.full();  // this cycle's hierarchy
+    mg->cycle(b, x);
+    ++stats.cycles;
+    if (partial) ++partial_cycles;
+    setup->a(0).residual(b, x, r);
+    const double rr = norm2(r) * scale;
+    stats.rel_res_history.push_back(rr);
+    if (tol > 0.0 && rr < tol) {
+      stats.converged = true;
+      break;
+    }
+  }
+  stats.seconds = seconds_since(t0);
+  return stats;
+}
+
 }  // namespace
 
 std::string ServiceStats::to_json() const {
@@ -61,6 +111,10 @@ std::string ServiceStats::to_json() const {
     << "\"rejected\":" << rejected << ","
     << "\"timed_out\":" << timed_out << ","
     << "\"queue_depth\":" << queue_depth << ","
+    << "\"background\":{"
+    << "\"partial_solves\":" << partial_solves << ","
+    << "\"partial_cycles\":" << partial_cycles << ","
+    << "\"setup_fallbacks\":" << setup_fallbacks << "},"
     << "\"cache\":{"
     << "\"hits\":" << cache.hits << ","
     << "\"misses\":" << cache.misses << ","
@@ -154,15 +208,57 @@ void SolveService::execute(
       resp.stats.rel_res_history.push_back(1.0);
       resp.timed_out = true;
     } else {
-      std::shared_ptr<const MgSetup> setup =
-          cache_->get_or_build(a, &resp.cache_hit);
-      a = CsrMatrix();  // the setup owns its own copy; drop the request's
-
       const int t_max = ropts.t_max > 0 ? ropts.t_max : opts_.default_t_max;
       const double tol = ropts.tol > 0.0 ? ropts.tol : opts_.default_tol;
       resp.x.assign(b.size(), 0.0);
-      resp.stats = solve_with_deadline(*setup, b, resp.x, t_max, tol,
-                                       has_deadline, deadline, resp.timed_out);
+
+      std::shared_ptr<BackgroundSetup> bg;
+      std::shared_ptr<const MgSetup> setup;
+      MatrixFingerprint key{};
+      if (opts_.background_setup) {
+        key = matrix_fingerprint(a);
+        setup = cache_->lookup(key, &resp.cache_hit);
+        if (!setup) {
+          BackgroundSetupOptions bo;
+          bo.mg = opts_.cache.mg;
+          bo.pool = pool_.get();
+          bo.telemetry = opts_.telemetry;
+          bo.fail_after_levels = opts_.background_fail_after_levels;
+          bg = std::make_shared<BackgroundSetup>(std::move(a), bo);
+          bg->start();
+        }
+      } else {
+        setup = cache_->get_or_build(a, &resp.cache_hit);
+      }
+      a = CsrMatrix();  // the setup/builder owns its own copy
+
+      if (bg) {
+        resp.stats =
+            solve_with_background(*bg, b, resp.x, t_max, tol, has_deadline,
+                                  deadline, resp.timed_out,
+                                  resp.partial_cycles);
+        resp.partial_setup = resp.partial_cycles > 0;
+        // Register the finished setup so later requests are warm. If the
+        // solve converged before the build did, a detached pool task
+        // finishes it -- pool tasks may block on the step lock (that holder
+        // is making progress), just never on the pool itself.
+        if (std::shared_ptr<const MgSetup> built = bg->full()) {
+          cache_->insert(key, std::move(built));
+        } else {
+          pool_->post([bg, key, cache = cache_.get()]() {
+            cache->insert(key, bg->wait_full());
+          });
+        }
+        const bool fell_back = bg->fell_back();
+        const std::lock_guard<std::mutex> g(stats_mu_);
+        if (resp.partial_setup) ++partial_solves_;
+        partial_cycles_ += resp.partial_cycles;
+        if (fell_back) ++setup_fallbacks_;
+      } else {
+        resp.stats =
+            solve_with_deadline(*setup, b, resp.x, t_max, tol, has_deadline,
+                                deadline, resp.timed_out);
+      }
     }
   } catch (...) {
     error = std::current_exception();
@@ -213,6 +309,9 @@ ServiceStats SolveService::stats() const {
     s.rejected = rejected_;
     s.timed_out = timed_out_;
     s.queue_depth = in_flight_;
+    s.partial_solves = partial_solves_;
+    s.partial_cycles = partial_cycles_;
+    s.setup_fallbacks = setup_fallbacks_;
     lat = latencies_;
   }
   s.cache = cache_->stats();

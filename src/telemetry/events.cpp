@@ -39,6 +39,10 @@ const char* event_name(EventKind k) {
       return "shard-drop";
     case EventKind::kLevelPrecision:
       return "level-precision";
+    case EventKind::kLevelReady:
+      return "level-ready";
+    case EventKind::kSetupFallback:
+      return "setup-fallback";
   }
   return "unknown";
 }

@@ -44,6 +44,9 @@ enum class EventKind : std::uint8_t {
   // attach and only for levels stored below fp64, so all-fp64 traces (the
   // golden fixtures) are unchanged.
   kLevelPrecision,  // a = level, b = Precision enum value of the operator
+  // Background setup pipeline (service/background_setup.hpp).
+  kLevelReady,      // a = level index now built, b = rows of that level
+  kSetupFallback,   // a = levels built when the lane died, b = 0
 };
 
 /// Stable display name of an event kind (used by the Chrome exporter).

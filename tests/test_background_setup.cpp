@@ -1,0 +1,419 @@
+// Background setup pipeline tests (DESIGN.md section 13): the resumable
+// HierarchyBuilder must be bit-identical to the one-shot build, truncated
+// snapshot cycles must match the full hierarchy's set_active_levels cycles,
+// a mid-build solve must converge to the requested residual bound, a killed
+// background lane must degrade to requester-driven completion (with the
+// fallback recorded in telemetry), and scripted replays on an active-grid
+// prefix must be deterministic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "amg/hierarchy.hpp"
+#include "async/runtime.hpp"
+#include "mesh/problems.hpp"
+#include "multigrid/additive.hpp"
+#include "multigrid/mult.hpp"
+#include "multigrid/setup.hpp"
+#include "service/background_setup.hpp"
+#include "service/solve_service.hpp"
+#include "service/solver_pool.hpp"
+#include "sparse/vec.hpp"
+#include "telemetry/sink.hpp"
+
+namespace asyncmg {
+namespace {
+
+AmgOptions test_amg() {
+  AmgOptions o;
+  o.precision = PrecisionPolicy{};  // pin the fp64 oracle
+  return o;
+}
+
+MgOptions test_mg() {
+  MgOptions o;
+  o.amg = test_amg();
+  return o;
+}
+
+CsrMatrix fixture_matrix() { return make_laplace_7pt(12).a; }  // 1728 rows
+
+Vector ones_rhs(const CsrMatrix& a) {
+  return Vector(static_cast<std::size_t>(a.rows()), 1.0);
+}
+
+void expect_identical_matrix(const CsrMatrix& a, const CsrMatrix& b,
+                             const std::string& what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  ASSERT_EQ(a.nnz(), b.nnz()) << what;
+  const auto arp = a.row_ptr(), brp = b.row_ptr();
+  const auto aci = a.col_idx(), bci = b.col_idx();
+  const auto av = a.values(), bv = b.values();
+  for (std::size_t i = 0; i <= static_cast<std::size_t>(a.rows()); ++i) {
+    ASSERT_EQ(arp[i], brp[i]) << what << ": row_ptr[" << i << "]";
+  }
+  for (std::size_t k = 0; k < static_cast<std::size_t>(a.nnz()); ++k) {
+    ASSERT_EQ(aci[k], bci[k]) << what << ": col_idx[" << k << "]";
+    ASSERT_EQ(av[k], bv[k]) << what << ": values[" << k << "]";
+  }
+}
+
+void expect_identical_hierarchy(const Hierarchy& a, const Hierarchy& b,
+                                const std::string& what) {
+  ASSERT_EQ(a.num_levels(), b.num_levels()) << what;
+  for (std::size_t k = 0; k < a.num_levels(); ++k) {
+    const std::string tag = what + " level " + std::to_string(k);
+    expect_identical_matrix(a.matrix(k), b.matrix(k), tag + " A");
+    if (k + 1 < a.num_levels()) {
+      expect_identical_matrix(a.interpolation(k), b.interpolation(k),
+                              tag + " P");
+    }
+  }
+}
+
+double rel_res(const MgSetup& s, const Vector& b, const Vector& x) {
+  Vector r;
+  s.a(0).residual(b, x, r);
+  return norm2(r) / norm2(b);
+}
+
+// ---------------------------------------------------------------------------
+// HierarchyBuilder: resumable steps, snapshots, finish == build
+// ---------------------------------------------------------------------------
+
+TEST(HierarchyBuilder, StepwiseFinishMatchesDirectBuild) {
+  const CsrMatrix a = fixture_matrix();
+  const AmgOptions opts = test_amg();
+
+  HierarchyBuilder builder(a, opts);
+  EXPECT_FALSE(builder.done());
+  EXPECT_EQ(builder.levels_built(), 1u);
+  std::size_t steps = 0;
+  Index prev_rows = builder.coarsest_rows();
+  while (builder.step()) {
+    ++steps;
+    EXPECT_EQ(builder.levels_built(), steps + 1);
+    EXPECT_LT(builder.coarsest_rows(), prev_rows);
+    prev_rows = builder.coarsest_rows();
+  }
+  EXPECT_GE(steps, 1u);
+  const Hierarchy stepped = builder.finish();
+
+  const Hierarchy direct = Hierarchy::build(a, opts);
+  expect_identical_hierarchy(direct, stepped, "stepwise vs direct");
+}
+
+TEST(HierarchyBuilder, SnapshotPrefixIsStandaloneAndHarmless) {
+  const CsrMatrix a = fixture_matrix();
+  const AmgOptions opts = test_amg();
+
+  HierarchyBuilder builder(a, opts);
+  builder.step();
+  builder.step();
+  const std::size_t built = builder.levels_built();
+  ASSERT_GE(built, 3u);
+
+  for (std::size_t k = 1; k <= built; ++k) {
+    const Hierarchy snap = builder.snapshot_prefix(k);
+    ASSERT_EQ(snap.num_levels(), k);
+    // Coarsest snapshot level validates as coarsest (no interpolation).
+    EXPECT_EQ(snap.interpolation(k - 1).rows(), 0);
+    for (std::size_t j = 0; j + 1 < k; ++j) {
+      EXPECT_GT(snap.interpolation(j).rows(), 0);
+    }
+  }
+  EXPECT_THROW(builder.snapshot_prefix(0), std::invalid_argument);
+  EXPECT_THROW(builder.snapshot_prefix(built + 1), std::invalid_argument);
+
+  // Snapshots must not perturb the build.
+  expect_identical_hierarchy(Hierarchy::build(a, opts), builder.finish(),
+                             "post-snapshot finish");
+}
+
+// ---------------------------------------------------------------------------
+// Truncated cycles: snapshot setups == set_active_levels on the full setup
+// ---------------------------------------------------------------------------
+
+TEST(TruncatedCycle, SnapshotSetupMatchesActiveLevelsBitwise) {
+  const CsrMatrix a = fixture_matrix();
+  const MgOptions mg = test_mg();
+  const Vector b = ones_rhs(a);
+
+  // No precision demotion and no spill: the builder's working fp64 prefix
+  // is exactly the full hierarchy's prefix, so the truncated cycle on a
+  // snapshot must reproduce the full setup's set_active_levels(k) cycle
+  // bit for bit.
+  const MgSetup full(Hierarchy::build(a, mg.amg), mg);
+  const std::size_t nl = full.num_levels();
+  ASSERT_GE(nl, 3u);
+
+  HierarchyBuilder builder(a, mg.amg);
+  while (builder.levels_built() < nl && builder.step()) {
+  }
+
+  for (std::size_t k = 1; k < nl; ++k) {
+    MgOptions trunc_mg = mg;
+    trunc_mg.max_dense_coarse = 0;  // temporary coarsest is smoothed only
+    const MgSetup snap(builder.snapshot_prefix(k), trunc_mg);
+
+    Vector x_snap(b.size(), 0.0);
+    Vector x_full(b.size(), 0.0);
+    MultiplicativeMg mg_snap(snap);
+    MultiplicativeMg mg_full(full);
+    mg_full.set_active_levels(k);
+    EXPECT_EQ(mg_full.active_levels(), k);
+    for (int t = 0; t < 3; ++t) {
+      mg_snap.cycle(b, x_snap);
+      mg_full.cycle(b, x_full);
+    }
+    for (std::size_t i = 0; i < x_snap.size(); ++i) {
+      ASSERT_EQ(x_snap[i], x_full[i]) << "k=" << k << " entry " << i;
+    }
+    // Even one-level (smoothing only) truncation makes progress.
+    EXPECT_LT(rel_res(snap, b, x_snap), 1.0) << "k=" << k;
+  }
+
+  // Restoring the full depth restores the full cycle exactly.
+  Vector x_ref(b.size(), 0.0);
+  Vector x_restored(b.size(), 0.0);
+  MultiplicativeMg mg_ref(full);
+  MultiplicativeMg mg_restored(full);
+  mg_restored.set_active_levels(1);
+  mg_restored.set_active_levels(nl);
+  for (int t = 0; t < 3; ++t) {
+    mg_ref.cycle(b, x_ref);
+    mg_restored.cycle(b, x_restored);
+  }
+  for (std::size_t i = 0; i < x_ref.size(); ++i) {
+    ASSERT_EQ(x_ref[i], x_restored[i]) << "entry " << i;
+  }
+
+  MultiplicativeMg mg_bad(full);
+  EXPECT_THROW(mg_bad.set_active_levels(0), std::invalid_argument);
+  EXPECT_THROW(mg_bad.set_active_levels(nl + 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// BackgroundSetup: cooperative mid-build solves, lane death, telemetry
+// ---------------------------------------------------------------------------
+
+TEST(BackgroundSetup, CooperativeMidBuildSolveConvergesToBound) {
+  const CsrMatrix a = fixture_matrix();
+  const Vector b = ones_rhs(a);
+  BackgroundSetupOptions bo;
+  bo.mg = test_mg();  // no pool: the "requester" below does every step
+
+  auto bg = std::make_shared<BackgroundSetup>(a, bo);
+  EXPECT_EQ(bg->ready_levels(), 1u);
+  EXPECT_FALSE(bg->complete());
+
+  // The solve_with_background loop: advance one step, deepen to the ready
+  // prefix, cycle. Convergence must reach the bound even though early
+  // cycles run on truncated hierarchies.
+  const double tol = 1e-8;
+  Vector x(b.size(), 0.0);
+  std::shared_ptr<const MgSetup> setup = bg->snapshot();
+  auto mg = std::make_unique<MultiplicativeMg>(*setup);
+  std::size_t partial_cycles = 0;
+  std::size_t prev_ready = bg->ready_levels();
+  double rr = 1.0;
+  int cycles = 0;
+  for (; cycles < 100; ++cycles) {
+    const std::size_t ready = bg->advance();
+    EXPECT_GE(ready, prev_ready);  // ready depth is monotone
+    prev_ready = ready;
+    if (ready > setup->num_levels()) {
+      setup = bg->snapshot();
+      mg = std::make_unique<MultiplicativeMg>(*setup);
+    }
+    if (setup != bg->full()) ++partial_cycles;
+    mg->cycle(b, x);
+    rr = rel_res(*setup, b, x);
+    if (rr < tol) break;
+  }
+  EXPECT_LT(rr, tol) << "no convergence in " << cycles << " cycles";
+  EXPECT_GE(partial_cycles, 1u);  // the build could not finish instantly
+  EXPECT_FALSE(bg->fell_back());
+
+  // The finished build is bit-identical to a direct one.
+  const std::shared_ptr<const MgSetup> full = bg->wait_full();
+  ASSERT_TRUE(full != nullptr);
+  EXPECT_TRUE(bg->complete());
+  expect_identical_hierarchy(Hierarchy::build(a, bo.mg.amg),
+                             full->hierarchy(), "background vs direct");
+  EXPECT_FALSE(full->coarse_solver().empty());  // real coarsest has its LU
+}
+
+TEST(BackgroundSetup, KilledLaneFallsBackToRequesterAndRecordsTelemetry) {
+  const CsrMatrix a = fixture_matrix();
+  TelemetrySink sink;
+  SolverPool pool(2);
+  BackgroundSetupOptions bo;
+  bo.mg = test_mg();
+  bo.pool = &pool;
+  bo.telemetry = &sink;
+  bo.fail_after_levels = 1;  // the lane dies before building anything
+
+  auto bg = std::make_shared<BackgroundSetup>(a, bo);
+  bg->start();
+  // Requester-side completion despite the dead lane (Criterion-2-style
+  // recovery: progress never depends on one lane surviving).
+  const std::shared_ptr<const MgSetup> full = bg->wait_full();
+  ASSERT_TRUE(full != nullptr);
+  pool.wait_idle();  // the lane task has certainly run (and died) by now
+  EXPECT_TRUE(bg->fell_back());
+  expect_identical_hierarchy(Hierarchy::build(a, bo.mg.amg),
+                             full->hierarchy(), "fallback vs direct");
+
+  // Telemetry: one level-ready event per level, in order, plus the
+  // fallback marker from the dying lane.
+  std::vector<std::int64_t> ready_levels;
+  std::size_t fallbacks = 0;
+  for (const DrainedEvent& de : sink.drain()) {
+    if (de.ev.kind == EventKind::kLevelReady) {
+      ready_levels.push_back(de.ev.a);
+      EXPECT_GT(de.ev.b, 0) << "level " << de.ev.a << " has no rows";
+    } else if (de.ev.kind == EventKind::kSetupFallback) {
+      ++fallbacks;
+      EXPECT_GE(de.ev.a, 1);
+    }
+  }
+  ASSERT_EQ(ready_levels.size(), full->num_levels());
+  for (std::size_t i = 0; i < ready_levels.size(); ++i) {
+    EXPECT_EQ(ready_levels[i], static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(fallbacks, 1u);
+  EXPECT_EQ(sink.metrics().counter("setup.levels_ready").value(),
+            static_cast<std::uint64_t>(full->num_levels()));
+  EXPECT_EQ(sink.metrics().counter("setup.fallbacks").value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SolveService integration: cold requests on partial hierarchies
+// ---------------------------------------------------------------------------
+
+TEST(ServiceBackgroundSetup, ColdRequestCyclesPartialThenWarmsCache) {
+  const CsrMatrix a = fixture_matrix();
+  const Vector b = ones_rhs(a);
+
+  TelemetrySink sink;
+  ServiceOptions so;
+  so.num_threads = 2;
+  so.cache.mg = test_mg();
+  so.telemetry = &sink;
+  so.background_setup = true;
+  // Kill the lane immediately: every builder step then runs on the
+  // requester between cycles, so the partial-solve path is deterministic
+  // rather than a race against the lane's build speed.
+  so.background_fail_after_levels = 1;
+  SolveService svc(so);
+
+  SolveResponse cold = svc.submit(a, b).get();
+  EXPECT_TRUE(cold.stats.converged);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(cold.partial_setup);
+  EXPECT_GE(cold.partial_cycles, 1u);
+  EXPECT_LE(cold.partial_cycles, static_cast<std::size_t>(cold.stats.cycles));
+  EXPECT_LT(cold.stats.rel_res_history.back(), 1e-8);
+
+  // The detached finisher registers the full setup; then a second request
+  // for the same matrix is a plain warm hit with no partial cycles.
+  svc.pool().wait_idle();
+  SolveResponse warm = svc.submit(a, b).get();
+  EXPECT_TRUE(warm.stats.converged);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_FALSE(warm.partial_setup);
+  EXPECT_EQ(warm.partial_cycles, 0u);
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.partial_solves, 1u);
+  EXPECT_EQ(st.partial_cycles, cold.partial_cycles);
+  EXPECT_EQ(st.setup_fallbacks, 1u);
+  EXPECT_EQ(st.cache.hits, 1u);
+  EXPECT_EQ(st.cache.setups_built, 1u);
+
+  const std::string json = svc.stats_json();
+  EXPECT_NE(json.find("\"background\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"partial_solves\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"setup_fallbacks\":1"), std::string::npos);
+}
+
+TEST(ServiceBackgroundSetup, HealthyLaneColdRequestConverges) {
+  // Free-running lane (no fault injection): the request must converge and
+  // the finished setup must land in the cache, whatever interleaving the
+  // scheduler picked.
+  const CsrMatrix a = fixture_matrix();
+  const Vector b = ones_rhs(a);
+  ServiceOptions so;
+  so.num_threads = 2;
+  so.cache.mg = test_mg();
+  so.background_setup = true;
+  SolveService svc(so);
+
+  // Generous cycle budget: a slow lane (sanitizer builds, loaded machines)
+  // keeps the requester on weak truncated hierarchies longer, and each
+  // partial cycle contracts less than a full one.
+  RequestOptions req;
+  req.t_max = 400;
+  SolveResponse resp = svc.submit(a, b, req).get();
+  EXPECT_TRUE(resp.stats.converged);
+  EXPECT_FALSE(resp.cache_hit);
+  EXPECT_LT(resp.stats.rel_res_history.back(), 1e-8);
+
+  svc.pool().wait_idle();
+  EXPECT_EQ(svc.stats().cache.setups_built, 1u);
+  EXPECT_EQ(svc.stats().setup_fallbacks, 0u);
+  EXPECT_TRUE(svc.submit(a, b).get().cache_hit);
+}
+
+// ---------------------------------------------------------------------------
+// Scripted replays on an active-grid prefix are deterministic
+// ---------------------------------------------------------------------------
+
+TEST(ScriptedTruncation, ActiveGridPrefixReplayIsDeterministic) {
+  const CsrMatrix a = fixture_matrix();
+  const MgSetup setup(Hierarchy::build(a, test_amg()), test_mg());
+  const AdditiveCorrector corr(setup, AdditiveOptions{});
+  const Vector b = ones_rhs(a);
+
+  RuntimeOptions ro;
+  ro.mode = ExecMode::kScripted;
+  ro.t_max = 8;
+  ro.num_threads = 4;
+  ro.seed = 5;
+  ro.record_trace = true;
+  ro.check_invariants = true;
+  ro.active_grids = 2;  // cycle only the first two grids (build-in-progress)
+
+  Vector x1(b.size(), 0.0);
+  const RuntimeResult r1 = run_shared_memory(corr, b, x1, ro);
+  Vector x2(b.size(), 0.0);
+  const RuntimeResult r2 = run_shared_memory(corr, b, x2, ro);
+
+  EXPECT_EQ(r1.final_rel_res, r2.final_rel_res);
+  EXPECT_EQ(r1.instants, r2.instants);
+  ASSERT_EQ(r1.corrections.size(), r2.corrections.size());
+  EXPECT_EQ(r1.corrections, r2.corrections);
+  ASSERT_EQ(r1.trace.size(), r2.trace.size());
+  for (std::size_t i = 0; i < r1.trace.size(); ++i) {
+    EXPECT_EQ(r1.trace[i].grid, r2.trace[i].grid);
+    EXPECT_EQ(r1.trace[i].seconds, r2.trace[i].seconds);
+  }
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    ASSERT_EQ(x1[i], x2[i]) << "entry " << i;
+  }
+  // Teams exist only for the active prefix; each of those grids corrects.
+  ASSERT_EQ(r1.corrections.size(), ro.active_grids);
+  for (std::size_t g = 0; g < r1.corrections.size(); ++g) {
+    EXPECT_GT(r1.corrections[g], 0) << "grid " << g;
+  }
+  EXPECT_LT(r1.final_rel_res, 1.0);
+}
+
+}  // namespace
+}  // namespace asyncmg
