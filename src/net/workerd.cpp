@@ -1,0 +1,307 @@
+#include "net/workerd.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "amg/serialize.hpp"
+#include "async/schedule.hpp"
+#include "multigrid/additive.hpp"
+#include "net/transport.hpp"
+#include "service/fingerprint.hpp"
+#include "shard/partition.hpp"
+#include "shard/worker.hpp"
+#include "telemetry/sink.hpp"
+
+namespace asyncmg {
+
+void WorkerDaemonOptions::validate() const {
+  if (!(heartbeat_ms > 0.0)) {
+    throw std::invalid_argument(
+        "WorkerDaemonOptions: heartbeat_ms must be > 0");
+  }
+  if (setup_cache_entries < 1) {
+    throw std::invalid_argument(
+        "WorkerDaemonOptions: setup_cache_entries must be >= 1");
+  }
+}
+
+WorkerDaemon::WorkerDaemon(WorkerDaemonOptions opts)
+    : opts_(opts), listener_((opts.validate(), opts.port)) {}
+
+void WorkerDaemon::run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Socket s = listener_.accept(100);
+    if (!s.valid()) continue;  // timeout; recheck stop flag
+    FrameConn conn(std::move(s));
+    const SessionEnd end = serve(conn);
+    bytes_sent_.fetch_add(conn.bytes_sent(), std::memory_order_relaxed);
+    bytes_received_.fetch_add(conn.bytes_received(),
+                              std::memory_order_relaxed);
+    conn.close();
+    if (end == SessionEnd::kShutdown || opts_.once) return;
+  }
+}
+
+WorkerDaemon::SessionEnd WorkerDaemon::serve(FrameConn& conn) {
+  HelloMsg hello;
+  hello.role = WireRole::kWorker;
+  hello.name = opts_.name;
+  if (!conn.send_frame(MsgType::kHello, encode_hello(hello))) {
+    return SessionEnd::kPeerGone;
+  }
+
+  MsgType type{};
+  std::vector<std::uint8_t> payload;
+  try {
+    // Handshake: the coordinator answers the hello with our assignment.
+    for (;;) {
+      const RecvStatus st = conn.recv_frame(type, payload, 100);
+      if (st == RecvStatus::kClosed) return SessionEnd::kPeerGone;
+      if (st == RecvStatus::kTimeout) {
+        if (stop_.load(std::memory_order_relaxed)) {
+          return SessionEnd::kShutdown;
+        }
+        continue;
+      }
+      if (type == MsgType::kHelloAck) {
+        const HelloAckMsg ack = decode_hello_ack(payload);
+        if (ack.protocol != kWireVersion) return SessionEnd::kPeerGone;
+        break;
+      }
+      if (type == MsgType::kShutdown) return SessionEnd::kShutdown;
+      return SessionEnd::kPeerGone;  // protocol violation
+    }
+
+    for (;;) {
+      const RecvStatus st = conn.recv_frame(type, payload, 100);
+      if (st == RecvStatus::kClosed) return SessionEnd::kPeerGone;
+      if (st == RecvStatus::kTimeout) {
+        if (stop_.load(std::memory_order_relaxed)) {
+          return SessionEnd::kShutdown;
+        }
+        continue;
+      }
+      switch (type) {
+        case MsgType::kSolveRequest: {
+          const SolveRequestMsg req = decode_solve_request(payload);
+          if (!handle_solve(conn, req)) return SessionEnd::kCrashed;
+          break;
+        }
+        case MsgType::kStatsRequest: {
+          StatsResponseMsg m;
+          m.json = stats_json();
+          conn.send_frame(MsgType::kStatsResponse, encode_stats_response(m));
+          break;
+        }
+        case MsgType::kShutdown:
+          return SessionEnd::kShutdown;
+        default:
+          break;  // stray data-plane frames outside a solve
+      }
+    }
+  } catch (const std::exception&) {
+    // Malformed frame or unusable request: drop the session; the daemon
+    // keeps serving (a bad coordinator must not take the worker down).
+    return SessionEnd::kPeerGone;
+  }
+}
+
+const MgSetup& WorkerDaemon::setup_for(const SolveRequestMsg& req) {
+  std::uint64_t key =
+      fnv1a_bytes(req.hierarchy.data(), req.hierarchy.size());
+  const double omega = req.smoother_omega;
+  key = fnv1a_bytes(&omega, sizeof(omega), key);
+  const std::uint64_t rest =
+      (static_cast<std::uint64_t>(req.smoother_type) << 48) ^
+      (static_cast<std::uint64_t>(req.smoother_blocks) << 16) ^
+      static_cast<std::uint64_t>(req.max_dense_coarse);
+  key = fnv1a_bytes(&rest, sizeof(rest), key);
+
+  for (CacheEntry& e : cache_) {
+    if (e.key == key) {
+      ++cache_hits_;
+      return *e.setup;
+    }
+  }
+  ++cache_misses_;
+  MgOptions mo;
+  mo.smoother.type = static_cast<SmootherType>(req.smoother_type);
+  mo.smoother.omega = req.smoother_omega;
+  mo.smoother.num_blocks = req.smoother_blocks;
+  mo.max_dense_coarse = static_cast<Index>(req.max_dense_coarse);
+  CacheEntry e;
+  e.key = key;
+  e.setup = std::make_unique<MgSetup>(load_hierarchy_string(req.hierarchy),
+                                      mo);
+  if (cache_.size() >= opts_.setup_cache_entries) {
+    cache_.erase(cache_.begin());  // oldest
+  }
+  cache_.push_back(std::move(e));
+  return *cache_.back().setup;
+}
+
+bool WorkerDaemon::handle_solve(FrameConn& conn, const SolveRequestMsg& req) {
+  const MgSetup& setup = setup_for(req);
+  AdditiveOptions ao;
+  ao.kind = static_cast<AdditiveKind>(req.additive_kind);
+  ao.afacx_s1 = req.afacx_s1;
+  ao.afacx_s2 = req.afacx_s2;
+  ao.symmetrized_lambda = req.symmetrized_lambda != 0;
+  const AdditiveCorrector corrector(setup, ao);
+  const ShardPlan plan = make_shard_plan(setup.a(0), req.num_shards);
+  if (req.b.size() != static_cast<std::size_t>(plan.n)) {
+    throw std::invalid_argument("workerd: b size does not match hierarchy");
+  }
+  const std::size_t s = req.shard;
+  const Range rg = plan.owned[s];
+
+  // Deterministic local state: every participant computes the same initial
+  // residual from the same (hierarchy, b, x0), so solving can start with no
+  // further exchange.
+  Vector x_local;
+  shard_local_view(plan, s, req.x0, x_local);
+  Vector r_view;
+  shard_initial_residual(plan, req.b, req.x0, r_view);
+
+  SocketTransportOptions sto;
+  sto.shard = s;
+  sto.num_shards = req.num_shards;
+  sto.width = req.width;
+  sto.conn = &conn;
+  SocketTransport transport(sto);
+  NetPeerBoard board(req.num_shards, s, &conn);
+
+  FaultPlan faults;
+  if (req.crash_after >= 0) {
+    FaultPlan::Kill k;
+    k.grid = s;
+    k.after_corrections = req.crash_after;
+    faults.kills.push_back(k);
+  }
+
+  ShardWorkerOptions wo;
+  wo.shard = s;
+  wo.t_max = req.t_max;
+  wo.max_lag = req.max_lag;
+  wo.bsp = req.bsp != 0;
+  wo.faults = req.crash_after >= 0 ? &faults : nullptr;
+  wo.telemetry = opts_.telemetry;
+
+  std::atomic<bool> done{false};
+  ShardWorkerResult result;
+  std::thread solver([&] {
+    result = run_shard_worker(plan, corrector, req.b, x_local, r_view,
+                              transport, board, wo);
+    done.store(true, std::memory_order_release);
+  });
+  std::thread heartbeat([&] {
+    std::uint64_t seq = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      HeartbeatMsg hb;
+      hb.shard = static_cast<std::uint32_t>(s);
+      hb.commits = static_cast<std::uint64_t>(board.commits(s));
+      hb.seq = seq++;
+      conn.send_frame(MsgType::kHeartbeat, encode_heartbeat(hb));
+      // Sleep in short slices so the thread ends promptly with the solve.
+      double slept = 0.0;
+      while (slept < opts_.heartbeat_ms &&
+             !done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        slept += 5.0;
+      }
+    }
+  });
+
+  // Reader: feed the data plane (halo frames) and the control plane
+  // (progress, peer deaths) until the solver finishes.
+  MsgType type{};
+  std::vector<std::uint8_t> payload;
+  bool coordinator_gone = false;
+  while (!done.load(std::memory_order_acquire)) {
+    RecvStatus st = RecvStatus::kClosed;
+    try {
+      st = conn.recv_frame(type, payload, 20);
+    } catch (const std::exception&) {
+      st = RecvStatus::kClosed;  // protocol violation: treat as lost link
+    }
+    if (st == RecvStatus::kTimeout) continue;
+    if (st == RecvStatus::kClosed) {
+      // Coordinator lost: no relay will ever arrive again. Mark every peer
+      // dead so the solver finishes from its current view instead of
+      // waiting forever -- Criterion-2 from the worker's side.
+      coordinator_gone = true;
+      for (std::size_t p = 0; p < req.num_shards; ++p) {
+        if (p != s) board.apply_dead(p);
+      }
+      break;
+    }
+    switch (type) {
+      case MsgType::kHaloFrame:
+        transport.deliver(decode_halo_frame(payload));
+        break;
+      case MsgType::kProgress:
+        board.apply_progress(decode_progress(payload));
+        break;
+      case MsgType::kPeerDead:
+        board.apply_dead(decode_peer_dead(payload).shard);
+        break;
+      case MsgType::kShutdown:
+        stop_.store(true, std::memory_order_relaxed);
+        break;
+      default:
+        break;
+    }
+  }
+  solver.join();
+  heartbeat.join();
+  ++solves_;
+
+  if (result.killed && req.crash_after >= 0) {
+    ++crashes_;
+    return false;  // crash hook: vanish without kSolveDone
+  }
+  if (coordinator_gone) return true;  // nobody left to report to
+
+  SolveDoneMsg dm;
+  dm.shard = static_cast<std::uint32_t>(s);
+  dm.corrections = static_cast<std::uint32_t>(result.corrections);
+  dm.reads_dropped = static_cast<std::uint32_t>(result.reads_dropped);
+  dm.killed = result.killed ? 1 : 0;
+  dm.frames_sent = transport.packets_sent();
+  dm.frames_dropped = transport.packets_dropped();
+  dm.bytes_sent = conn.bytes_sent();
+  dm.bytes_received = conn.bytes_received();
+  dm.x_block.assign(x_local.begin(),
+                    x_local.begin() + static_cast<std::ptrdiff_t>(rg.size()));
+  conn.send_frame(MsgType::kSolveDone, encode_solve_done(dm));
+
+  if (opts_.telemetry != nullptr) {
+    MetricsRegistry& m = opts_.telemetry->metrics();
+    m.counter("net.worker.frames_sent").add(transport.packets_sent());
+    m.counter("net.worker.frames_dropped").add(transport.packets_dropped());
+    m.counter("net.worker.solves").add(1);
+    m.gauge("net.worker.bytes_sent")
+        .set(static_cast<double>(conn.bytes_sent()));
+    m.gauge("net.worker.bytes_received")
+        .set(static_cast<double>(conn.bytes_received()));
+  }
+  return true;
+}
+
+std::string WorkerDaemon::stats_json() const {
+  std::ostringstream o;
+  o << "{\"name\":\"" << opts_.name << "\",\"solves\":" << solves_
+    << ",\"crashes\":" << crashes_ << ",\"setup_cache_hits\":" << cache_hits_
+    << ",\"setup_cache_misses\":" << cache_misses_ << ",\"bytes_sent\":"
+    << bytes_sent_.load(std::memory_order_relaxed) << ",\"bytes_received\":"
+    << bytes_received_.load(std::memory_order_relaxed);
+  if (opts_.telemetry != nullptr) {
+    o << ",\"metrics\":" << opts_.telemetry->metrics().to_json();
+  }
+  o << "}";
+  return o.str();
+}
+
+}  // namespace asyncmg

@@ -1,0 +1,94 @@
+// asyncmg_workerd: one shard of the multi-process solver service as an OS
+// process. Binds loopback (ephemeral by default), prints "LISTENING <port>"
+// on stdout (and optionally to --port-file) so harnesses can spawn on port
+// 0 without races, then serves coordinator sessions until kShutdown.
+//
+//   asyncmg_workerd [--port N] [--port-file PATH] [--name S] [--once]
+//                   [--heartbeat-ms X] [--trace PATH]
+//
+// --once exits after the first coordinator session (the CI smoke job runs
+// three of these); --trace writes the worker's Chrome trace on exit, one
+// process per worker, so merged traces show per-worker tracks.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "net/workerd.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/sink.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: asyncmg_workerd [--port N] [--port-file PATH] "
+               "[--name S] [--once] [--heartbeat-ms X] [--trace PATH]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace asyncmg;
+
+  WorkerDaemonOptions opts;
+  std::string port_file;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      opts.port = static_cast<std::uint16_t>(std::stoi(value()));
+    } else if (arg == "--port-file") {
+      port_file = value();
+    } else if (arg == "--name") {
+      opts.name = value();
+    } else if (arg == "--once") {
+      opts.once = true;
+    } else if (arg == "--heartbeat-ms") {
+      opts.heartbeat_ms = std::stod(value());
+    } else if (arg == "--trace") {
+      trace_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    TelemetrySink sink;
+    if (!trace_path.empty()) opts.telemetry = &sink;
+
+    WorkerDaemon daemon(opts);
+    // The harness contract: one line, fixed prefix, flushed before serving.
+    std::cout << "LISTENING " << daemon.port() << "\n" << std::flush;
+    if (!port_file.empty()) {
+      std::ofstream f(port_file);
+      f << daemon.port() << "\n";
+    }
+    daemon.run();
+
+    if (!trace_path.empty()) {
+      ChromeTraceOptions to;
+      to.process_name = opts.name;
+      write_text_file(trace_path, chrome_trace_json(sink.drain(), to));
+    }
+    std::cerr << "workerd " << opts.name << ": " << daemon.stats_json()
+              << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "workerd: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -6,7 +6,10 @@
 #include <stdexcept>
 #include <thread>
 
+#include <sstream>
+
 #include "async/model.hpp"
+#include "shard/worker.hpp"
 #include "sparse/vec.hpp"
 #include "telemetry/sink.hpp"
 #include "util/timer.hpp"
@@ -21,6 +24,8 @@ std::string shard_mode_name(ShardMode m) {
       return "async";
     case ShardMode::kScripted:
       return "scripted";
+    case ShardMode::kSyncTransport:
+      return "sync-transport";
   }
   return "unknown";
 }
@@ -58,6 +63,22 @@ double ShardResult::mean_corrections() const {
   double s = 0.0;
   for (int c : corrections) s += c;
   return s / static_cast<double>(corrections.size());
+}
+
+std::string ShardResult::to_json() const {
+  std::ostringstream o;
+  o << "{\"final_rel_res\":" << final_rel_res << ",\"seconds\":" << seconds
+    << ",\"instants\":" << instants
+    << ",\"mean_corrections\":" << mean_corrections()
+    << ",\"packets_sent\":" << packets_sent
+    << ",\"packets_dropped\":" << packets_dropped
+    << ",\"reads_dropped\":" << reads_dropped << ",\"killed_shards\":[";
+  for (std::size_t i = 0; i < killed_shards.size(); ++i) {
+    if (i != 0) o << ",";
+    o << killed_shards[i];
+  }
+  o << "]}";
+  return o.str();
 }
 
 namespace {
@@ -116,17 +137,7 @@ ShardedSolver::ShardedSolver(const MgSetup& setup, AdditiveOptions ao,
 
 void ShardedSolver::initial_residual(const Vector& b, const Vector& x,
                                      Vector& r) const {
-  r.resize(b.size());
-  Vector x_local;
-  for (std::size_t s = 0; s < plan_.num_shards; ++s) {
-    const Range rg = plan_.owned[s];
-    x_local.resize(plan_.local_size(s));
-    std::copy(x.begin() + static_cast<std::ptrdiff_t>(rg.begin),
-              x.begin() + static_cast<std::ptrdiff_t>(rg.end),
-              x_local.begin());
-    fill_ghosts(plan_, s, x, x_local);
-    plan_.local_a[s].residual_into(b, x_local, r);
-  }
+  shard_initial_residual(plan_, b, x, r);
 }
 
 double ShardedSolver::rel_res(const Vector& b, const Vector& x) const {
@@ -155,7 +166,9 @@ ShardResult ShardedSolver::solve(const Vector& b, Vector& x) {
       return run_scripted(sample_schedule(plan_.num_shards, mo), b, x);
     }
     case ShardMode::kAsynchronous:
-      return run_async(b, x);
+      return run_async(b, x, /*bsp=*/false);
+    case ShardMode::kSyncTransport:
+      return run_async(b, x, /*bsp=*/true);
   }
   throw std::logic_error("ShardedSolver: unknown mode");
 }
@@ -261,16 +274,18 @@ ShardResult ShardedSolver::run_scripted(const Schedule& sched, const Vector& b,
   return result;
 }
 
-ShardResult ShardedSolver::run_async(const Vector& b, Vector& x) {
+ShardResult ShardedSolver::run_async(const Vector& b, Vector& x, bool bsp) {
   const std::size_t S = plan_.num_shards;
-  const std::size_t n = b.size();
   Timer timer;
 
   ChannelTransportOptions to;
   to.num_shards = S;
   to.capacity = opts_.channel_capacity;
-  to.latency_us = opts_.latency_us;
+  to.latency_us = bsp ? 0.0 : opts_.latency_us;
   to.seed = opts_.seed;
+  if (opts_.telemetry != nullptr) {
+    to.metrics = &opts_.telemetry->metrics();
+  }
   ChannelTransport transport(to);
 
   Vector r0;
@@ -285,146 +300,25 @@ ShardResult ShardedSolver::run_async(const Vector& b, Vector& x) {
               st[s].x_local.begin());
     fill_ghosts(plan_, s, x, st[s].x_local);
     st[s].r_view = r0;
-    st[s].staging.assign(n, 0.0);
   }
 
-  TelemetrySink* const tel =
-      (opts_.telemetry != nullptr && opts_.telemetry->enabled())
-          ? opts_.telemetry
-          : nullptr;
-  const FaultPlan* const faults = opts_.faults;
-  // Shared progress board for the staleness gate: commits[s] is shard s's
-  // committed correction count, dead[s] marks a shard that will never
-  // commit again (killed or finished) so peers must not wait for it
-  // (Criterion-2 recovery). The slowest live shard never waits, so the
-  // gate cannot form a wait cycle.
-  std::vector<std::atomic<int>> commits(S);
-  std::vector<std::atomic<bool>> dead(S);
+  // Shared progress board: commits feed the staleness gate, dead marks a
+  // shard that will never commit again (killed or finished) so peers must
+  // not wait for it (Criterion-2 recovery). The slowest live shard never
+  // waits, so neither the gate nor the BSP round waits can form a cycle.
+  LocalPeerBoard board(S);
+  std::vector<ShardWorkerResult> wr(S);
 
   auto shard_main = [&](std::size_t s) {
-    const Range rg = plan_.owned[s];
-    ShardState& sh = st[s];
-    HaloPacket pkt;
-
-    auto drain = [&]() {
-      int got = 0;
-      for (std::size_t p = 0; p < S; ++p) {
-        if (p == s) continue;
-        if (transport.recv_latest(s, p, HaloTag::kBoundaryX, pkt)) {
-          const auto& slots = plan_.ghost_slots[s][p];
-          for (std::size_t i = 0; i < slots.size(); ++i) {
-            sh.x_local[slots[i]] = pkt.data[i];
-          }
-          ++got;
-        }
-        if (transport.recv_latest(s, p, HaloTag::kResidualBlock, pkt)) {
-          const Range prg = plan_.owned[p];
-          std::copy(pkt.data.begin(), pkt.data.end(),
-                    sh.r_view.begin() + static_cast<std::ptrdiff_t>(prg.begin));
-          ++got;
-        }
-      }
-      return got;
-    };
-    auto within_lag = [&](int c) {
-      for (std::size_t p = 0; p < S; ++p) {
-        if (p == s || dead[p].load(std::memory_order_acquire)) continue;
-        if (commits[p].load(std::memory_order_acquire) < c - opts_.max_lag) {
-          return false;
-        }
-      }
-      return true;
-    };
-
-    for (int c = 0; c < opts_.t_max; ++c) {
-      if (faults != nullptr && faults->kills_grid(s, c)) {
-        sh.killed = true;
-        break;
-      }
-      if (faults != nullptr) {
-        const double ms = faults->stall_ms(s, c);
-        if (ms > 0.0) {
-          std::this_thread::sleep_for(
-              std::chrono::duration<double, std::milli>(ms));
-        }
-      }
-      // Staleness gate (ShardOptions::max_lag): run at most max_lag
-      // corrections ahead of the slowest live peer, draining channels while
-      // waiting. Bounded skew plus newest-wins channels is the executor's
-      // realization of the model's bounded read delay.
-      while (!within_lag(c)) {
-        drain();
-        std::this_thread::yield();
-      }
-      // Refresh the halo and the foreign residual view from whatever has
-      // arrived; a dropped read keeps the stale view (lost message).
-      if (faults != nullptr && faults->drops_read(s, c)) {
-        ++sh.reads_dropped;
-        if (tel != nullptr) {
-          tel->record(s, EventKind::kShardDrop,
-                      static_cast<std::int64_t>(s), -1);
-        }
-      } else {
-        const int got = drain();
-        if (tel != nullptr && got > 0) {
-          tel->record(s, EventKind::kShardExchange,
-                      static_cast<std::int64_t>(s), got);
-        }
-      }
-
-      const std::int64_t t0 = tel != nullptr ? tel->clock().now_ns() : 0;
-      // Own residual rows from the (possibly stale) halo.
-      plan_.local_a[s].residual_into(b, sh.x_local, sh.r_view);
-      // Publish the residual block (pre-correction) to every peer.
-      for (std::size_t p = 0; p < S; ++p) {
-        if (p == s) continue;
-        HaloPacket out;
-        out.seq = static_cast<std::uint64_t>(c);
-        out.data.assign(
-            sh.r_view.begin() + static_cast<std::ptrdiff_t>(rg.begin),
-            sh.r_view.begin() + static_cast<std::ptrdiff_t>(rg.end));
-        if (!transport.send(s, p, HaloTag::kResidualBlock, std::move(out)) &&
-            tel != nullptr) {
-          tel->record(s, EventKind::kShardDrop, static_cast<std::int64_t>(s),
-                      static_cast<std::int64_t>(p));
-        }
-      }
-      // Full additive correction from the shard's residual view; commit
-      // the owned rows only.
-      std::fill(sh.staging.begin() + static_cast<std::ptrdiff_t>(rg.begin),
-                sh.staging.begin() + static_cast<std::ptrdiff_t>(rg.end),
-                0.0);
-      corrector_.accumulate_cycle(sh.r_view, sh.staging, rg.begin, rg.end,
-                                  sh.ws, sh.ctmp);
-      for (std::size_t i = rg.begin; i < rg.end; ++i) {
-        sh.x_local[i - rg.begin] += sh.staging[i];
-      }
-      // Publish the committed boundary values.
-      for (std::size_t p = 0; p < S; ++p) {
-        if (p == s || plan_.send[s][p].empty()) continue;
-        HaloPacket out;
-        out.seq = static_cast<std::uint64_t>(c + 1);
-        out.data.resize(plan_.send[s][p].size());
-        for (std::size_t i = 0; i < out.data.size(); ++i) {
-          out.data[i] = sh.x_local[static_cast<std::size_t>(
-                            plan_.send[s][p][i]) -
-                        rg.begin];
-        }
-        if (!transport.send(s, p, HaloTag::kBoundaryX, std::move(out)) &&
-            tel != nullptr) {
-          tel->record(s, EventKind::kShardDrop, static_cast<std::int64_t>(s),
-                      static_cast<std::int64_t>(p));
-        }
-      }
-      ++sh.corrections;
-      commits[s].store(c + 1, std::memory_order_release);
-      if (tel != nullptr) {
-        tel->record_at(s, t0, EventKind::kShardStep,
-                       static_cast<std::int64_t>(s),
-                       tel->clock().now_ns() - t0);
-      }
-    }
-    dead[s].store(true, std::memory_order_release);
+    ShardWorkerOptions wo;
+    wo.shard = s;
+    wo.t_max = opts_.t_max;
+    wo.max_lag = opts_.max_lag;
+    wo.bsp = bsp;
+    wo.faults = opts_.faults;
+    wo.telemetry = opts_.telemetry;
+    wr[s] = run_shard_worker(plan_, corrector_, b, st[s].x_local,
+                             st[s].r_view, transport, board, wo);
   };
 
   std::vector<std::thread> threads;
@@ -439,9 +333,9 @@ ShardResult ShardedSolver::run_async(const Vector& b, Vector& x) {
     std::copy(st[s].x_local.begin(),
               st[s].x_local.begin() + static_cast<std::ptrdiff_t>(rg.size()),
               x.begin() + static_cast<std::ptrdiff_t>(rg.begin));
-    result.corrections[s] = st[s].corrections;
-    result.reads_dropped += st[s].reads_dropped;
-    if (st[s].killed) result.killed_shards.push_back(s);
+    result.corrections[s] = wr[s].corrections;
+    result.reads_dropped += wr[s].reads_dropped;
+    if (wr[s].killed) result.killed_shards.push_back(s);
   }
   result.packets_sent = transport.packets_sent();
   result.packets_dropped = transport.packets_dropped();

@@ -44,7 +44,17 @@ namespace asyncmg {
 
 class TelemetrySink;
 
-enum class ShardMode { kSynchronous, kAsynchronous, kScripted };
+enum class ShardMode {
+  kSynchronous,
+  kAsynchronous,
+  kScripted,
+  /// Bulk-synchronous rounds executed over the Transport (one thread per
+  /// shard, real message exchange, deterministic two-exchange rounds --
+  /// shard/worker.hpp). Bitwise identical to kSynchronous at any shard
+  /// count, and to the same discipline run across processes over TCP
+  /// (src/net): this is the loopback oracle for the multi-process service.
+  kSyncTransport,
+};
 
 std::string shard_mode_name(ShardMode m);
 
@@ -109,6 +119,10 @@ struct ShardResult {
   std::vector<std::size_t> killed_shards;
   std::vector<double> rel_res_history;
   double mean_corrections() const;
+  /// Compact JSON object: mode-independent solve facts plus the transport
+  /// counters (packets sent / dropped, drop-read count) that used to live
+  /// only in these fields.
+  std::string to_json() const;
 };
 
 class ShardedSolver {
@@ -125,7 +139,10 @@ class ShardedSolver {
 
  private:
   ShardResult run_scripted(const Schedule& sched, const Vector& b, Vector& x);
-  ShardResult run_async(const Vector& b, Vector& x);
+  /// One thread per shard over a ChannelTransport; `bsp` selects the
+  /// deterministic bulk-synchronous rounds (kSyncTransport) instead of the
+  /// free-running discipline (kAsynchronous).
+  ShardResult run_async(const Vector& b, Vector& x, bool bsp);
   /// Initial residual b - A x assembled from the per-shard local stencils
   /// (bitwise equal to the global residual when ghosts are fresh).
   void initial_residual(const Vector& b, const Vector& x, Vector& r) const;

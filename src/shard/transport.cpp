@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/registry.hpp"
+
 namespace asyncmg {
 
 ChannelTransport::ChannelTransport(ChannelTransportOptions opts)
@@ -24,6 +26,11 @@ ChannelTransport::ChannelTransport(ChannelTransportOptions opts)
     e->rng = Rng(opts_.seed * 0x9e3779b97f4a7c15ull + i);
     edges_.push_back(std::move(e));
   }
+  if (opts_.metrics != nullptr) {
+    metric_sent_ = &opts_.metrics->counter("shard.transport.packets_sent");
+    metric_dropped_ =
+        &opts_.metrics->counter("shard.transport.packets_dropped");
+  }
 }
 
 bool ChannelTransport::send(std::size_t from, std::size_t to, HaloTag tag,
@@ -33,6 +40,7 @@ bool ChannelTransport::send(std::size_t from, std::size_t to, HaloTag tag,
   const std::uint64_t head = e.head.load(std::memory_order_acquire);
   if (tail - head >= opts_.capacity) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_dropped_ != nullptr) metric_dropped_->add(1);
     return false;
   }
   Slot& s = e.slots[tail % opts_.capacity];
@@ -45,6 +53,7 @@ bool ChannelTransport::send(std::size_t from, std::size_t to, HaloTag tag,
   }
   e.tail.store(tail + 1, std::memory_order_release);
   sent_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_sent_ != nullptr) metric_sent_->add(1);
   return true;
 }
 
@@ -65,6 +74,19 @@ bool ChannelTransport::recv_latest(std::size_t to, std::size_t from,
     e.head.store(++head, std::memory_order_release);
   }
   return got;
+}
+
+bool ChannelTransport::recv_next(std::size_t to, std::size_t from,
+                                 HaloTag tag, HaloPacket& out) {
+  Edge& e = edge(from, to, tag);
+  const std::uint64_t head = e.head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = e.tail.load(std::memory_order_acquire);
+  if (head >= tail) return false;
+  Slot& s = e.slots[head % opts_.capacity];
+  if (s.deliver_at > Clock::now()) return false;
+  out = std::move(s.packet);
+  e.head.store(head + 1, std::memory_order_release);
+  return true;
 }
 
 }  // namespace asyncmg

@@ -29,6 +29,9 @@
 
 namespace asyncmg {
 
+class Counter;
+class MetricsRegistry;
+
 struct HaloPacket {
   /// Sender's commit count when the packet was published (staleness probe).
   std::uint64_t seq = 0;
@@ -54,6 +57,14 @@ class Transport {
   virtual bool recv_latest(std::size_t to, std::size_t from, HaloTag tag,
                            HaloPacket& out) = 0;
 
+  /// Pops the OLDEST deliverable packet on the edge (FIFO order); false when
+  /// nothing is deliverable. The bulk-synchronous discipline consumes edges
+  /// with this one packet per round, so a fast sender can never overwrite a
+  /// round's exchange before the receiver reads it -- the property that
+  /// makes BSP over any transport deterministic.
+  virtual bool recv_next(std::size_t to, std::size_t from, HaloTag tag,
+                         HaloPacket& out) = 0;
+
   virtual std::uint64_t packets_sent() const = 0;
   virtual std::uint64_t packets_dropped() const = 0;
 };
@@ -65,6 +76,12 @@ struct ChannelTransportOptions {
   /// Mean one-way latency in microseconds; 0 = immediately visible.
   double latency_us = 0.0;
   std::uint64_t seed = 1;
+  /// Optional metrics registry: when set, sends and drops are also counted
+  /// on the "shard.transport.packets_sent" / ".packets_dropped" counters,
+  /// so transport health shows up in every stats JSON that merges the
+  /// registry (SolveService::stats_json, router stats). Not owned; must
+  /// outlive the transport. nullptr = counters local to the transport only.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class ChannelTransport final : public Transport {
@@ -75,6 +92,8 @@ class ChannelTransport final : public Transport {
             HaloPacket&& p) override;
   bool recv_latest(std::size_t to, std::size_t from, HaloTag tag,
                    HaloPacket& out) override;
+  bool recv_next(std::size_t to, std::size_t from, HaloTag tag,
+                 HaloPacket& out) override;
 
   std::uint64_t packets_sent() const override {
     return sent_.load(std::memory_order_relaxed);
@@ -112,6 +131,10 @@ class ChannelTransport final : public Transport {
   std::vector<std::unique_ptr<Edge>> edges_;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  /// Registry counters resolved once at construction (hot-path updates are
+  /// one relaxed fetch_add); null when opts_.metrics is null.
+  Counter* metric_sent_ = nullptr;
+  Counter* metric_dropped_ = nullptr;
 };
 
 }  // namespace asyncmg

@@ -1,0 +1,44 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace asyncmg {
+
+void BackoffOptions::validate() const {
+  if (!(initial_ms > 0.0) || !std::isfinite(initial_ms)) {
+    throw std::invalid_argument("BackoffOptions: initial_ms must be > 0");
+  }
+  if (!(multiplier >= 1.0) || !std::isfinite(multiplier)) {
+    throw std::invalid_argument("BackoffOptions: multiplier must be >= 1");
+  }
+  if (!(max_ms >= initial_ms) || !std::isfinite(max_ms)) {
+    throw std::invalid_argument(
+        "BackoffOptions: max_ms must be >= initial_ms");
+  }
+  if (!(jitter >= 0.0) || jitter >= 1.0) {
+    throw std::invalid_argument("BackoffOptions: jitter must be in [0, 1)");
+  }
+}
+
+Backoff::Backoff(BackoffOptions opts) : opts_(opts), rng_(opts.seed) {
+  opts_.validate();
+}
+
+double Backoff::peek_base_ms() const {
+  // pow overflows to inf for large attempt counts; min() with the cap keeps
+  // the result finite either way.
+  const double raw =
+      opts_.initial_ms * std::pow(opts_.multiplier, attempt_);
+  return std::min(raw, opts_.max_ms);
+}
+
+double Backoff::next_ms() {
+  const double base = peek_base_ms();
+  ++attempt_;
+  if (opts_.jitter == 0.0) return base;
+  return base * rng_.uniform(1.0 - opts_.jitter, 1.0 + opts_.jitter);
+}
+
+}  // namespace asyncmg

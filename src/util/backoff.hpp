@@ -1,0 +1,67 @@
+#pragma once
+// Jittered exponential backoff for retry loops (socket reconnects, lock
+// retries). Deterministic given the seed: delays are sampled from the
+// library Rng (util/rng.hpp), not from wall-clock entropy, so reconnect
+// storms in tests replay identically.
+//
+// Delay for attempt k (0-based) before jitter is
+//
+//   min(initial_ms * multiplier^k, max_ms)
+//
+// and jitter scales it by a uniform factor in [1 - jitter, 1 + jitter].
+// The full-jitter lower bound keeps simultaneous retriers from
+// synchronizing (the thundering-herd failure mode ad-hoc fixed sleeps
+// have); the cap bounds the worst-case reconnect latency after long
+// outages. reset() rewinds to attempt 0 after a success.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace asyncmg {
+
+struct BackoffOptions {
+  /// Delay of attempt 0, milliseconds.
+  double initial_ms = 10.0;
+  /// Growth factor per attempt (>= 1).
+  double multiplier = 2.0;
+  /// Cap applied before jitter, milliseconds.
+  double max_ms = 5000.0;
+  /// Jitter fraction in [0, 1): each delay is scaled by a uniform factor
+  /// in [1 - jitter, 1 + jitter]. 0 disables jitter.
+  double jitter = 0.2;
+  std::uint64_t seed = 1;
+
+  /// Throws std::invalid_argument with a field-naming message on the first
+  /// invalid setting.
+  void validate() const;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffOptions opts = {});
+
+  /// Delay to sleep before the next retry, milliseconds; advances the
+  /// attempt counter.
+  double next_ms();
+
+  /// Jitter-free delay the next next_ms() call will scale (exposed for
+  /// tests and for logging "retrying in ~N ms" without consuming jitter).
+  double peek_base_ms() const;
+
+  /// Attempts consumed since construction or the last reset().
+  int attempts() const { return attempt_; }
+
+  /// Rewinds to attempt 0 (call after a successful connect). The jitter
+  /// stream is NOT rewound, so distinct outages see distinct jitter.
+  void reset() { attempt_ = 0; }
+
+  const BackoffOptions& options() const { return opts_; }
+
+ private:
+  BackoffOptions opts_;
+  Rng rng_;
+  int attempt_ = 0;
+};
+
+}  // namespace asyncmg

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/backoff.hpp"
 #include "util/cli.hpp"
 #include "util/partition.hpp"
 #include "util/rng.hpp"
@@ -265,6 +266,77 @@ TEST(Cli, ProgramNameAndEquals) {
   Cli cli(2, const_cast<char**>(argv));
   EXPECT_EQ(cli.program(), "myprog");
   EXPECT_EQ(cli.get_int("x", 0), 3);
+}
+
+TEST(Backoff, GrowsExponentiallyAndCaps) {
+  BackoffOptions o;
+  o.initial_ms = 10.0;
+  o.multiplier = 2.0;
+  o.max_ms = 100.0;
+  o.jitter = 0.0;
+  Backoff b(o);
+  EXPECT_DOUBLE_EQ(b.next_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(b.next_ms(), 20.0);
+  EXPECT_DOUBLE_EQ(b.next_ms(), 40.0);
+  EXPECT_DOUBLE_EQ(b.next_ms(), 80.0);
+  EXPECT_DOUBLE_EQ(b.next_ms(), 100.0);  // capped
+  EXPECT_DOUBLE_EQ(b.next_ms(), 100.0);
+  EXPECT_EQ(b.attempts(), 6);
+  // Very deep attempt counts must not overflow to inf/NaN.
+  for (int i = 0; i < 5000; ++i) b.next_ms();
+  EXPECT_DOUBLE_EQ(b.peek_base_ms(), 100.0);
+}
+
+TEST(Backoff, ResetRewindsToInitial) {
+  BackoffOptions o;
+  o.jitter = 0.0;
+  Backoff b(o);
+  b.next_ms();
+  b.next_ms();
+  EXPECT_EQ(b.attempts(), 2);
+  b.reset();
+  EXPECT_EQ(b.attempts(), 0);
+  EXPECT_DOUBLE_EQ(b.next_ms(), o.initial_ms);
+}
+
+TEST(Backoff, JitterBoundedAndDeterministic) {
+  BackoffOptions o;
+  o.initial_ms = 100.0;
+  o.multiplier = 1.0;  // isolate the jitter factor
+  o.max_ms = 100.0;
+  o.jitter = 0.25;
+  o.seed = 7;
+  Backoff a(o), b(o);
+  bool saw_non_nominal = false;
+  for (int i = 0; i < 200; ++i) {
+    const double da = a.next_ms();
+    EXPECT_DOUBLE_EQ(da, b.next_ms());  // same seed, same stream
+    EXPECT_GE(da, 75.0);
+    EXPECT_LE(da, 125.0);
+    if (std::abs(da - 100.0) > 1e-9) saw_non_nominal = true;
+  }
+  EXPECT_TRUE(saw_non_nominal);
+}
+
+TEST(Backoff, RejectsBadOptions) {
+  auto expect_throws = [](BackoffOptions o) {
+    EXPECT_THROW(Backoff{o}, std::invalid_argument);
+  };
+  BackoffOptions o;
+  o.initial_ms = 0.0;
+  expect_throws(o);
+  o = {};
+  o.multiplier = 0.5;
+  expect_throws(o);
+  o = {};
+  o.max_ms = o.initial_ms / 2.0;
+  expect_throws(o);
+  o = {};
+  o.jitter = 1.0;
+  expect_throws(o);
+  o = {};
+  o.jitter = -0.1;
+  expect_throws(o);
 }
 
 TEST(Timer, MeasuresElapsed) {
