@@ -181,8 +181,11 @@ ClusterResult ClusterCoordinator::solve(const MgSetup& setup, const Vector& b,
   }
 
   // Relay loop: one reader per worker; the monitor below owns heartbeat
-  // timeouts. All shared flags are atomics; broadcasts and death are
-  // serialized by bc_mu so every survivor sees each kPeerDead exactly once.
+  // timeouts. All shared flags are atomics; bc_mu serializes the dead/done
+  // bookkeeping (check-and-set plus target snapshot) so every survivor sees
+  // each kPeerDead exactly once -- but the blocking send_frame calls happen
+  // OUTSIDE the lock, so a survivor with a full send buffer can never stall
+  // another death broadcast or the monitor's mark_dead behind bc_mu.
   std::vector<std::atomic<std::int64_t>> last_seen(N);
   std::vector<std::atomic<bool>> done(N), dead(N);
   for (std::size_t i = 0; i < N; ++i) last_seen[i].store(now_ns());
@@ -191,66 +194,101 @@ ClusterResult ClusterCoordinator::solve(const MgSetup& setup, const Vector& b,
   std::mutex bc_mu;
 
   auto mark_dead = [&](std::size_t i) {
-    std::lock_guard<std::mutex> lock(bc_mu);
-    if (done[i].load() || dead[i].load()) return;
-    dead[i].store(true);
+    std::vector<std::size_t> targets;
+    {
+      std::lock_guard<std::mutex> lock(bc_mu);
+      if (done[i].load() || dead[i].load()) return;
+      dead[i].store(true);
+      for (std::size_t j = 0; j < N; ++j) {
+        if (j != i && !done[j].load() && !dead[j].load()) {
+          targets.push_back(j);
+        }
+      }
+    }
+    // Cut the dead worker loose FIRST: shutdown_both unblocks any relayer
+    // mid-send to it and forces its reader out of poll, so the recovery
+    // path never waits on the very connection that stopped draining. A
+    // target that died between snapshot and send just fails its send.
+    conns[i]->shutdown_both();
     PeerDeadMsg m;
     m.shard = static_cast<std::uint32_t>(i);
     const std::vector<std::uint8_t> payload = encode_peer_dead(m);
-    for (std::size_t j = 0; j < N; ++j) {
-      if (j == i || done[j].load() || dead[j].load()) continue;
+    for (std::size_t j : targets) {
       conns[j]->send_frame(MsgType::kPeerDead, payload);
     }
-    // Unblock any relayer mid-send to the dead worker and force its reader
-    // out of poll.
-    conns[i]->shutdown_both();
   };
 
   auto reader = [&](std::size_t i) {
     MsgType type{};
     std::vector<std::uint8_t> payload;
     for (;;) {
-      RecvStatus st = RecvStatus::kClosed;
+      // The whole receive + decode + dispatch step runs under the try: a
+      // checksum-valid but semantically invalid frame (decode_* throwing
+      // WireError) is as much a protocol violation as a bad checksum, and
+      // must end in mark_dead -- never escape the thread function, which
+      // would std::terminate the coordinator.
       try {
-        st = conns[i]->recv_frame(type, payload, 50);
-      } catch (const std::exception&) {
-        st = RecvStatus::kClosed;  // protocol violation == lost worker
-      }
-      if (st == RecvStatus::kTimeout) {
-        if (dead[i].load()) return;  // monitor declared us dead
-        continue;
-      }
-      if (st == RecvStatus::kClosed) {
-        mark_dead(i);
-        return;
-      }
-      last_seen[i].store(now_ns(), std::memory_order_relaxed);
-      switch (type) {
-        case MsgType::kHaloFrame: {
-          const HaloFrameMsg m = decode_halo_frame(payload);
-          if (m.to < N && !dead[m.to].load() && !done[m.to].load()) {
-            conns[m.to]->send_frame(MsgType::kHaloFrame, payload);
-            relayed.fetch_add(1, std::memory_order_relaxed);
-          }
-          break;
+        const RecvStatus st = conns[i]->recv_frame(type, payload, 50);
+        if (st == RecvStatus::kTimeout) {
+          if (dead[i].load()) return;  // monitor declared us dead
+          continue;
         }
-        case MsgType::kProgress: {
-          std::lock_guard<std::mutex> lock(bc_mu);
-          for (std::size_t j = 0; j < N; ++j) {
-            if (j == i || dead[j].load() || done[j].load()) continue;
-            conns[j]->send_frame(MsgType::kProgress, payload);
-          }
-          break;
-        }
-        case MsgType::kHeartbeat:
-          break;  // recency already noted
-        case MsgType::kSolveDone: {
-          results[i] = decode_solve_done(payload);
-          done[i].store(true);
+        if (st == RecvStatus::kClosed) {
+          mark_dead(i);
           return;
         }
-        default:
-          break;
+        last_seen[i].store(now_ns(), std::memory_order_relaxed);
+        switch (type) {
+          case MsgType::kHaloFrame: {
+            const HaloFrameMsg m = decode_halo_frame(payload);
+            // Relay only frames consistent with the plan: the worker must
+            // speak as itself and the payload length must match the edge
+            // (send list for kBoundaryX, owned block for kResidualBlock).
+            // The workers re-validate at delivery; dropping here keeps a
+            // confused worker's frames off the wire entirely.
+            const std::size_t expect =
+                static_cast<HaloTag>(m.tag) == HaloTag::kBoundaryX
+                    ? (m.to < N ? plan.send[i][m.to].size() : 0)
+                    : plan.owned[i].size();
+            if (m.from == i && m.to < N && m.data.size() == expect &&
+                !dead[m.to].load() && !done[m.to].load()) {
+              conns[m.to]->send_frame(MsgType::kHaloFrame, payload);
+              relayed.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+          case MsgType::kProgress: {
+            // A worker may only publish its own progress (a spoofed commit
+            // count would defeat peers' bounded-skew gates).
+            if (decode_progress(payload).shard != i) break;
+            std::vector<std::size_t> targets;
+            {
+              std::lock_guard<std::mutex> lock(bc_mu);
+              for (std::size_t j = 0; j < N; ++j) {
+                if (j != i && !dead[j].load() && !done[j].load()) {
+                  targets.push_back(j);
+                }
+              }
+            }
+            // Sends outside bc_mu (see the mark_dead rationale above).
+            for (std::size_t j : targets) {
+              conns[j]->send_frame(MsgType::kProgress, payload);
+            }
+            break;
+          }
+          case MsgType::kHeartbeat:
+            break;  // recency already noted
+          case MsgType::kSolveDone: {
+            results[i] = decode_solve_done(payload);
+            done[i].store(true);
+            return;
+          }
+          default:
+            break;
+        }
+      } catch (const std::exception&) {
+        mark_dead(i);  // protocol violation == lost worker
+        return;
       }
     }
   };

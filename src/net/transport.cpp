@@ -20,6 +20,16 @@ void SocketTransportOptions::validate() const {
   if (conn == nullptr) {
     throw std::invalid_argument("SocketTransportOptions: conn must be set");
   }
+  if (!expect_boundary.empty() && expect_boundary.size() != num_shards) {
+    throw std::invalid_argument(
+        "SocketTransportOptions: expect_boundary must be empty or one entry "
+        "per shard");
+  }
+  if (!expect_residual.empty() && expect_residual.size() != num_shards) {
+    throw std::invalid_argument(
+        "SocketTransportOptions: expect_residual must be empty or one entry "
+        "per shard");
+  }
 }
 
 SocketTransport::SocketTransport(SocketTransportOptions opts)
@@ -68,6 +78,14 @@ bool SocketTransport::recv_next(std::size_t to, std::size_t from, HaloTag tag,
 void SocketTransport::deliver(const HaloFrameMsg& m) {
   if (m.to != opts_.shard || m.from >= opts_.num_shards ||
       m.from == opts_.shard || m.tag >= kNumHaloTags) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::vector<std::size_t>& expect =
+      static_cast<HaloTag>(m.tag) == HaloTag::kBoundaryX
+          ? opts_.expect_boundary
+          : opts_.expect_residual;
+  if (!expect.empty() && m.data.size() != expect[m.from]) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }

@@ -52,6 +52,16 @@ struct SocketTransportOptions {
   WireWidth width = WireWidth::kF64;
   /// Connection to the coordinator. Not owned; must outlive the transport.
   FrameConn* conn = nullptr;
+  /// Expected kBoundaryX payload length per sending peer (indexed by peer):
+  /// the plan's ghost_slots[shard][peer].size(). Empty disables the check
+  /// (bare unit-test rigs); when set (size num_shards), a frame whose
+  /// payload length disagrees with the plan is counted as dropped and never
+  /// reaches a mailbox -- a confused or malicious coordinator/peer cannot
+  /// make the solver read or write out of bounds.
+  std::vector<std::size_t> expect_boundary;
+  /// Expected kResidualBlock payload length per sending peer: the plan's
+  /// owned[peer].size(). Same empty/checked semantics as expect_boundary.
+  std::vector<std::size_t> expect_residual;
 
   /// Throws std::invalid_argument with a field-naming message on the first
   /// invalid setting.
@@ -70,8 +80,10 @@ class SocketTransport final : public Transport {
                  HaloPacket& out) override;
 
   /// Inbound frame from the reader thread. Frames not addressed to this
-  /// shard or carrying an out-of-range peer are counted as dropped (a
-  /// confused or malicious coordinator cannot corrupt a mailbox).
+  /// shard, carrying an out-of-range peer, or whose payload length does not
+  /// match the plan expectation for the (peer, tag) edge are counted as
+  /// dropped (a confused or malicious coordinator cannot corrupt a mailbox
+  /// or smuggle a wrong-sized payload to the solver).
   void deliver(const HaloFrameMsg& m);
 
   std::uint64_t packets_sent() const override {

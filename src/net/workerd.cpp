@@ -170,6 +170,16 @@ bool WorkerDaemon::handle_solve(FrameConn& conn, const SolveRequestMsg& req) {
   sto.num_shards = req.num_shards;
   sto.width = req.width;
   sto.conn = &conn;
+  // Plan-derived payload lengths: deliver() drops any wire frame whose
+  // length disagrees, so peers (or the relay) can never feed the solver a
+  // wrong-sized ghost or residual block.
+  sto.expect_boundary.resize(req.num_shards, 0);
+  sto.expect_residual.resize(req.num_shards, 0);
+  for (std::size_t p = 0; p < req.num_shards; ++p) {
+    if (p == s) continue;
+    sto.expect_boundary[p] = plan.ghost_slots[s][p].size();
+    sto.expect_residual[p] = plan.owned[p].size();
+  }
   SocketTransport transport(sto);
   NetPeerBoard board(req.num_shards, s, &conn);
 
@@ -220,14 +230,41 @@ bool WorkerDaemon::handle_solve(FrameConn& conn, const SolveRequestMsg& req) {
   std::vector<std::uint8_t> payload;
   bool coordinator_gone = false;
   while (!done.load(std::memory_order_acquire)) {
-    RecvStatus st = RecvStatus::kClosed;
+    // The whole receive + decode + dispatch step runs under the try: the
+    // solver and heartbeat threads are joinable here, so no exception may
+    // unwind past this loop (that would std::terminate the daemon). A
+    // malformed frame -- truncated, bad checksum, OR checksum-valid but
+    // semantically invalid -- is a protocol violation and means the
+    // coordinator can no longer be trusted: treat it exactly like a closed
+    // connection.
+    bool lost = false;
     try {
-      st = conn.recv_frame(type, payload, 20);
+      const RecvStatus st = conn.recv_frame(type, payload, 20);
+      if (st == RecvStatus::kTimeout) continue;
+      if (st == RecvStatus::kClosed) {
+        lost = true;
+      } else {
+        switch (type) {
+          case MsgType::kHaloFrame:
+            transport.deliver(decode_halo_frame(payload));
+            break;
+          case MsgType::kProgress:
+            board.apply_progress(decode_progress(payload));
+            break;
+          case MsgType::kPeerDead:
+            board.apply_dead(decode_peer_dead(payload).shard);
+            break;
+          case MsgType::kShutdown:
+            stop_.store(true, std::memory_order_relaxed);
+            break;
+          default:
+            break;
+        }
+      }
     } catch (const std::exception&) {
-      st = RecvStatus::kClosed;  // protocol violation: treat as lost link
+      lost = true;  // protocol violation: treat as lost link
     }
-    if (st == RecvStatus::kTimeout) continue;
-    if (st == RecvStatus::kClosed) {
+    if (lost) {
       // Coordinator lost: no relay will ever arrive again. Mark every peer
       // dead so the solver finishes from its current view instead of
       // waiting forever -- Criterion-2 from the worker's side.
@@ -236,22 +273,6 @@ bool WorkerDaemon::handle_solve(FrameConn& conn, const SolveRequestMsg& req) {
         if (p != s) board.apply_dead(p);
       }
       break;
-    }
-    switch (type) {
-      case MsgType::kHaloFrame:
-        transport.deliver(decode_halo_frame(payload));
-        break;
-      case MsgType::kProgress:
-        board.apply_progress(decode_progress(payload));
-        break;
-      case MsgType::kPeerDead:
-        board.apply_dead(decode_peer_dead(payload).shard);
-        break;
-      case MsgType::kShutdown:
-        stop_.store(true, std::memory_order_relaxed);
-        break;
-      default:
-        break;
     }
   }
   solver.join();

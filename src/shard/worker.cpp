@@ -55,23 +55,30 @@ ShardWorkerResult run_shard_worker(const ShardPlan& plan,
   HaloPacket pkt;
 
   // Newest-wins refresh of ghosts and foreign residual rows (free-running
-  // discipline; also the gate's drain while waiting).
+  // discipline; also the gate's drain while waiting). A packet whose length
+  // disagrees with the plan is discarded -- lost-message semantics, so no
+  // Transport implementation can make these loops read or write outside the
+  // plan's ranges (socket transports additionally validate at delivery).
   auto drain = [&]() {
     int got = 0;
     for (std::size_t p = 0; p < S; ++p) {
       if (p == s) continue;
       if (transport.recv_latest(s, p, HaloTag::kBoundaryX, pkt)) {
         const auto& slots = plan.ghost_slots[s][p];
-        for (std::size_t i = 0; i < slots.size(); ++i) {
-          x_local[slots[i]] = pkt.data[i];
+        if (pkt.data.size() == slots.size()) {
+          for (std::size_t i = 0; i < slots.size(); ++i) {
+            x_local[slots[i]] = pkt.data[i];
+          }
+          ++got;
         }
-        ++got;
       }
       if (transport.recv_latest(s, p, HaloTag::kResidualBlock, pkt)) {
         const Range prg = plan.owned[p];
-        std::copy(pkt.data.begin(), pkt.data.end(),
-                  r_view.begin() + static_cast<std::ptrdiff_t>(prg.begin));
-        ++got;
+        if (pkt.data.size() == prg.size()) {
+          std::copy(pkt.data.begin(), pkt.data.end(),
+                    r_view.begin() + static_cast<std::ptrdiff_t>(prg.begin));
+          ++got;
+        }
       }
     }
     return got;
@@ -146,10 +153,12 @@ ShardWorkerResult run_shard_worker(const ShardPlan& plan,
           if (p == s || plan.send[p][s].empty()) continue;
           if (await_frame(transport, board, s, p, HaloTag::kBoundaryX, pkt)) {
             const auto& slots = plan.ghost_slots[s][p];
-            for (std::size_t i = 0; i < slots.size(); ++i) {
-              x_local[slots[i]] = pkt.data[i];
+            if (pkt.data.size() == slots.size()) {
+              for (std::size_t i = 0; i < slots.size(); ++i) {
+                x_local[slots[i]] = pkt.data[i];
+              }
+              ++got;
             }
-            ++got;
           }
         }
       }
@@ -167,10 +176,12 @@ ShardWorkerResult run_shard_worker(const ShardPlan& plan,
           if (await_frame(transport, board, s, p, HaloTag::kResidualBlock,
                           pkt)) {
             const Range prg = plan.owned[p];
-            std::copy(
-                pkt.data.begin(), pkt.data.end(),
-                r_view.begin() + static_cast<std::ptrdiff_t>(prg.begin));
-            ++got;
+            if (pkt.data.size() == prg.size()) {
+              std::copy(
+                  pkt.data.begin(), pkt.data.end(),
+                  r_view.begin() + static_cast<std::ptrdiff_t>(prg.begin));
+              ++got;
+            }
           }
         }
       }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <thread>
 
+#include "amg/serialize.hpp"
 #include "mesh/problems.hpp"
 #include "net/cluster.hpp"
 #include "net/socket.hpp"
@@ -439,6 +440,53 @@ TEST(NetTransport, MailboxFifoAndNewestWins) {
   EXPECT_EQ(got.data, (std::vector<double>{1.5, -2.5}));
 }
 
+TEST(NetTransport, LengthMismatchedFramesDropped) {
+  // When the plan-derived payload lengths are configured, deliver() must
+  // drop any frame whose length disagrees -- a wrong-sized ghost or
+  // residual block off the wire can never reach the solver's copy loops
+  // (which would read or write out of bounds).
+  ConnPair pair;
+  SocketTransportOptions sto;
+  sto.shard = 0;
+  sto.num_shards = 2;
+  sto.conn = pair.a.get();
+  sto.expect_boundary = {0, 3};  // peer 1 fills 3 ghost slots
+  sto.expect_residual = {0, 5};  // peer 1 owns 5 rows
+  SocketTransport t(sto);
+
+  HaloFrameMsg m;
+  m.from = 1;
+  m.to = 0;
+  m.seq = 1;
+  m.tag = static_cast<std::uint8_t>(HaloTag::kBoundaryX);
+  m.data = {1.0, 2.0};  // short: 2 != 3 ghost slots
+  t.deliver(m);
+  m.tag = static_cast<std::uint8_t>(HaloTag::kResidualBlock);
+  m.data = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};  // long: 7 != 5 owned rows
+  t.deliver(m);
+  EXPECT_EQ(t.packets_dropped(), 2u);
+  HaloPacket p;
+  EXPECT_FALSE(t.recv_next(0, 1, HaloTag::kBoundaryX, p));
+  EXPECT_FALSE(t.recv_next(0, 1, HaloTag::kResidualBlock, p));
+
+  // Exact lengths pass through untouched.
+  m.tag = static_cast<std::uint8_t>(HaloTag::kBoundaryX);
+  m.data = {1.0, 2.0, 3.0};
+  t.deliver(m);
+  m.tag = static_cast<std::uint8_t>(HaloTag::kResidualBlock);
+  m.data = {1.0, 2.0, 3.0, 4.0, 5.0};
+  t.deliver(m);
+  ASSERT_TRUE(t.recv_next(0, 1, HaloTag::kBoundaryX, p));
+  EXPECT_EQ(p.data.size(), 3u);
+  ASSERT_TRUE(t.recv_next(0, 1, HaloTag::kResidualBlock, p));
+  EXPECT_EQ(p.data.size(), 5u);
+  EXPECT_EQ(t.packets_dropped(), 2u);
+
+  // Mis-sized expectation vectors are rejected at construction.
+  sto.expect_boundary = {0};
+  EXPECT_THROW(SocketTransport bad(sto), std::invalid_argument);
+}
+
 TEST(NetTransport, PeerBoardPublishesAndApplies) {
   ConnPair pair;
   NetPeerBoard board(3, 0, pair.a.get());
@@ -587,6 +635,151 @@ TEST(NetCluster, WorkerCrashMidSolveRecovers) {
   EXPECT_TRUE(std::isfinite(r.final_rel_res));
   const std::string json = r.to_json();
   EXPECT_NE(json.find("\"dead_workers\":[1]"), std::string::npos);
+}
+
+TEST(NetCluster, MalformedWorkerFrameMarksDeadNotTerminate) {
+  // A worker that handshakes correctly and then sends a checksum-VALID but
+  // semantically invalid frame (here: a halo frame addressed to itself,
+  // which decode_halo_frame rejects) must be treated like any other
+  // protocol violation: the coordinator marks it dead and the survivors
+  // finish with Criterion-2 recovery. Before the reader wrapped its decode
+  // calls in the try block this threw out of the thread function and
+  // std::terminate'd the whole coordinator process.
+  Fixture f;
+  DaemonSet fleet(2);
+  ListenSocket rogue_listener(0);
+  ASSERT_GT(rogue_listener.port(), 0);
+  std::thread rogue([&] {
+    try {
+      FrameConn conn(rogue_listener.accept(10000));
+      HelloMsg hello;
+      hello.role = WireRole::kWorker;
+      hello.name = "rogue";
+      conn.send_frame(MsgType::kHello, encode_hello(hello));
+      MsgType type{};
+      std::vector<std::uint8_t> payload;
+      // Play along through the handshake, wait for the solve request.
+      while (conn.recv_frame(type, payload, 10000) == RecvStatus::kFrame) {
+        if (type == MsgType::kSolveRequest) break;
+      }
+      // Hand-rolled halo payload with from == to: the frame layer accepts
+      // it (checksum is ours), the semantic decoder throws WireError.
+      WireWriter w;
+      w.u32(1);  // from
+      w.u32(1);  // to == from: "halo frame to self"
+      w.u8(0);
+      w.u8(0);
+      w.u64(0);
+      w.u32(0);  // empty data vector
+      conn.send_frame(MsgType::kHaloFrame, w.bytes());
+      // Keep the connection open so only the decode error (never an EOF)
+      // can be what kills the session; leave when the coordinator cuts us.
+      while (conn.recv_frame(type, payload, 10000) == RecvStatus::kFrame) {
+      }
+    } catch (const std::exception&) {
+      // Coordinator shut the socket down mid-read: expected.
+    }
+  });
+
+  ClusterOptions co;
+  co.endpoints = {fleet.endpoints[0],
+                  {"127.0.0.1", rogue_listener.port()},
+                  fleet.endpoints[1]};
+  ClusterCoordinator coordinator(co);
+  ClusterSolveOptions cso;
+  cso.bsp = true;
+  cso.t_max = 6;
+  cso.additive = f.ao;
+  Vector x(f.b.size(), 0.0);
+  const ClusterResult r = coordinator.solve(*f.setup, f.b, x, cso);
+  rogue.join();
+  ASSERT_EQ(r.dead_workers.size(), 1u);
+  EXPECT_EQ(r.dead_workers[0], 1u);
+  EXPECT_EQ(r.corrections[0], cso.t_max);
+  EXPECT_EQ(r.corrections[2], cso.t_max);
+  EXPECT_TRUE(std::isfinite(r.final_rel_res));
+  EXPECT_LT(r.final_rel_res, 1.0);
+}
+
+TEST(NetWorkerd, SurvivesMalformedCoordinatorFrame) {
+  // The worker-side mirror: a checksum-valid but semantically invalid
+  // frame arriving mid-solve must not unwind past the reader loop while
+  // the solver and heartbeat threads are joinable (which would
+  // std::terminate the daemon). The worker treats it as a lost
+  // coordinator, finishes the solve locally, and serves the next session.
+  Fixture f;
+  WorkerDaemonOptions wo;
+  wo.port = 0;
+  wo.name = "w0";
+  WorkerDaemon daemon(wo);
+  std::thread dt([&] { daemon.run(); });
+
+  const std::string hierarchy = save_hierarchy_string(f.setup->hierarchy());
+  {
+    FrameConn conn(connect_tcp("127.0.0.1", daemon.port(), 5000));
+    MsgType type{};
+    std::vector<std::uint8_t> payload;
+    ASSERT_EQ(conn.recv_frame(type, payload, 5000), RecvStatus::kFrame);
+    ASSERT_EQ(type, MsgType::kHello);
+    HelloAckMsg ack;
+    ack.shard = 0;
+    ack.num_shards = 2;
+    ASSERT_TRUE(conn.send_frame(MsgType::kHelloAck, encode_hello_ack(ack)));
+
+    SolveRequestMsg req;
+    req.shard = 0;
+    req.num_shards = 2;
+    req.bsp = 1;
+    req.t_max = 3;
+    req.additive_kind = static_cast<std::uint8_t>(f.ao.kind);
+    req.smoother_type =
+        static_cast<std::uint8_t>(f.setup->options().smoother.type);
+    req.smoother_omega = f.setup->options().smoother.omega;
+    req.smoother_blocks =
+        static_cast<std::uint32_t>(f.setup->options().smoother.num_blocks);
+    req.max_dense_coarse =
+        static_cast<std::int64_t>(f.setup->options().max_dense_coarse);
+    req.hierarchy = hierarchy;
+    req.b = f.b;
+    req.x0 = Vector(f.b.size(), 0.0);
+    ASSERT_TRUE(conn.send_frame(MsgType::kSolveRequest,
+                                encode_solve_request(req)));
+
+    // Mid-solve poison: halo frame to self, rejected by the semantic
+    // decoder inside the worker's reader loop.
+    WireWriter w;
+    w.u32(1);
+    w.u32(1);
+    w.u8(0);
+    w.u8(0);
+    w.u64(0);
+    w.u32(0);
+    ASSERT_TRUE(conn.send_frame(MsgType::kHaloFrame, w.bytes()));
+    // Scope exit closes the connection; by then the worker has already
+    // treated the poison frame as a lost coordinator.
+  }
+
+  // The daemon survived: a fresh session serves stats counting the solve.
+  {
+    FrameConn conn(connect_tcp("127.0.0.1", daemon.port(), 5000));
+    MsgType type{};
+    std::vector<std::uint8_t> payload;
+    ASSERT_EQ(conn.recv_frame(type, payload, 5000), RecvStatus::kFrame);
+    ASSERT_EQ(type, MsgType::kHello);
+    HelloAckMsg ack;
+    ASSERT_TRUE(conn.send_frame(MsgType::kHelloAck, encode_hello_ack(ack)));
+    ASSERT_TRUE(conn.send_frame(MsgType::kStatsRequest, {}));
+    std::string json;
+    while (conn.recv_frame(type, payload, 5000) == RecvStatus::kFrame) {
+      if (type == MsgType::kStatsResponse) {
+        json = decode_stats_response(payload).json;
+        break;
+      }
+    }
+    EXPECT_NE(json.find("\"solves\":1"), std::string::npos);
+  }
+  daemon.request_stop();
+  dt.join();
 }
 
 TEST(NetCluster, ConnectBacksOffThenFails) {
