@@ -6,6 +6,7 @@
 #include <map>
 
 #include "amg/hierarchy.hpp"
+#include "backend/backend.hpp"
 #include "mesh/problems.hpp"
 #include "smoothers/smoother.hpp"
 #include "sparse/kernels.hpp"
@@ -123,6 +124,84 @@ BENCHMARK(BM_FusedDiagSweepSell)
     ->Args({16, 8})
     ->Args({24, 8})
     ->Args({16, 16});
+
+// Per-backend SELL kernels (DESIGN.md §15). Second arg selects the backend;
+// runs on hosts without the ISA are skipped, mirroring the dispatcher's
+// fallback. Bandwidth counts one matrix pass (values + column metadata, via
+// sell_pass_bytes) plus the vector traffic; FLOPs are the 2·nnz multiply-
+// accumulates.
+void BM_BackendSellSpmv(benchmark::State& state) {
+  const auto kind = static_cast<BackendKind>(state.range(1));
+  if (!backend_supported(kind)) {
+    state.SkipWithError("backend not supported on this host");
+    return;
+  }
+  const KernelBackend& be = backend_for(kind);
+  const CsrMatrix& a = matrix27(static_cast<int>(state.range(0)));
+  const SellMatrix s = SellMatrix::from_csr(a, 8, 64);
+  Rng rng(1);
+  const Vector x = random_vector(static_cast<std::size_t>(a.cols()), rng);
+  Vector y(static_cast<std::size_t>(a.rows()));
+  for (auto _ : state) {
+    be.sell_spmv(s, x, y, /*parallel=*/false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+  const double bytes = static_cast<double>(sell_pass_bytes(s)) +
+                       16.0 * static_cast<double>(a.rows());
+  state.counters["GB/s"] =
+      benchmark::Counter(bytes, benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(2.0 * static_cast<double>(a.nnz()),
+                         benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_BackendSellSpmv)
+    ->Args({16, static_cast<int>(BackendKind::kScalar)})
+    ->Args({16, static_cast<int>(BackendKind::kAvx2)})
+    ->Args({16, static_cast<int>(BackendKind::kAvx512)})
+    ->Args({24, static_cast<int>(BackendKind::kScalar)})
+    ->Args({24, static_cast<int>(BackendKind::kAvx2)})
+    ->Args({24, static_cast<int>(BackendKind::kAvx512)});
+
+void BM_BackendSellSweep(benchmark::State& state) {
+  const auto kind = static_cast<BackendKind>(state.range(1));
+  if (!backend_supported(kind)) {
+    state.SkipWithError("backend not supported on this host");
+    return;
+  }
+  const KernelBackend& be = backend_for(kind);
+  const CsrMatrix& a = matrix27(static_cast<int>(state.range(0)));
+  const SellMatrix s = SellMatrix::from_csr(a, 8, 64);
+  Rng rng(6);
+  const Vector b = random_vector(static_cast<std::size_t>(a.rows()), rng);
+  const Vector d = random_vector(static_cast<std::size_t>(a.rows()), rng, 0.1,
+                                 1.0);
+  Vector x(b.size(), 0.0), xo(b.size());
+  for (auto _ : state) {
+    be.sell_diag_sweep(s, d, b, x, xo, /*parallel=*/false);
+    x.swap(xo);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+  const double bytes = static_cast<double>(sell_pass_bytes(s)) +
+                       32.0 * static_cast<double>(a.rows());
+  state.counters["GB/s"] =
+      benchmark::Counter(bytes, benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(a.nnz()) + 2.0 * static_cast<double>(a.rows()),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_BackendSellSweep)
+    ->Args({16, static_cast<int>(BackendKind::kScalar)})
+    ->Args({16, static_cast<int>(BackendKind::kAvx2)})
+    ->Args({16, static_cast<int>(BackendKind::kAvx512)})
+    ->Args({24, static_cast<int>(BackendKind::kScalar)})
+    ->Args({24, static_cast<int>(BackendKind::kAvx2)})
+    ->Args({24, static_cast<int>(BackendKind::kAvx512)});
 
 void BM_SellConvert(benchmark::State& state) {
   const CsrMatrix& a = matrix27(static_cast<int>(state.range(0)));

@@ -19,15 +19,19 @@
 
 #include <omp.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "bench_common.hpp"
 #include "multigrid/pcg.hpp"
 #include "sparse/sellcs.hpp"
+#include "telemetry/sink.hpp"
 #include "util/timer.hpp"
 
 namespace asyncmg {
@@ -148,6 +152,115 @@ int main(int argc, char** argv) {
   }
   omp_set_num_threads(max_threads);
 
+  // ------------------------------------------------------------------
+  // Kernel-backend sweep (DESIGN.md section 15): the fused SELL engine
+  // under each supported backend, paired-round timing against the scalar
+  // oracle. The iterates must match the scalar backend bitwise -- a
+  // mismatch is a correctness failure and exits nonzero; slower-than-
+  // scalar is only reported. Bandwidth comes from the engine's own
+  // traffic model (kernel.bytes_moved, fed by sell_pass_bytes /
+  // csr_pass_bytes) over the best per-cycle time.
+  // ------------------------------------------------------------------
+  struct BackendRow {
+    BackendKind kind;
+    double sec_per_cycle = 0.0;
+    double speedup = 1.0;  // vs the scalar backend
+    std::uint64_t bytes_per_cycle = 0;
+    double gbps = 0.0;
+  };
+  std::vector<BackendRow> backend_rows;
+  bool backend_mismatch = false;
+  {
+    const Index n = static_cast<Index>(sizes.back());
+    const int bt = static_cast<int>(
+        *std::max_element(threads.begin(), threads.end()));
+    omp_set_num_threads(std::min(bt, max_threads));
+    std::vector<BackendKind> kinds{BackendKind::kScalar};
+    for (const BackendKind k : {BackendKind::kAvx2, BackendKind::kAvx512}) {
+      if (backend_supported(k)) kinds.push_back(k);
+    }
+    std::vector<std::unique_ptr<MgSetup>> setups;
+    std::vector<std::unique_ptr<MultiplicativeMg>> engines;
+    for (const BackendKind k : kinds) {
+      MgOptions mo =
+          bench::paper_mg_options(SmootherType::kWeightedJacobi, 0.9, 1);
+      if (smoke) mo.engine.sell_min_rows = 1;
+      mo.engine.backend = k;
+      setups.push_back(
+          std::make_unique<MgSetup>(make_laplace_27pt(n).a, mo));
+      engines.push_back(std::make_unique<MultiplicativeMg>(*setups.back()));
+    }
+    const Vector bb = bench::paper_rhs(
+        static_cast<std::size_t>(setups[0]->a(0).rows()), 0);
+
+    // Correctness gate: a few cycles per backend, bitwise against scalar.
+    std::vector<Vector> xs(kinds.size(), Vector(bb.size(), 0.0));
+    for (int t = 0; t < 3; ++t) {
+      for (std::size_t i = 0; i < kinds.size(); ++i) {
+        engines[i]->cycle(bb, xs[i]);
+      }
+    }
+    for (std::size_t i = 1; i < kinds.size(); ++i) {
+      for (std::size_t j = 0; j < xs[0].size(); ++j) {
+        if (xs[i][j] != xs[0][j]) {
+          std::cerr << "backend " << backend_kind_name(kinds[i])
+                    << " diverges from scalar at dof " << j << "\n";
+          backend_mismatch = true;
+          break;
+        }
+      }
+    }
+
+    // Bytes per cycle from the engine's telemetry counters (identical for
+    // every backend; measured once on the scalar engine).
+    std::uint64_t bytes_per_cycle = 0;
+    {
+      TelemetrySink sink;
+      engines[0]->set_telemetry(&sink, 0);
+      Vector x(bb.size(), 0.0);
+      engines[0]->cycle(bb, x);
+      bytes_per_cycle = sink.metrics().counter("kernel.bytes_moved").value();
+      engines[0]->set_telemetry(nullptr);
+      (void)sink.drain();
+    }
+
+    std::vector<double> best(kinds.size(), 0.0);
+    for (int rep = 0; rep < repeats; ++rep) {
+      std::vector<Vector> xr(kinds.size(), Vector(bb.size(), 0.0));
+      std::vector<double> acc(kinds.size(), 0.0);
+      Timer timer;
+      for (int c = 0; c < cycles; ++c) {
+        for (std::size_t i = 0; i < kinds.size(); ++i) {
+          timer.reset();
+          engines[i]->cycle(bb, xr[i]);
+          acc[i] += timer.seconds();
+        }
+      }
+      for (std::size_t i = 0; i < kinds.size(); ++i) {
+        const double per = acc[i] / cycles;
+        if (rep == 0 || per < best[i]) best[i] = per;
+      }
+    }
+    std::cout << "  backend sweep: n=" << n
+              << " threads=" << std::min(bt, max_threads)
+              << " (supported: " << supported_backends_string() << ")\n";
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      BackendRow row;
+      row.kind = kinds[i];
+      row.sec_per_cycle = best[i];
+      row.speedup = best[i] > 0.0 ? best[0] / best[i] : 0.0;
+      row.bytes_per_cycle = bytes_per_cycle;
+      row.gbps = best[i] > 0.0
+                     ? static_cast<double>(bytes_per_cycle) / best[i] / 1e9
+                     : 0.0;
+      backend_rows.push_back(row);
+      std::cout << "    " << backend_kind_name(row.kind) << ": "
+                << row.sec_per_cycle * 1e3 << " ms/cycle  (x" << row.speedup
+                << " vs scalar, " << row.gbps << " GB/s)\n";
+    }
+    omp_set_num_threads(max_threads);
+  }
+
   // PCG workspace ablation at the smallest size: per-solve seconds with a
   // fresh workspace every call vs one reused across calls.
   const Index pcg_n = static_cast<Index>(sizes.front());
@@ -200,5 +313,30 @@ int main(int argc, char** argv) {
   out << "],\"pcg\":{\"n\":" << pcg_n << ",\"fresh_ws_seconds\":" << pcg_fresh
       << ",\"reused_ws_seconds\":" << pcg_reused << "}}\n";
   std::cout << "wrote " << json_path << "\n";
+
+  const std::string backend_json =
+      cli.get("json-backend", "BENCH_backend.json");
+  std::ofstream bout(backend_json);
+  bout << "{\"bench\":\"solve_phase_backend\",\"problem\":\"27pt\",\"n\":"
+       << sizes.back() << ",\"cycles\":" << cycles
+       << ",\"smoke\":" << (smoke ? 1 : 0) << ",\"supported\":\""
+       << supported_backends_string() << "\",\"bitwise_identical\":"
+       << (backend_mismatch ? 0 : 1) << ",\"runs\":[";
+  for (std::size_t i = 0; i < backend_rows.size(); ++i) {
+    const auto& r = backend_rows[i];
+    if (i) bout << ",";
+    bout << "{\"backend\":\"" << backend_kind_name(r.kind)
+         << "\",\"sec_per_cycle\":" << r.sec_per_cycle
+         << ",\"speedup_vs_scalar\":" << r.speedup << ",\"bytes_per_cycle\":"
+         << r.bytes_per_cycle << ",\"gbps\":" << r.gbps << "}";
+  }
+  bout << "]}\n";
+  std::cout << "wrote " << backend_json << "\n";
+
+  if (backend_mismatch) {
+    std::cerr << "FAIL: SIMD backend iterates are not bitwise identical to "
+                 "the scalar oracle\n";
+    return 1;
+  }
   return 0;
 }

@@ -84,7 +84,9 @@ RuntimeResult run_shared_memory(const AdditiveCorrector& corrector,
   sh.global_barrier = std::make_unique<std::barrier<>>(
       static_cast<std::ptrdiff_t>(sh.num_threads));
   if (opts.check_invariants) sh.x0 = x;
-  if (sh.uses_shared_r()) s.a(0).residual(b, x, sh.r);
+  if (sh.uses_shared_r()) {
+    s.backend().csr_residual(s.a(0), b, x, sh.r, /*parallel=*/false);
+  }
 
   std::vector<Team> teams = build_teams(sh);
   // May throw std::invalid_argument (scripted mode rejects a structurally
@@ -116,7 +118,7 @@ RuntimeResult run_shared_memory(const AdditiveCorrector& corrector,
   }
   result.trace = std::move(sh.trace);
   Vector r;
-  s.a(0).residual(b, x, r);
+  s.backend().csr_residual(s.a(0), b, x, r, /*parallel=*/false);
   const double bnorm = norm2(b);
   result.final_rel_res = norm2(r) * (bnorm > 0.0 ? 1.0 / bnorm : 1.0);
   driver->finalize(result);
@@ -162,8 +164,9 @@ RuntimeResult run_mult_threaded(const MgSetup& setup, const Vector& b,
       // Fine residual.
       {
         const Range rg = rows(0);
-        setup.a(0).residual_rows(b, x, r[0], static_cast<Index>(rg.begin),
-                                 static_cast<Index>(rg.end));
+        setup.backend().csr_residual_rows(setup.a(0), b, x, r[0],
+                                          static_cast<Index>(rg.begin),
+                                          static_cast<Index>(rg.end));
       }
       bar.arrive_and_wait();
 
@@ -179,15 +182,16 @@ RuntimeResult run_mult_threaded(const MgSetup& setup, const Vector& b,
         bar.arrive_and_wait();
         {
           const Range rg = rows(k);
-          setup.a(k).residual_rows(r[k], e[k], tmp[k],
-                                   static_cast<Index>(rg.begin),
-                                   static_cast<Index>(rg.end));
+          setup.backend().csr_residual_rows(setup.a(k), r[k], e[k], tmp[k],
+                                            static_cast<Index>(rg.begin),
+                                            static_cast<Index>(rg.end));
         }
         bar.arrive_and_wait();
         {
           const Range rg = rows(k + 1);
-          setup.r(k).spmv_rows(tmp[k], r[k + 1], static_cast<Index>(rg.begin),
-                               static_cast<Index>(rg.end));
+          setup.backend().csr_spmv_rows(setup.r(k), tmp[k], r[k + 1],
+                                        static_cast<Index>(rg.begin),
+                                        static_cast<Index>(rg.end));
         }
         bar.arrive_and_wait();
       }
@@ -206,16 +210,17 @@ RuntimeResult run_mult_threaded(const MgSetup& setup, const Vector& b,
       for (std::size_t k = coarsest; k-- > 0;) {
         {
           const Range rg = rows(k);
-          setup.p(k).spmv_rows(e[k + 1], tmp[k], static_cast<Index>(rg.begin),
-                               static_cast<Index>(rg.end));
+          setup.backend().csr_spmv_rows(setup.p(k), e[k + 1], tmp[k],
+                                        static_cast<Index>(rg.begin),
+                                        static_cast<Index>(rg.end));
           for (std::size_t i = rg.begin; i < rg.end; ++i) e[k][i] += tmp[k][i];
         }
         bar.arrive_and_wait();
         {
           const Range rg = rows(k);
-          setup.a(k).residual_rows(r[k], e[k], tmp[k],
-                                   static_cast<Index>(rg.begin),
-                                   static_cast<Index>(rg.end));
+          setup.backend().csr_residual_rows(setup.a(k), r[k], e[k], tmp[k],
+                                            static_cast<Index>(rg.begin),
+                                            static_cast<Index>(rg.end));
         }
         bar.arrive_and_wait();
         if (tid < sm[k]->num_blocks()) {
@@ -242,7 +247,7 @@ RuntimeResult run_mult_threaded(const MgSetup& setup, const Vector& b,
   result.seconds = clock.seconds();
   result.corrections.assign(setup.num_levels(), t_max);
   Vector res;
-  setup.a(0).residual(b, x, res);
+  setup.backend().csr_residual(setup.a(0), b, x, res, /*parallel=*/false);
   const double bnorm = norm2(b);
   result.final_rel_res = norm2(res) * (bnorm > 0.0 ? 1.0 / bnorm : 1.0);
   return result;

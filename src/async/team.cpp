@@ -118,7 +118,8 @@ void thread_refresh_global_residual(const Ctx& c) {
 
 void team_spmv(const Ctx& c, const CsrMatrix& m, const Vector& v, Vector& y) {
   const Range rg = c.chunk(static_cast<std::size_t>(m.rows()));
-  m.spmv_rows(v, y, static_cast<Index>(rg.begin), static_cast<Index>(rg.end));
+  c.sh->s->backend().csr_spmv_rows(m, v, y, static_cast<Index>(rg.begin),
+                                   static_cast<Index>(rg.end));
   c.tbar();
 }
 
@@ -141,9 +142,9 @@ void team_smooth_zero(const Ctx& c, const Smoother& sm, const Vector& rhs,
   c.tbar();
   for (int s = 1; s < sweeps; ++s) {
     // scratch = rhs - A out over this rank's rows.
-    sm.matrix().residual_rows(rhs, out, lvl_scratch,
-                              static_cast<Index>(rg.begin),
-                              static_cast<Index>(rg.end));
+    c.sh->s->backend().csr_residual_rows(sm.matrix(), rhs, out, lvl_scratch,
+                                         static_cast<Index>(rg.begin),
+                                         static_cast<Index>(rg.end));
     c.tbar();
     if (has_block) {
       // out_block += M^{-1} scratch_block: apply_zero_block writes the
@@ -235,8 +236,9 @@ void team_refresh_residual(const Ctx& c, bool drop_shared_read) {
     if (drop_shared_read) return;  // keep the stale local view untouched
     team_read_shared(c, *sh.x, t.xk);
     const Range rg = c.chunk(t.rchain[0].size());
-    a.residual_rows(*sh.b, t.xk, t.rchain[0], static_cast<Index>(rg.begin),
-                    static_cast<Index>(rg.end));
+    sh.s->backend().csr_residual_rows(a, *sh.b, t.xk, t.rchain[0],
+                                      static_cast<Index>(rg.begin),
+                                      static_cast<Index>(rg.end));
     c.tbar();
   } else {
     thread_refresh_global_residual(c);  // No Wait: no barrier

@@ -1,0 +1,25 @@
+#pragma once
+// Internal seam between the dispatcher (backend.cpp) and the per-ISA TUs
+// (simd_avx2.cpp / simd_avx512.cpp). Each TU is compiled with exactly its
+// own ISA flags (-mavx2 / -mavx512f, plus -ffp-contract=off so the compiler
+// cannot contract the kernels' mul+add chains into FMAs and break bitwise
+// identity); when the toolchain lacks the flag the TU compiles to a stub
+// returning nullptr, keeping the rest of the binary portable.
+
+namespace asyncmg {
+
+class KernelBackend;
+
+namespace detail {
+
+/// Singleton SIMD backends, or nullptr when the TU was built as a stub.
+const KernelBackend* avx2_backend();
+const KernelBackend* avx512_backend();
+
+/// Runtime CPU probes (CPUID + OS xsave state via __builtin_cpu_supports;
+/// false on non-GNU-compatible toolchains or non-x86 targets).
+bool cpu_supports_avx2();
+bool cpu_supports_avx512f();
+
+}  // namespace detail
+}  // namespace asyncmg

@@ -1,0 +1,52 @@
+#pragma once
+// Shared skeleton of the SIMD SELL backends: the precision dispatch and the
+// engine's standard nnz-balanced OpenMP chunk split, identical to
+// SellMatrix::run/run_values in sellcs.cpp. The ISA-specific TU supplies
+// `Apply`, a functor running chunks [c0, c1) of a SellView against one Op
+// (sparse/sell_ops.hpp). Chunks own disjoint output rows, so the partition
+// never affects the result.
+//
+// This header is included only from TUs compiled with their ISA flags; it
+// contains no intrinsics itself.
+
+#include <omp.h>
+
+#include <cstddef>
+#include <span>
+
+#include "sparse/kernels.hpp"
+#include "sparse/sell_ops.hpp"
+#include "sparse/sellcs.hpp"
+#include "util/partition.hpp"
+
+namespace asyncmg {
+namespace detail {
+
+template <class Apply, class Op>
+void run_sell_simd(const SellView& v, const double* x, const Op& op,
+                   bool parallel, const Apply& apply) {
+  const bool par = parallel && v.nchunks > 1 && solve_omp_eligible(v.rows);
+  if (!par) {
+    if (v.prec == Precision::kF32) {
+      apply(v, v.values_f32, x, op, std::size_t{0}, v.nchunks);
+    } else {
+      apply(v, v.values, x, op, std::size_t{0}, v.nchunks);
+    }
+    return;
+  }
+  const std::span<const Index> prefix(v.chunk_ptr, v.nchunks + 1);
+#pragma omp parallel
+  {
+    const auto nt = static_cast<std::size_t>(omp_get_num_threads());
+    const auto t = static_cast<std::size_t>(omp_get_thread_num());
+    const Range rg = nnz_balanced_chunk(prefix, nt, t);
+    if (v.prec == Precision::kF32) {
+      apply(v, v.values_f32, x, op, rg.begin, rg.end);
+    } else {
+      apply(v, v.values, x, op, rg.begin, rg.end);
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace asyncmg

@@ -64,8 +64,9 @@ void AdditiveCorrector::correction_chain(std::size_t k, const Vector& r_fine,
   Vector& r = ws.r;
   Vector& next = ws.next;
   r = r_fine;
+  const KernelBackend& be = s_->backend();
   for (std::size_t j = 0; j < k; ++j) {
-    interp(j).spmv_transpose(r, next);
+    be.csr_spmv_transpose(interp(j), r, next);
     r.swap(next);
   }
   // Lambda_k.
@@ -82,7 +83,7 @@ void AdditiveCorrector::correction_chain(std::size_t k, const Vector& r_fine,
   }
   // Prolong back to the fine grid.
   for (std::size_t j = k; j-- > 0;) {
-    interp(j).spmv(e, next);
+    be.csr_spmv(interp(j), e, next, /*parallel=*/false);
     e.swap(next);
   }
   c.swap(e);  // result moves to c; c's old buffer becomes scratch
@@ -96,8 +97,9 @@ void AdditiveCorrector::correction_afacx(std::size_t k, const Vector& r_fine,
   Vector& r = ws.r;
   Vector& next = ws.next;
   r = r_fine;
+  const KernelBackend& be = s_->backend();
   for (std::size_t j = 0; j < k; ++j) {
-    s_->p(j).spmv_transpose(r, next);
+    be.csr_spmv_transpose(s_->p(j), r, next);
     r.swap(next);
   }
 
@@ -108,7 +110,7 @@ void AdditiveCorrector::correction_afacx(std::size_t k, const Vector& r_fine,
   } else {
     // r_{k+1} = P^T r_k, then smooth e_{k+1} from zero (s2 sweeps).
     Vector& r_next = ws.r_next;
-    s_->p(k).spmv_transpose(r, r_next);
+    be.csr_spmv_transpose(s_->p(k), r, r_next);
     Vector& u = ws.u;
     if (k + 1 == coarsest && !s_->coarse_solver().empty()) {
       s_->coarse_solver().solve(r_next, u);
@@ -119,15 +121,15 @@ void AdditiveCorrector::correction_afacx(std::size_t k, const Vector& r_fine,
     // smooth e_k from zero (s1 sweeps); the grid-k correction is just
     // P_k^0 e_k, no subtraction needed.
     Vector& pu = ws.pu;
-    s_->p(k).spmv(u, pu);
+    be.csr_spmv(s_->p(k), u, pu, /*parallel=*/false);
     Vector& apu = ws.apu;
-    s_->a(k).spmv(pu, apu);
+    be.csr_spmv(s_->a(k), pu, apu, /*parallel=*/false);
     for (std::size_t i = 0; i < r.size(); ++i) r[i] -= apu[i];
     s_->smoother(k).smooth_zero_ws(r, e, opts_.afacx_s1, ws.swp);
   }
 
   for (std::size_t j = k; j-- > 0;) {
-    s_->p(j).spmv(e, next);
+    be.csr_spmv(s_->p(j), e, next, /*parallel=*/false);
     e.swap(next);
   }
   c.swap(e);  // see correction_chain
@@ -184,10 +186,11 @@ AdditiveMg::AdditiveMg(const MgSetup& setup, AdditiveOptions opts)
 
 void AdditiveMg::cycle(const Vector& b, Vector& x) {
   const MgSetup& s = corrector_.setup();
-  s.a(0).residual_omp(b, x, r_);
+  const KernelBackend& be = s.backend();
+  be.csr_residual(s.a(0), b, x, r_, /*parallel=*/true);
   for (std::size_t k = 0; k < corrector_.num_grids(); ++k) {
     corrector_.correction(k, r_, c_, ws_);
-    axpy(1.0, c_, x);
+    be.axpy(1.0, c_, x);
   }
 }
 
@@ -198,13 +201,14 @@ SolveStats AdditiveMg::solve(const Vector& b, Vector& x, int t_max,
   const MgSetup& s = corrector_.setup();
   const double bnorm = norm2(b);
   const double scale = bnorm > 0.0 ? 1.0 / bnorm : 1.0;
+  const KernelBackend& be = s.backend();
   Vector r;
-  s.a(0).residual_omp(b, x, r);
+  be.csr_residual(s.a(0), b, x, r, /*parallel=*/true);
   stats.rel_res_history.push_back(norm2(r) * scale);
   for (int t = 0; t < t_max; ++t) {
     cycle(b, x);
     ++stats.cycles;
-    s.a(0).residual_omp(b, x, r);
+    be.csr_residual(s.a(0), b, x, r, /*parallel=*/true);
     const double rr = norm2(r) * scale;
     stats.rel_res_history.push_back(rr);
     if (tol > 0.0 && rr < tol) {

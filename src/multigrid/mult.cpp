@@ -12,6 +12,7 @@ namespace asyncmg {
 MultiplicativeMg::MultiplicativeMg(const MgSetup& setup, bool symmetric,
                                    int pre_sweeps, int post_sweeps, int gamma)
     : s_(&setup),
+      be_(&setup.backend()),
       symmetric_(symmetric),
       pre_sweeps_(pre_sweeps),
       post_sweeps_(post_sweeps),
@@ -34,6 +35,13 @@ void MultiplicativeMg::set_telemetry(TelemetrySink* sink, std::size_t tid) {
   if (sink != nullptr) {
     ctr_bytes_ = &sink->metrics().counter("kernel.bytes_moved");
     ctr_sweeps_ = &sink->metrics().counter("kernel.fused_sweeps");
+    // Tag the kernel backend once per attach; the scalar oracle emits
+    // nothing, keeping the golden trace fixtures byte-identical.
+    if (be_->kind() != BackendKind::kScalar) {
+      sink->record(tid, EventKind::kBackendSelect,
+                   static_cast<std::int64_t>(be_->kind()),
+                   static_cast<std::int64_t>(s_->options().engine.backend));
+    }
     // Tag reduced-precision levels once per attach. All-fp64 setups emit
     // nothing, keeping the golden trace fixtures byte-identical.
     for (std::size_t k = 0; k < s_->num_levels(); ++k) {
@@ -62,14 +70,15 @@ void MultiplicativeMg::sweep_level(std::size_t k, const Vector& b, Vector& x) {
   if (sell != nullptr) {
     // The setup heuristic only builds SELL for diagonal-type smoothers, so
     // the fused Jacobi sweep applies; swap brings the new iterate into x.
-    sell->fused_diag_sweep_omp(sm.inv_diag(), b, x, ws_.swp(k));
+    be_->sell_diag_sweep(*sell, sm.inv_diag(), b, x, ws_.swp(k),
+                         /*parallel=*/true);
     x.swap(ws_.swp(k));
   } else {
     sm.sweep_ws(b, x, ws_.swp(k));
   }
   if (tel_ != nullptr) {
     ctr_sweeps_->add(1);
-    ctr_bytes_->add(sell != nullptr ? sell->pass_bytes()
+    ctr_bytes_->add(sell != nullptr ? sell_pass_bytes(*sell)
                                     : csr_pass_bytes(s_->a(k)));
   }
 }
@@ -85,20 +94,21 @@ void MultiplicativeMg::coarse_corrections(std::size_t k) {
     // entry-for-entry the same additions as spmv_transpose, without its
     // scatter writes.
     if (sell != nullptr) {
-      sell->fused_sub_spmv_omp(r, e, ws_.tmp(k));
+      be_->sell_sub_spmv(*sell, r, e, ws_.tmp(k), /*parallel=*/true);
     } else {
-      fused_sub_spmv_omp(s_->a(k), r, e, ws_.tmp(k));
+      be_->csr_sub_spmv(s_->a(k), r, e, ws_.tmp(k), /*parallel=*/true);
     }
-    s_->r(k).spmv_omp(ws_.tmp(k), ws_.r(k + 1));
+    be_->restrict_apply(s_->r(k), ws_.tmp(k), ws_.r(k + 1), /*parallel=*/true);
     pe(CyclePhase::kRestrict, k);
     if (tel_ != nullptr) {
-      ctr_bytes_->add((sell != nullptr ? sell->pass_bytes()
+      ctr_bytes_->add((sell != nullptr ? sell_pass_bytes(*sell)
                                        : csr_pass_bytes(s_->a(k))) +
                       csr_pass_bytes(s_->r(k)));
     }
     level_solve(k + 1);
     pb(CyclePhase::kProlong, k);
-    s_->p(k).spmv_add_omp(ws_.e(k + 1), e, 1.0);  // e_k += P e_{k+1}
+    // e_k += P e_{k+1}
+    be_->prolong_add(s_->p(k), ws_.e(k + 1), e, /*parallel=*/true);
     pe(CyclePhase::kProlong, k);
     if (tel_ != nullptr) ctr_bytes_->add(csr_pass_bytes(s_->p(k)));
   }
@@ -213,16 +223,16 @@ void MultiplicativeMg::cycle(const Vector& b, Vector& x) {
   pb(CyclePhase::kResidual, 0);
   if (fused_) {
     if (s_->sell(0) != nullptr) {
-      s_->sell(0)->residual_omp(b, x, ws_.r(0));
+      be_->sell_residual(*s_->sell(0), b, x, ws_.r(0), /*parallel=*/true);
     } else {
-      s_->a(0).residual_omp(b, x, ws_.r(0));
+      be_->csr_residual(s_->a(0), b, x, ws_.r(0), /*parallel=*/true);
     }
   } else {
     s_->a(0).residual(b, x, ws_.r(0));
   }
   pe(CyclePhase::kResidual, 0);
   level_solve(0);
-  axpy(1.0, ws_.e(0), x);
+  be_->axpy(1.0, ws_.e(0), x);
 }
 
 SolveStats MultiplicativeMg::solve(const Vector& b, Vector& x, int t_max,
@@ -236,7 +246,9 @@ SolveStats MultiplicativeMg::solve(const Vector& b, Vector& x, int t_max,
   Vector& r = ws_.tmp(0);
   const auto rel_res = [&]() {
     if (fused_) {
-      return std::sqrt(fused_residual_norm_sq_omp(s_->a(0), b, x, r)) * scale;
+      return std::sqrt(be_->csr_residual_norm_sq(s_->a(0), b, x, r,
+                                                 /*parallel=*/true)) *
+             scale;
     }
     s_->a(0).residual(b, x, r);
     return norm2(r) * scale;

@@ -89,6 +89,9 @@ class MultiplicativeMg {
   Counter* ctr_bytes_ = nullptr;
   Counter* ctr_sweeps_ = nullptr;
   const MgSetup* s_;
+  // Resolved kernel backend, cached off the setup so the cycle's inner
+  // loops pay one indirect call per kernel, not a setup hop too.
+  const KernelBackend* be_;
   bool symmetric_;
   int pre_sweeps_;
   int post_sweeps_;

@@ -15,10 +15,16 @@ MgSetup::MgSetup(Hierarchy hierarchy, MgOptions opts)
 void MgSetup::init() {
   const std::size_t nl = h_.num_levels();
 
+  // Resolve the kernel backend before anything that runs kernels is built,
+  // so the smoothers (and every solver later attached to this setup) agree
+  // on one implementation for the whole solve.
+  backend_ = &resolve_backend(opts_.engine);
+
   smoothers_.reserve(nl);
   for (std::size_t k = 0; k < nl; ++k) {
     smoothers_.push_back(
         std::make_unique<Smoother>(h_.matrix(k), opts_.smoother));
+    smoothers_.back()->set_backend(backend_);
   }
 
   // Per-level format selection for the solve-phase kernel engine: SELL

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "amg/hierarchy.hpp"
+#include "backend/backend.hpp"
 #include "smoothers/smoother.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/kernels.hpp"
@@ -66,6 +67,13 @@ class MgSetup {
   /// SolverPool lanes and per-request solvers never pay the conversion.
   const SellMatrix* sell(std::size_t k) const { return sell_[k].get(); }
 
+  /// Kernel backend every solver on this setup runs against, resolved once
+  /// at setup from opts.engine.backend / ASYNCMG_BACKEND / CPUID (DESIGN.md
+  /// section 15). Never null; falls back to the scalar oracle.
+  const KernelBackend& backend() const { return *backend_; }
+  /// The resolved kind (what backend() actually is, after any fallback).
+  BackendKind backend_kind() const { return backend_->kind(); }
+
   /// Approximate flops of one grid-k correction for the additive methods
   /// (restriction chain + smoothing + prolongation chain); used to balance
   /// threads across grids.
@@ -76,6 +84,7 @@ class MgSetup {
 
   MgOptions opts_;
   Hierarchy h_;
+  const KernelBackend* backend_ = &scalar_backend();
   std::vector<std::unique_ptr<Smoother>> smoothers_;
   std::vector<std::unique_ptr<SellMatrix>> sell_;  // nullptr = CSR level
   std::vector<CsrMatrix> pbar_;

@@ -1,33 +1,24 @@
 #include "multigrid/workspace.hpp"
 
+#include "backend/backend.hpp"
 #include "multigrid/setup.hpp"
-#include "sparse/parallel.hpp"
-#include "util/thread_context.hpp"
 
 namespace asyncmg {
 
 CycleWorkspace::CycleWorkspace(const MgSetup& setup, bool first_touch) {
   const std::size_t nl = setup.num_levels();
+  const KernelBackend& be = setup.backend();
   r_.resize(nl);
   e_.resize(nl);
   tmp_.resize(nl);
   swp_.resize(nl);
+  // The backend owns placement: prepare_workspace sizes each buffer and,
+  // when first-touch is on, zero-fills it under the solve-phase OpenMP
+  // schedule so pages land on the threads that will stream them.
   for (std::size_t k = 0; k < nl; ++k) {
     const auto n = static_cast<std::size_t>(setup.a(k).rows());
-    r_[k].resize(n);
-    e_[k].resize(n);
-    tmp_[k].resize(n);
-    swp_[k].resize(n);
-  }
-  if (!first_touch || this_thread_is_pool_worker()) return;
-  for (std::size_t k = 0; k < nl; ++k) {
-    const auto n = static_cast<Index>(r_[k].size());
-    if (n < kSetupSerialCutoff) continue;
-    Vector* const bufs[] = {&r_[k], &e_[k], &tmp_[k], &swp_[k]};
-    for (Vector* v : bufs) {
-      double* const p = v->data();
-#pragma omp parallel for schedule(static)
-      for (Index i = 0; i < n; ++i) p[static_cast<std::size_t>(i)] = 0.0;
+    for (Vector* v : {&r_[k], &e_[k], &tmp_[k], &swp_[k]}) {
+      be.prepare_workspace(*v, n, first_touch);
     }
   }
 }

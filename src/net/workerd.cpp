@@ -7,6 +7,7 @@
 
 #include "amg/serialize.hpp"
 #include "async/schedule.hpp"
+#include "backend/backend.hpp"
 #include "multigrid/additive.hpp"
 #include "net/transport.hpp"
 #include "service/fingerprint.hpp"
@@ -313,7 +314,9 @@ bool WorkerDaemon::handle_solve(FrameConn& conn, const SolveRequestMsg& req) {
 
 std::string WorkerDaemon::stats_json() const {
   std::ostringstream o;
-  o << "{\"name\":\"" << opts_.name << "\",\"solves\":" << solves_
+  o << "{\"name\":\"" << opts_.name << "\",\"backend\":\""
+    << backend_kind_name(resolve_backend_kind(BackendKind::kAuto))
+    << "\",\"solves\":" << solves_
     << ",\"crashes\":" << crashes_ << ",\"setup_cache_hits\":" << cache_hits_
     << ",\"setup_cache_misses\":" << cache_misses_ << ",\"bytes_sent\":"
     << bytes_sent_.load(std::memory_order_relaxed) << ",\"bytes_received\":"

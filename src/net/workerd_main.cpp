@@ -17,6 +17,7 @@
 #include <iostream>
 #include <string>
 
+#include "backend/backend.hpp"
 #include "net/workerd.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/sink.hpp"
@@ -71,6 +72,9 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) opts.telemetry = &sink;
 
     WorkerDaemon daemon(opts);
+    std::cerr << "workerd " << opts.name << ": kernel backend "
+              << backend_kind_name(resolve_backend_kind(BackendKind::kAuto))
+              << " (supported: " << supported_backends_string() << ")\n";
     // The harness contract: one line, fixed prefix, flushed before serving.
     std::cout << "LISTENING " << daemon.port() << "\n" << std::flush;
     if (!port_file.empty()) {

@@ -250,12 +250,12 @@ void Smoother::sweep_ws(const Vector& b, Vector& x, Vector& scratch) const {
     case SmootherType::kL1Jacobi:
       // One fused pass over A; the new iterate lands in scratch and is
       // swapped in (in-place would turn Jacobi into Gauss-Seidel).
-      fused_diag_sweep_omp(*a_, inv_diag_, b, x, scratch);
+      be_->csr_diag_sweep(*a_, inv_diag_, b, x, scratch, /*parallel=*/true);
       x.swap(scratch);
       break;
     case SmootherType::kHybridJGS:
     case SmootherType::kL1HybridJGS:
-      a_->residual_omp(b, x, scratch);
+      be_->csr_residual(*a_, b, x, scratch, /*parallel=*/true);
       block_lower_substitute(scratch);
       for (std::size_t i = 0; i < n; ++i) x[i] += scratch[i];
       break;
@@ -275,7 +275,7 @@ void Smoother::sweep_transpose_ws(const Vector& b, Vector& x, Vector& scratch,
     case SmootherType::kHybridJGS:
     case SmootherType::kAsyncGS:
     case SmootherType::kL1HybridJGS:
-      a_->residual_omp(b, x, scratch);
+      be_->csr_residual(*a_, b, x, scratch, /*parallel=*/true);
       upper_solve(scratch, scratch2);
       for (std::size_t i = 0; i < x.size(); ++i) x[i] += scratch2[i];
       break;

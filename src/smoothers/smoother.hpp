@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "backend/backend.hpp"
 #include "sparse/csr.hpp"
 #include "util/partition.hpp"
 
@@ -65,6 +66,16 @@ class Smoother {
   /// in the iteration matrix G = I - D~^{-1} A used for Jacobi-type
   /// smoothed interpolants.
   const Vector& inv_diag() const { return inv_diag_; }
+
+  /// Kernel backend for the workspace sweeps' bulk kernels (fused diagonal
+  /// sweep, residual). MgSetup points every level's smoother at its resolved
+  /// backend; a default-constructed Smoother runs the scalar oracle. Only
+  /// whole-matrix kernels route through the backend — the block GS
+  /// substitutions are serial dependence chains and stay scalar.
+  void set_backend(const KernelBackend* be) {
+    be_ = be != nullptr ? be : &scalar_backend();
+  }
+  const KernelBackend& backend() const { return *be_; }
 
   /// e = Lambda r: one sweep on A e = r with zero initial guess, all rows.
   void apply_zero(const Vector& r, Vector& e) const;
@@ -139,6 +150,7 @@ class Smoother {
   void upper_solve(const Vector& r, Vector& y) const;
 
   const CsrMatrix* a_;
+  const KernelBackend* be_ = &scalar_backend();
   SmootherOptions opts_;
   Vector inv_diag_;
   Vector diag_;  // plain matrix diagonal

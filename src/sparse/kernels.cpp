@@ -10,14 +10,30 @@
 
 namespace asyncmg {
 
+bool solve_omp_eligible(Index rows) {
+  return rows >= kSetupSerialCutoff && omp_get_max_threads() > 1 &&
+         !this_thread_is_pool_worker();
+}
+
+const char* backend_kind_name(BackendKind k) {
+  switch (k) {
+    case BackendKind::kAuto:
+      return "auto";
+    case BackendKind::kScalar:
+      return "scalar";
+    case BackendKind::kAvx2:
+      return "avx2";
+    case BackendKind::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
 namespace {
 
 /// Same gate as the CsrMatrix solve kernels (including the one-thread-team
 /// bypass).
-bool use_solve_omp(Index rows) {
-  return rows >= kSetupSerialCutoff && omp_get_max_threads() > 1 &&
-         !this_thread_is_pool_worker();
-}
+bool use_solve_omp(Index rows) { return solve_omp_eligible(rows); }
 
 /// Static partition matching `omp parallel for schedule(static)`.
 struct RowRange {

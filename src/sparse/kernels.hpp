@@ -24,17 +24,43 @@
 // must pick the one its reference path uses.
 
 #include <cstddef>
+#include <cstdint>
 
 #include "sparse/csr.hpp"
+#include "sparse/sellcs.hpp"
 #include "sparse/types.hpp"
 
 namespace asyncmg {
+
+/// Which kernel backend (src/backend) executes the solve-phase kernel set.
+/// kScalar is the portable OpenMP CSR/SELL engine and the bitwise oracle;
+/// the SIMD kinds hand-vectorize the SELL-C-sigma kernels across chunk
+/// lanes (one row per lane, so per-row accumulation order — and therefore
+/// every bit of the result — matches the oracle). kAuto resolves at runtime
+/// to the widest ISA both compiled in and reported by the CPU, overridable
+/// with ASYNCMG_BACKEND=scalar|avx2|avx512.
+enum class BackendKind : std::uint8_t {
+  kAuto = 0,
+  kScalar,
+  kAvx2,
+  kAvx512,
+};
+
+/// Stable lowercase name ("auto", "scalar", "avx2", "avx512"); also the
+/// accepted ASYNCMG_BACKEND values.
+const char* backend_kind_name(BackendKind k);
 
 /// Configuration of the solve-phase kernel engine. Defaults enable
 /// everything; `fused = false` restores the original two-pass reference
 /// path (which the bench uses as its baseline and the property tests use as
 /// the bitwise oracle).
 struct KernelEngineOptions {
+  /// Kernel backend request. kAuto picks the widest supported ISA; an
+  /// explicit kind pins it (bypassing the ASYNCMG_BACKEND env override,
+  /// like PrecisionPolicy pins bypass ASYNCMG_PRECISION). An unsupported
+  /// request falls back to the widest supported backend with a logged
+  /// warning — it never fails the setup.
+  BackendKind backend = BackendKind::kAuto;
   /// Use the fused single-A-pass kernels in cycles and smoothers.
   bool fused = true;
   /// Convert eligible levels to SELL-C-sigma at setup.
@@ -102,5 +128,19 @@ inline std::size_t csr_pass_bytes(const CsrMatrix& a) {
   return a.value_bytes() + static_cast<std::size_t>(a.nnz()) * sizeof(Index) +
          (static_cast<std::size_t>(a.rows()) + 1) * sizeof(Index);
 }
+
+/// SELL counterpart of csr_pass_bytes: counts the stored (padded) entries
+/// plus the column/metadata streams, so the bytes-moved counters and the
+/// bench bandwidth numbers do not under-report SELL levels against raw nnz.
+inline std::size_t sell_pass_bytes(const SellMatrix& a) {
+  return a.pass_bytes();
+}
+
+/// True when the solve-phase kernels should fan out an OpenMP team for a
+/// matrix of `rows` rows: large enough to amortize the team start, more
+/// than one thread configured, and not on a pool worker thread (pool lanes
+/// are already one per core). Shared by the CSR/SELL engines and the
+/// src/backend kernel backends so every path gates identically.
+bool solve_omp_eligible(Index rows);
 
 }  // namespace asyncmg

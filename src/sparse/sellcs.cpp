@@ -9,7 +9,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sparse/kernels.hpp"
 #include "sparse/parallel.hpp"
+#include "sparse/sell_ops.hpp"
 #include "util/partition.hpp"
 #include "util/thread_context.hpp"
 
@@ -20,59 +22,15 @@ namespace {
 /// Same gate as the CsrMatrix solve kernels: only fan out on client threads
 /// over matrices large enough to amortize a team start, and never for a
 /// one-thread team.
-bool use_solve_omp(Index rows) {
-  return rows >= kSetupSerialCutoff && omp_get_max_threads() > 1 &&
-         !this_thread_is_pool_worker();
-}
+bool use_solve_omp(Index rows) { return solve_omp_eligible(rows); }
 
-// The Op vocabulary for apply_chunks. kSubtract selects the accumulation
-// order: residual-style ops seed with b[row] and subtract products (matching
-// CsrMatrix::residual), spmv-style ops seed with 0 and add (matching
-// CsrMatrix::spmv). The two orders are NOT interchangeable bitwise, which is
-// why each fused kernel documents the reference it mirrors.
-
-struct SpmvOp {  // y = A x
-  static constexpr bool kSubtract = false;
-  double* y;
-  double init(Index) const { return 0.0; }
-  void store(Index row, double s) const {
-    y[static_cast<std::size_t>(row)] = s;
-  }
-};
-
-struct ResidualOp {  // r = b - A x
-  static constexpr bool kSubtract = true;
-  const double* b;
-  double* r;
-  double init(Index row) const { return b[static_cast<std::size_t>(row)]; }
-  void store(Index row, double s) const {
-    r[static_cast<std::size_t>(row)] = s;
-  }
-};
-
-struct DiagSweepOp {  // x_out = x_in + d .* (b - A x_in)
-  static constexpr bool kSubtract = true;
-  const double* b;
-  const double* d;
-  const double* x_in;
-  double* x_out;
-  double init(Index row) const { return b[static_cast<std::size_t>(row)]; }
-  void store(Index row, double s) const {
-    const auto i = static_cast<std::size_t>(row);
-    x_out[i] = x_in[i] + d[i] * s;
-  }
-};
-
-struct SubSpmvOp {  // tmp = r - A e (spmv order: full sum, then subtract)
-  static constexpr bool kSubtract = false;
-  const double* r;
-  double* tmp;
-  double init(Index) const { return 0.0; }
-  void store(Index row, double s) const {
-    const auto i = static_cast<std::size_t>(row);
-    tmp[i] = r[i] - s;
-  }
-};
+// The Op vocabulary for apply_chunks lives in sparse/sell_ops.hpp, shared
+// with the SIMD backends so every backend runs identical seed/store
+// arithmetic around the ISA-specific accumulation loop.
+using sellops::DiagSweepOp;
+using sellops::ResidualOp;
+using sellops::SpmvOp;
+using sellops::SubSpmvOp;
 
 }  // namespace
 
@@ -312,6 +270,11 @@ SellMatrix SellMatrix::from_csr(const CsrMatrix& a, Index chunk, Index sigma) {
     ++m.n_contig_;
     m.contig_entries_ += static_cast<std::size_t>(width) * c;
   }
+  // The streamed slabs come from the kKernelAlign allocator; the SIMD
+  // backends rely on the bases being cache-line aligned.
+  assert(is_kernel_aligned(m.col_idx_.data()));
+  assert(is_kernel_aligned(m.values_.data()) &&
+         is_kernel_aligned(m.values_f32_.data()));
   return m;
 }
 

@@ -24,8 +24,31 @@
 
 #include "sparse/csr.hpp"
 #include "sparse/types.hpp"
+#include "util/aligned.hpp"
 
 namespace asyncmg {
+
+/// Read-only raw view of the SELL storage for out-of-class kernels (the
+/// src/backend SIMD implementations). Pointers alias the owning SellMatrix
+/// and stay valid while it is alive and unmodified. Exactly one of
+/// `values` / `values_f32` is non-null, per `prec`. The value and column
+/// slabs are kKernelAlign-aligned (util/aligned.hpp).
+struct SellView {
+  Index rows = 0;
+  Index cols = 0;
+  Index chunk = 0;                    // C, the lane count per chunk
+  Precision prec = Precision::kF64;
+  std::size_t nchunks = 0;
+  const Index* perm = nullptr;        // slot -> row; -1 pad slots trail
+  const Index* slot_len = nullptr;    // nnz per slot (descending per chunk)
+  const Index* chunk_ptr = nullptr;   // entry offset per chunk (nchunks+1)
+  const Index* chunk_width = nullptr; // widest row per chunk
+  const Index* col_idx = nullptr;     // column-major per chunk, padded
+  const double* values = nullptr;     // kF64 storage
+  const float* values_f32 = nullptr;  // kF32 storage
+  const Index* ucol_ofs = nullptr;    // per chunk: ucol_base offset or -1
+  const Index* ucol_base = nullptr;   // x base index per contiguous column
+};
 
 class SellMatrix {
  public:
@@ -119,6 +142,30 @@ class SellMatrix {
                sizeof(Index);
   }
 
+  /// Raw storage view for the src/backend SIMD kernels. The scalar kernels
+  /// below remain the bitwise oracle every backend must reproduce.
+  SellView view() const {
+    SellView v;
+    v.rows = rows_;
+    v.cols = cols_;
+    v.chunk = c_;
+    v.prec = prec_;
+    v.nchunks = chunk_width_.size();
+    v.perm = perm_.data();
+    v.slot_len = slot_len_.data();
+    v.chunk_ptr = chunk_ptr_.data();
+    v.chunk_width = chunk_width_.data();
+    v.col_idx = col_idx_.data();
+    if (prec_ == Precision::kF32) {
+      v.values_f32 = values_f32_.data();
+    } else {
+      v.values = values_.data();
+    }
+    v.ucol_ofs = ucol_ofs_.data();
+    v.ucol_base = ucol_base_.data();
+    return v;
+  }
+
   /// "rows x cols, nnz=…, C=…, sigma=…, padding=…%" summary line.
   std::string summary() const;
 
@@ -154,9 +201,11 @@ class SellMatrix {
   std::vector<Index> slot_len_;    // nnz per slot (descending per chunk)
   std::vector<Index> chunk_ptr_;   // entry offset per chunk (size nchunks+1)
   std::vector<Index> chunk_width_; // widest row per chunk
-  std::vector<Index> col_idx_;     // column-major per chunk, padded
-  std::vector<double> values_;     // padding is 0.0, never read (kF64)
-  std::vector<float> values_f32_;  // stored values when prec_ == kF32
+  // The streamed slabs are cache-line aligned so the SIMD backends' vector
+  // loads never split a line (util/aligned.hpp).
+  AlignedVector<Index> col_idx_;   // column-major per chunk, padded
+  AlignedVector<double> values_;   // padding is 0.0, never read (kF64)
+  AlignedVector<float> values_f32_;  // stored values when prec_ == kF32
   // Contiguous-column fast path (see contiguous_chunks()): ucol_ofs_[ch] is
   // -1 for general chunks, else the offset into ucol_base_ of the chunk's
   // chunk_width_[ch] per-column base indices.

@@ -43,6 +43,8 @@ const char* event_name(EventKind k) {
       return "level-ready";
     case EventKind::kSetupFallback:
       return "setup-fallback";
+    case EventKind::kBackendSelect:
+      return "backend-select";
   }
   return "unknown";
 }

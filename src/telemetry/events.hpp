@@ -47,6 +47,10 @@ enum class EventKind : std::uint8_t {
   // Background setup pipeline (service/background_setup.hpp).
   kLevelReady,      // a = level index now built, b = rows of that level
   kSetupFallback,   // a = levels built when the lane died, b = 0
+  // Kernel backend selection (backend/backend.hpp). Emitted once per solver
+  // attach and only when the resolved backend is not the scalar oracle, so
+  // scalar-only traces (the golden fixtures) are unchanged.
+  kBackendSelect,  // a = resolved BackendKind, b = requested BackendKind
 };
 
 /// Stable display name of an event kind (used by the Chrome exporter).

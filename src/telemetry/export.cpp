@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sparse/kernels.hpp"
 #include "sparse/types.hpp"
 
 namespace asyncmg {
@@ -170,6 +171,14 @@ std::string chrome_trace_json(const std::vector<DrainedEvent>& events,
         o << "\"name\":\"setup-fallback\",\"cat\":\"setup\",\"ph\":\"i\","
           << "\"s\":\"t\",\"ts\":" << ts << ",\"pid\":1,\"tid\":" << track
           << ",\"args\":{\"levels_built\":" << e.a << "}";
+        break;
+      case EventKind::kBackendSelect:
+        o << "\"name\":\"backend-select\",\"cat\":\"backend\",\"ph\":\"i\","
+          << "\"s\":\"t\",\"ts\":" << ts << ",\"pid\":1,\"tid\":" << track
+          << ",\"args\":{\"backend\":\""
+          << backend_kind_name(static_cast<BackendKind>(e.a))
+          << "\",\"requested\":\""
+          << backend_kind_name(static_cast<BackendKind>(e.b)) << "\"}";
         break;
     }
     o << "}";

@@ -1,0 +1,62 @@
+#pragma once
+// 64-byte-aligned allocation for kernel-facing arrays. The SELL value and
+// column slabs are streamed by the SIMD backends (src/backend) with 256/512
+// bit loads; cache-line alignment of the slab base guarantees an aligned
+// vector load never splits a line (the loads themselves stay unaligned-op
+// encodings, so alignment is a performance property, never a correctness
+// one). std::vector's default allocator only promises alignof(std::max_align_t)
+// (16 on x86-64), hence the dedicated allocator.
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace asyncmg {
+
+/// Alignment of kernel-streamed arrays: one cache line, which also covers a
+/// full AVX-512 register.
+inline constexpr std::size_t kKernelAlign = 64;
+
+template <class T, std::size_t Align = kKernelAlign>
+struct AlignedAllocator {
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of 2");
+  static_assert(Align >= alignof(T), "alignment below the type's own");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// Cache-line-aligned vector for kernel-streamed slabs (SELL values and
+/// column indices). Element access and iteration are identical to
+/// std::vector; only the allocation alignment differs.
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// Debug-build check used by SellMatrix::from_csr.
+template <class T>
+inline bool is_kernel_aligned(const T* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kKernelAlign == 0;
+}
+
+}  // namespace asyncmg
